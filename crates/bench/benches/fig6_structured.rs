@@ -1,0 +1,40 @@
+//! Figure 6: structured-futures benchmarks under the four configurations
+//! with MultiBags.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd_bench::{bench_params, run_config, Algorithm, Config};
+use futurerd_workloads::{FutureMode, WorkloadKind};
+use std::time::Duration;
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_structured_multibags");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for kind in WorkloadKind::ALL {
+        let params = bench_params(kind);
+        for config in Config::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), config.label()),
+                &(kind, config),
+                |b, &(kind, config)| {
+                    b.iter(|| {
+                        run_config(
+                            kind,
+                            FutureMode::Structured,
+                            Algorithm::MultiBags,
+                            config,
+                            &params,
+                        )
+                        .1
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 7: general-futures benchmarks under the four configurations with
+//! MultiBags+.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd_bench::{bench_params, run_config, Algorithm, Config};
+use futurerd_workloads::{FutureMode, WorkloadKind};
+use std::time::Duration;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_general_multibags_plus");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for kind in WorkloadKind::ALL {
+        let params = bench_params(kind);
+        for config in Config::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), config.label()),
+                &(kind, config),
+                |b, &(kind, config)| {
+                    b.iter(|| {
+                        run_config(
+                            kind,
+                            FutureMode::General,
+                            Algorithm::MultiBagsPlus,
+                            config,
+                            &params,
+                        )
+                        .1
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 8: MultiBags vs MultiBags+ reachability maintenance on structured
+//! programs while the base case (and therefore `k`, the number of `get_fut`
+//! operations) varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd_bench::{bench_params, run_config, Algorithm, Config};
+use futurerd_workloads::{FutureMode, WorkloadKind};
+use std::time::Duration;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_basecase_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    let sweep: [(WorkloadKind, &[usize]); 3] = [
+        (WorkloadKind::Lcs, &[32, 16, 8]),
+        (WorkloadKind::Sw, &[16, 8]),
+        (WorkloadKind::Mm, &[16, 8, 4]),
+    ];
+    for (kind, bases) in sweep {
+        for &base in bases {
+            let params = bench_params(kind).with_base(base);
+            for (alg, label) in [
+                (Algorithm::MultiBags, "multibags"),
+                (Algorithm::MultiBagsPlus, "multibags_plus"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_B{}", kind.name(), base), label),
+                    &alg,
+                    |b, &alg| {
+                        b.iter(|| {
+                            run_config(
+                                kind,
+                                FutureMode::Structured,
+                                alg,
+                                Config::Reachability,
+                                &params,
+                            )
+                            .1
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! A growable bitset used by the reachability matrix `R` and the graph
+//! oracle.
+//!
+//! Unlike `futurerd_dag::reachability::BitSet` (fixed capacity, sized when an
+//! oracle is built from a finished dag), the detector's sets grow as the
+//! execution unfolds, so this bitset extends itself on demand and treats
+//! out-of-range bits as zero.
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically growing bitset.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynBitSet {
+    words: Vec<u64>,
+}
+
+impl DynBitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bitset with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+        }
+    }
+
+    #[inline]
+    fn ensure(&mut self, word: usize) {
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.ensure(i / 64);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Returns bit `i` (false if beyond the current capacity).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| (w >> (i % 64)) & 1 == 1)
+            .unwrap_or(false)
+    }
+
+    /// Ors `other` into `self` (bit-parallel). Trailing and interior zero
+    /// words of `other` are skipped, so the cost is proportional to the
+    /// number of non-zero words — important for the reachability matrix `R`,
+    /// whose per-arc propagation usually adds a single new bit to many rows.
+    pub fn union_with(&mut self, other: &DynBitSet) {
+        let last_nonzero = match other.words.iter().rposition(|&w| w != 0) {
+            Some(i) => i,
+            None => return,
+        };
+        self.ensure(last_nonzero);
+        for (i, &w) in other.words[..=last_nonzero].iter().enumerate() {
+            if w != 0 {
+                self.words[i] |= w;
+            }
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indices of set bits, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| ((w >> b) & 1 == 1).then_some(wi * 64 + b))
+        })
+    }
+
+    /// Approximate heap usage in bytes (for the memory statistics the paper
+    /// discusses when the reachability matrix grows with small base cases).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut b = DynBitSet::new();
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count(), 8);
+    }
+
+    #[test]
+    fn out_of_range_reads_are_false() {
+        let b = DynBitSet::new();
+        assert!(!b.get(0));
+        assert!(!b.get(10_000));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_bits() {
+        let mut b = DynBitSet::new();
+        b.set(70);
+        b.clear(70);
+        assert!(!b.get(70));
+        // Clearing an out-of-range bit is a no-op.
+        b.clear(10_000);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn union_grows_the_target() {
+        let mut a = DynBitSet::new();
+        a.set(1);
+        let mut b = DynBitSet::new();
+        b.set(200);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(200));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut b = DynBitSet::new();
+        for i in [5usize, 64, 3, 128] {
+            b.set(i);
+        }
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![3, 5, 64, 128]);
+    }
+
+    #[test]
+    fn with_capacity_does_not_set_bits() {
+        let b = DynBitSet::with_capacity(1024);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+    }
+}

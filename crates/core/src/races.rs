@@ -1,0 +1,226 @@
+//! Race descriptions and reports.
+
+use futurerd_dag::{MemAddr, StrandId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Whether an access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// A determinacy race: two logically parallel accesses to the same granule,
+/// at least one of which is a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Race {
+    /// Address of the racing granule (granule-aligned).
+    pub addr: MemAddr,
+    /// The earlier access (already in the access history).
+    pub prior_strand: StrandId,
+    /// Kind of the earlier access.
+    pub prior_kind: AccessKind,
+    /// The access that exposed the race (the currently executing strand).
+    pub current_strand: StrandId,
+    /// Kind of the current access.
+    pub current_kind: AccessKind,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "race on {}: {} by {} is logically parallel with {} by {}",
+            self.addr, self.prior_kind, self.prior_strand, self.current_kind, self.current_strand
+        )
+    }
+}
+
+/// Collects races found during a run.
+///
+/// Like FutureRD, the detector reports *that* a location races (with one
+/// witness pair per granule) rather than every racing pair — full
+/// enumeration can be quadratic. The total number of racy pairs observed is
+/// still counted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaceReport {
+    races: Vec<Race>,
+    racy_granules: HashSet<u64>,
+    /// Total racing pairs observed, including duplicates per granule.
+    total_observations: u64,
+    /// Maximum number of distinct witnesses kept.
+    max_witnesses: usize,
+}
+
+impl Default for RaceReport {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl RaceReport {
+    /// Creates a report keeping at most `max_witnesses` distinct witness
+    /// races (one per racy granule).
+    pub fn new(max_witnesses: usize) -> Self {
+        Self {
+            races: Vec::new(),
+            racy_granules: HashSet::new(),
+            total_observations: 0,
+            max_witnesses,
+        }
+    }
+
+    /// Records a racing pair. Returns true if it was kept as a new witness
+    /// (first race seen on its granule and within the witness cap).
+    pub fn record(&mut self, race: Race) -> bool {
+        self.total_observations += 1;
+        let granule = race.addr.granule();
+        if self.racy_granules.contains(&granule) {
+            return false;
+        }
+        self.racy_granules.insert(granule);
+        if self.races.len() < self.max_witnesses {
+            self.races.push(race);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if no race was observed.
+    pub fn is_race_free(&self) -> bool {
+        self.total_observations == 0
+    }
+
+    /// Number of distinct racy granules observed.
+    pub fn race_count(&self) -> usize {
+        self.racy_granules.len()
+    }
+
+    /// Total racing pairs observed (including several per granule).
+    pub fn total_observations(&self) -> u64 {
+        self.total_observations
+    }
+
+    /// The witness races (at most one per granule).
+    pub fn witnesses(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// True if the given granule-aligned address was found racy.
+    pub fn is_racy(&self, addr: MemAddr) -> bool {
+        self.racy_granules.contains(&addr.granule())
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &RaceReport) {
+        self.total_observations += other.total_observations;
+        for race in &other.races {
+            let granule = race.addr.granule();
+            if self.racy_granules.insert(granule) && self.races.len() < self.max_witnesses {
+                self.races.push(*race);
+            }
+        }
+        for g in &other.racy_granules {
+            self.racy_granules.insert(*g);
+        }
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_race_free() {
+            return write!(f, "no determinacy races detected");
+        }
+        writeln!(
+            f,
+            "{} racy location(s), {} racing pair(s) observed:",
+            self.race_count(),
+            self.total_observations
+        )?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn race_at(addr: u64, prior: u32, current: u32) -> Race {
+        Race {
+            addr: MemAddr(addr),
+            prior_strand: StrandId(prior),
+            prior_kind: AccessKind::Write,
+            current_strand: StrandId(current),
+            current_kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_race_free() {
+        let r = RaceReport::default();
+        assert!(r.is_race_free());
+        assert_eq!(r.race_count(), 0);
+        assert_eq!(r.to_string(), "no determinacy races detected");
+    }
+
+    #[test]
+    fn first_race_per_granule_is_a_witness() {
+        let mut r = RaceReport::default();
+        assert!(r.record(race_at(0x100, 1, 2)));
+        assert!(!r.record(race_at(0x100, 3, 4))); // same granule
+        assert!(r.record(race_at(0x104, 1, 2))); // different granule
+        assert_eq!(r.race_count(), 2);
+        assert_eq!(r.total_observations(), 3);
+        assert_eq!(r.witnesses().len(), 2);
+        assert!(r.is_racy(MemAddr(0x100)));
+        assert!(!r.is_racy(MemAddr(0x200)));
+    }
+
+    #[test]
+    fn witness_cap_is_respected() {
+        let mut r = RaceReport::new(2);
+        for i in 0..10u64 {
+            r.record(race_at(0x100 + 4 * i, 1, 2));
+        }
+        assert_eq!(r.witnesses().len(), 2);
+        assert_eq!(r.race_count(), 10);
+    }
+
+    #[test]
+    fn merge_combines_reports() {
+        let mut a = RaceReport::default();
+        a.record(race_at(0x100, 1, 2));
+        let mut b = RaceReport::default();
+        b.record(race_at(0x100, 5, 6));
+        b.record(race_at(0x200, 5, 6));
+        a.merge(&b);
+        assert_eq!(a.race_count(), 2);
+        assert_eq!(a.total_observations(), 3);
+    }
+
+    #[test]
+    fn display_lists_witnesses() {
+        let mut r = RaceReport::default();
+        r.record(race_at(0x10, 1, 2));
+        let text = r.to_string();
+        assert!(text.contains("1 racy location"));
+        assert!(text.contains("s1"));
+        assert!(text.contains("s2"));
+    }
+}

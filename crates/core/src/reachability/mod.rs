@@ -1,0 +1,66 @@
+//! Reachability data structures: the heart of the paper.
+//!
+//! A reachability structure is an [`Observer`] of the execution event stream
+//! that can, at any point during the run, answer the query *"is previously
+//! executed strand `u` sequentially before the currently executing
+//! strand?"* — exactly the query the access-history protocol of Section 3
+//! needs. Four implementations are provided:
+//!
+//! | Structure | Programs | Time (total) | Role |
+//! |---|---|---|---|
+//! | [`MultiBags`] | structured futures | `O(T1·α(m,n))` | the paper's first algorithm (Section 4) |
+//! | [`MultiBagsPlus`] | general futures | `O((T1+k²)·α(m,n))` | the paper's second algorithm (Section 5) |
+//! | [`SpBags`] | fork-join only | `O(T1·α(m,n))` | classical SP-Bags baseline \[Feng & Leiserson 1997\] |
+//! | [`GraphOracle`] | anything | `O(T1·n/64)` time, `O(n²/64)` space | ground truth for tests and ablations |
+
+mod multibags;
+mod multibags_plus;
+mod oracle;
+mod rgraph;
+mod spbags;
+
+pub use multibags::MultiBags;
+pub use multibags_plus::MultiBagsPlus;
+pub use oracle::GraphOracle;
+pub use rgraph::{RGraph, RNodeId};
+pub use spbags::SpBags;
+
+use crate::stats::ReachStats;
+use futurerd_dag::{Observer, StrandId};
+
+/// An on-the-fly reachability structure.
+///
+/// Implementations consume the execution event stream (they are
+/// [`Observer`]s) and answer precedence queries against the *currently
+/// executing* strand. Queries may only name strands that have already begun
+/// executing (which is all the access history ever stores).
+pub trait Reachability: Observer {
+    /// Returns true iff strand `u` is sequentially before the currently
+    /// executing strand (or is the current strand itself). `u` must have
+    /// started executing already.
+    fn precedes_current(&mut self, u: StrandId) -> bool;
+
+    /// The currently executing strand.
+    fn current_strand(&self) -> StrandId;
+
+    /// A short human-readable name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Work counters for complexity ablations.
+    fn stats(&self) -> ReachStats;
+}
+
+impl<R: Reachability + ?Sized> Reachability for &mut R {
+    fn precedes_current(&mut self, u: StrandId) -> bool {
+        (**self).precedes_current(u)
+    }
+    fn current_strand(&self) -> StrandId {
+        (**self).current_strand()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn stats(&self) -> ReachStats {
+        (**self).stats()
+    }
+}

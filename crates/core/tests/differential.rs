@@ -1,0 +1,229 @@
+//! Differential property tests: the MultiBags algorithms against the
+//! ground-truth graph oracle, on randomly generated programs.
+//!
+//! For every generated program we execute it once on the sequential eager
+//! executor with a checking observer that, each time a new strand begins,
+//! compares the answer of the algorithm under test with the graph oracle for
+//! *every* previously executed strand. This validates exactly the query the
+//! detector relies on ("is u sequentially before the currently executing
+//! strand?") across the whole execution.
+//!
+//! A second battery compares full race detection (same access-history
+//! protocol, different reachability structures): the set of racy granules
+//! reported must be identical.
+
+use futurerd_core::detector::RaceDetector;
+use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, Reachability};
+use futurerd_dag::events::{CreateFutureEvent, GetFutureEvent, SpawnEvent, SyncEvent};
+use futurerd_dag::genprog::{generate_program, GenConfig, ProgramSpec};
+use futurerd_dag::{FunctionId, MemAddr, Observer, StrandId};
+use futurerd_runtime::spec::run_spec;
+use proptest::prelude::*;
+
+/// Forwards every event to the algorithm under test and to the oracle, and
+/// checks that they agree on every (previous strand, current strand) pair.
+struct DifferentialChecker<R> {
+    subject: R,
+    oracle: GraphOracle,
+    started: Vec<StrandId>,
+    mismatches: Vec<String>,
+}
+
+impl<R: Reachability> DifferentialChecker<R> {
+    fn new(subject: R) -> Self {
+        Self {
+            subject,
+            oracle: GraphOracle::new(),
+            started: Vec::new(),
+            mismatches: Vec::new(),
+        }
+    }
+
+    fn check_all(&mut self, current: StrandId) {
+        for &u in &self.started {
+            let expected = self.oracle.precedes_current(u);
+            let got = self.subject.precedes_current(u);
+            if expected != got {
+                self.mismatches.push(format!(
+                    "{}: precedes({u}, {current}) = {got}, oracle says {expected}",
+                    self.subject.name()
+                ));
+            }
+        }
+    }
+}
+
+impl<R: Reachability> Observer for DifferentialChecker<R> {
+    fn on_program_start(&mut self, root: FunctionId, first: StrandId) {
+        self.subject.on_program_start(root, first);
+        self.oracle.on_program_start(root, first);
+    }
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        self.subject.on_strand_start(strand, function);
+        self.oracle.on_strand_start(strand, function);
+        self.check_all(strand);
+        self.started.push(strand);
+    }
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        self.subject.on_spawn(ev);
+        self.oracle.on_spawn(ev);
+    }
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        self.subject.on_create_future(ev);
+        self.oracle.on_create_future(ev);
+    }
+    fn on_return(&mut self, function: FunctionId, last: StrandId) {
+        self.subject.on_return(function, last);
+        self.oracle.on_return(function, last);
+    }
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        self.subject.on_sync(ev);
+        self.oracle.on_sync(ev);
+    }
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        self.subject.on_get_future(ev);
+        self.oracle.on_get_future(ev);
+    }
+    fn on_program_end(&mut self, last: StrandId) {
+        self.subject.on_program_end(last);
+        self.oracle.on_program_end(last);
+    }
+}
+
+fn check_reachability_against_oracle<R: Reachability>(spec: &ProgramSpec, subject: R) {
+    let (checker, summary) = run_spec(spec, DifferentialChecker::new(subject));
+    assert!(
+        checker.mismatches.is_empty(),
+        "{} mismatches on a program with {} strands and {} gets:\n{}",
+        checker.mismatches.len(),
+        summary.strands,
+        summary.gets,
+        checker.mismatches.join("\n")
+    );
+}
+
+fn racy_granules(spec: &ProgramSpec, detector: RaceDetector<impl Reachability>) -> Vec<u64> {
+    let (det, _) = run_spec(spec, detector);
+    let report = det.into_report();
+    let mut granules: Vec<u64> = report.witnesses().iter().map(|r| r.addr.granule()).collect();
+    // The witness list has one entry per racy granule by construction, but a
+    // granule may race for several reasons; compare the full racy set.
+    granules.sort_unstable();
+    granules.dedup();
+    let mut all: Vec<u64> = (0..1 << 16)
+        .filter(|g| report.is_racy(MemAddr(g * MemAddr::GRANULARITY)))
+        .collect();
+    all.sort_unstable();
+    assert!(granules.iter().all(|g| all.contains(g)));
+    all
+}
+
+#[test]
+fn multibags_matches_oracle_on_structured_programs() {
+    let cfg = GenConfig::structured();
+    for seed in 0..150 {
+        let spec = generate_program(&cfg, seed);
+        check_reachability_against_oracle(&spec, MultiBags::new());
+    }
+}
+
+#[test]
+fn multibags_plus_matches_oracle_on_structured_programs() {
+    // MultiBags+ handles structured programs too (the paper measures exactly
+    // this configuration in Figure 8).
+    let cfg = GenConfig::structured();
+    for seed in 0..150 {
+        let spec = generate_program(&cfg, seed);
+        check_reachability_against_oracle(&spec, MultiBagsPlus::new());
+    }
+}
+
+#[test]
+fn multibags_plus_matches_oracle_on_general_programs() {
+    let cfg = GenConfig::general();
+    for seed in 0..250 {
+        let spec = generate_program(&cfg, seed);
+        check_reachability_against_oracle(&spec, MultiBagsPlus::new());
+    }
+}
+
+#[test]
+fn multibags_plus_matches_oracle_on_deep_general_programs() {
+    let cfg = GenConfig {
+        max_depth: 8,
+        max_actions: 6,
+        num_locations: 8,
+        ..GenConfig::general()
+    };
+    for seed in 0..100 {
+        let spec = generate_program(&cfg, seed);
+        check_reachability_against_oracle(&spec, MultiBagsPlus::new());
+    }
+}
+
+#[test]
+fn multibags_plus_never_needs_defensive_attachify() {
+    for (cfg, n) in [(GenConfig::structured(), 100u64), (GenConfig::general(), 200)] {
+        for seed in 0..n {
+            let spec = generate_program(&cfg, seed);
+            let (obs, _) = run_spec(&spec, MultiBagsPlus::new());
+            assert_eq!(
+                obs.stats().unexpected_attachifies,
+                0,
+                "seed {seed}: the paper's attachment invariant was violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn race_reports_agree_between_multibags_and_oracle_on_structured_programs() {
+    let cfg = GenConfig::structured();
+    for seed in 0..120 {
+        let spec = generate_program(&cfg, seed);
+        let with_multibags = racy_granules(&spec, RaceDetector::structured());
+        let with_oracle = racy_granules(&spec, RaceDetector::new(GraphOracle::new()));
+        assert_eq!(with_multibags, with_oracle, "seed {seed}");
+    }
+}
+
+#[test]
+fn race_reports_agree_between_multibags_plus_and_oracle_on_general_programs() {
+    let cfg = GenConfig::general();
+    for seed in 0..120 {
+        let spec = generate_program(&cfg, seed);
+        let with_mbp = racy_granules(&spec, RaceDetector::general());
+        let with_oracle = racy_granules(&spec, RaceDetector::new(GraphOracle::new()));
+        assert_eq!(with_mbp, with_oracle, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary seeds and generator shapes for the structured regime.
+    #[test]
+    fn prop_multibags_matches_oracle(seed in any::<u64>(), depth in 2u32..7, actions in 2u32..10) {
+        let cfg = GenConfig { max_depth: depth, max_actions: actions, ..GenConfig::structured() };
+        let spec = generate_program(&cfg, seed);
+        check_reachability_against_oracle(&spec, MultiBags::new());
+    }
+
+    /// Arbitrary seeds and generator shapes for the general regime.
+    #[test]
+    fn prop_multibags_plus_matches_oracle(seed in any::<u64>(), depth in 2u32..7, actions in 2u32..10) {
+        let cfg = GenConfig { max_depth: depth, max_actions: actions, ..GenConfig::general() };
+        let spec = generate_program(&cfg, seed);
+        check_reachability_against_oracle(&spec, MultiBagsPlus::new());
+    }
+
+    /// Race sets must agree regardless of generator shape.
+    #[test]
+    fn prop_race_sets_agree(seed in any::<u64>(), general in any::<bool>()) {
+        let cfg = if general { GenConfig::general() } else { GenConfig::structured() };
+        let spec = generate_program(&cfg, seed);
+        let subject = racy_granules(&spec, RaceDetector::general());
+        let oracle = racy_granules(&spec, RaceDetector::new(GraphOracle::new()));
+        prop_assert_eq!(subject, oracle);
+    }
+}

@@ -1,0 +1,126 @@
+//! Graphviz (DOT) export of computation dags, for debugging and for
+//! reproducing the paper's figures (e.g. Figure 2 and Figure 5).
+
+use crate::graph::{Dag, EdgeKind};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Cluster strands of the same function instance into subgraphs.
+    pub cluster_functions: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            name: "computation".to_string(),
+            cluster_functions: true,
+        }
+    }
+}
+
+fn edge_style(kind: EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::Continue => "color=black",
+        EdgeKind::Spawn => "color=blue",
+        EdgeKind::Join => "color=blue, style=dashed",
+        EdgeKind::Create => "color=red, style=dashed",
+        EdgeKind::Get => "color=red, style=dotted",
+    }
+}
+
+/// Renders a dag as a Graphviz DOT string.
+pub fn to_dot(dag: &Dag, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+
+    if options.cluster_functions {
+        for f in 0..dag.num_functions() {
+            let f = crate::ids::FunctionId(f as u32);
+            let strands = dag.strands_of(f);
+            if strands.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  subgraph cluster_{} {{", f.0);
+            let _ = writeln!(out, "    label=\"{f}\";");
+            for s in strands {
+                let _ = writeln!(out, "    {} [label=\"{}\"];", s.0, s.0);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+    } else {
+        for s in dag.strands() {
+            let _ = writeln!(out, "  {} [label=\"{}\"];", s.0, s.0);
+        }
+    }
+
+    for e in dag.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [{}];",
+            e.from.0,
+            e.to.0,
+            edge_style(e.kind)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FunctionId, StrandId};
+
+    fn small_dag() -> Dag {
+        let mut d = Dag::new();
+        d.add_strand(StrandId(0), FunctionId(0));
+        d.add_strand(StrandId(1), FunctionId(1));
+        d.add_strand(StrandId(2), FunctionId(0));
+        d.add_edge(StrandId(0), StrandId(1), EdgeKind::Create);
+        d.add_edge(StrandId(0), StrandId(2), EdgeKind::Continue);
+        d
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&small_dag(), &DotOptions::default());
+        assert!(dot.starts_with("digraph computation {"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("0 -> 2"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_without_clusters() {
+        let dot = to_dot(
+            &small_dag(),
+            &DotOptions {
+                name: "g".into(),
+                cluster_functions: false,
+            },
+        );
+        assert!(dot.starts_with("digraph g {"));
+        assert!(!dot.contains("subgraph"));
+    }
+
+    #[test]
+    fn every_edge_kind_has_a_style() {
+        for k in [
+            EdgeKind::Continue,
+            EdgeKind::Spawn,
+            EdgeKind::Join,
+            EdgeKind::Create,
+            EdgeKind::Get,
+        ] {
+            assert!(!edge_style(k).is_empty());
+        }
+    }
+}

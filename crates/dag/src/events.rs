@@ -1,0 +1,329 @@
+//! The instrumentation event stream produced by a sequential depth-first
+//! eager execution.
+//!
+//! The executor in `futurerd-runtime` walks the program in the paper's
+//! *depth-first eager* order: when it reaches a `spawn` or `create_fut` it
+//! immediately executes the child to completion before resuming the parent's
+//! continuation. At every parallel construct, function return and
+//! (optionally) memory access, it invokes the corresponding [`Observer`]
+//! callback. Race detectors (`futurerd-core`) and the dag recorder
+//! ([`crate::record::DagRecorder`]) are observers.
+//!
+//! Strand ids carried by construct events are allocated *at the construct*,
+//! even for strands that will only begin executing later (for example the
+//! continuation of a spawn, which runs after the spawned child completes in
+//! eager order). [`Observer::on_strand_start`] is invoked when a strand
+//! actually begins executing; this mirrors the paper's statement that "the
+//! strands of a particular function F are always added to S_F before they
+//! execute".
+
+use crate::ids::{FunctionId, MemAddr, StrandId};
+use serde::{Deserialize, Serialize};
+
+/// Description of a `spawn` construct: function `parent`, executing
+/// `fork_strand`, spawns `child`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpawnEvent {
+    /// The spawning function instance.
+    pub parent: FunctionId,
+    /// The spawned child function instance.
+    pub child: FunctionId,
+    /// The strand of `parent` that ended with the spawn (the fork node).
+    pub fork_strand: StrandId,
+    /// The strand of `parent` that continues after the spawn.
+    pub cont_strand: StrandId,
+    /// The first strand of the spawned child.
+    pub child_first_strand: StrandId,
+}
+
+/// Description of a `create_fut` construct: function `parent`, executing
+/// `creator_strand`, creates the future task `child`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CreateFutureEvent {
+    /// The creating function instance.
+    pub parent: FunctionId,
+    /// The future's function instance.
+    pub child: FunctionId,
+    /// The strand of `parent` that ended with `create_fut` (the creator).
+    pub creator_strand: StrandId,
+    /// The strand of `parent` that continues after the `create_fut`.
+    pub cont_strand: StrandId,
+    /// The first strand of the future task.
+    pub child_first_strand: StrandId,
+}
+
+/// The fork corresponding to a `sync` join (needed by MultiBags+'s handling
+/// of sync nodes, Figure 4 lines 24–28 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForkInfo {
+    /// `f`: the strand immediately preceding the fork (it ended with the
+    /// spawn).
+    pub pre_fork_strand: StrandId,
+    /// `s1`: the first strand of the spawned child.
+    pub child_first_strand: StrandId,
+    /// `s2`: the first strand of the parent's continuation after the spawn.
+    pub cont_strand: StrandId,
+}
+
+/// Description of one binary `sync` join between a parent and one of its
+/// spawned children. A `sync` statement joining several children is emitted
+/// as a sequence of these events, innermost (most recently spawned) child
+/// first, so that the series-parallel nesting is well formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncEvent {
+    /// The syncing function instance.
+    pub parent: FunctionId,
+    /// The spawned child being joined.
+    pub child: FunctionId,
+    /// `t2`: the strand of `parent` that ended at this join.
+    pub pre_join_strand: StrandId,
+    /// `j`: the new strand of `parent` that begins after this join.
+    pub join_strand: StrandId,
+    /// `t1`: the last strand of the joined child.
+    pub child_last_strand: StrandId,
+    /// The corresponding fork.
+    pub fork: ForkInfo,
+}
+
+/// Description of a `get_fut` operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GetFutureEvent {
+    /// The function instance performing the get.
+    pub parent: FunctionId,
+    /// The future's function instance.
+    pub future: FunctionId,
+    /// `u`: the strand of `parent` that ended with the `get_fut` call.
+    pub pre_get_strand: StrandId,
+    /// `v`: the new strand of `parent` (the getter strand).
+    pub getter_strand: StrandId,
+    /// `w`: the last strand of the future task.
+    pub future_last_strand: StrandId,
+    /// How many times this future has been consumed before this get
+    /// (0 for the first touch). Structured futures always see 0.
+    pub prior_touches: u32,
+}
+
+/// Observer of the execution event stream.
+///
+/// All methods have empty default implementations so observers only override
+/// what they need; unused callbacks compile to nothing after inlining, which
+/// is how the "baseline" and "reachability-only" measurement configurations
+/// of the paper are realized without separate binaries.
+pub trait Observer {
+    /// The program begins: `root` is the top-level function instance and
+    /// `first_strand` its first strand.
+    fn on_program_start(&mut self, root: FunctionId, first_strand: StrandId) {
+        let _ = (root, first_strand);
+    }
+
+    /// `strand`, belonging to `function`, begins executing.
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        let _ = (strand, function);
+    }
+
+    /// A `spawn` construct was reached. Emitted before the child executes.
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        let _ = ev;
+    }
+
+    /// A `create_fut` construct was reached. Emitted before the future task
+    /// executes (eager evaluation).
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        let _ = ev;
+    }
+
+    /// `function` returned; `last_strand` is its final strand.
+    fn on_return(&mut self, function: FunctionId, last_strand: StrandId) {
+        let _ = (function, last_strand);
+    }
+
+    /// One binary join of a `sync` was reached.
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        let _ = ev;
+    }
+
+    /// A `get_fut` operation was reached.
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        let _ = ev;
+    }
+
+    /// `strand` read `size` bytes starting at `addr`.
+    fn on_read(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        let _ = (strand, addr, size);
+    }
+
+    /// `strand` wrote `size` bytes starting at `addr`.
+    fn on_write(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        let _ = (strand, addr, size);
+    }
+
+    /// The program finished; `last_strand` is the final strand of the root
+    /// function.
+    fn on_program_end(&mut self, last_strand: StrandId) {
+        let _ = last_strand;
+    }
+}
+
+/// An observer that ignores every event. Used for the paper's *baseline*
+/// configuration: the executor still runs the program but no detection state
+/// is maintained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Fans the event stream out to two observers (`first`, then `second`).
+///
+/// Useful for running a recorder and a detector over the same execution, or
+/// for chaining more than two observers by nesting.
+#[derive(Debug, Default)]
+pub struct MultiObserver<A, B> {
+    /// First observer; receives every event before `second`.
+    pub first: A,
+    /// Second observer.
+    pub second: B,
+}
+
+impl<A, B> MultiObserver<A, B> {
+    /// Creates a fan-out observer.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+
+    /// Consumes the fan-out and returns both observers.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for MultiObserver<A, B> {
+    fn on_program_start(&mut self, root: FunctionId, first_strand: StrandId) {
+        self.first.on_program_start(root, first_strand);
+        self.second.on_program_start(root, first_strand);
+    }
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        self.first.on_strand_start(strand, function);
+        self.second.on_strand_start(strand, function);
+    }
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        self.first.on_spawn(ev);
+        self.second.on_spawn(ev);
+    }
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        self.first.on_create_future(ev);
+        self.second.on_create_future(ev);
+    }
+    fn on_return(&mut self, function: FunctionId, last_strand: StrandId) {
+        self.first.on_return(function, last_strand);
+        self.second.on_return(function, last_strand);
+    }
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        self.first.on_sync(ev);
+        self.second.on_sync(ev);
+    }
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        self.first.on_get_future(ev);
+        self.second.on_get_future(ev);
+    }
+    fn on_read(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        self.first.on_read(strand, addr, size);
+        self.second.on_read(strand, addr, size);
+    }
+    fn on_write(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        self.first.on_write(strand, addr, size);
+        self.second.on_write(strand, addr, size);
+    }
+    fn on_program_end(&mut self, last_strand: StrandId) {
+        self.first.on_program_end(last_strand);
+        self.second.on_program_end(last_strand);
+    }
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_program_start(&mut self, root: FunctionId, first_strand: StrandId) {
+        (**self).on_program_start(root, first_strand);
+    }
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        (**self).on_strand_start(strand, function);
+    }
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        (**self).on_spawn(ev);
+    }
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        (**self).on_create_future(ev);
+    }
+    fn on_return(&mut self, function: FunctionId, last_strand: StrandId) {
+        (**self).on_return(function, last_strand);
+    }
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        (**self).on_sync(ev);
+    }
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        (**self).on_get_future(ev);
+    }
+    fn on_read(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        (**self).on_read(strand, addr, size);
+    }
+    fn on_write(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        (**self).on_write(strand, addr, size);
+    }
+    fn on_program_end(&mut self, last_strand: StrandId) {
+        (**self).on_program_end(last_strand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        strands: usize,
+        reads: usize,
+    }
+    impl Observer for Counter {
+        fn on_strand_start(&mut self, _s: StrandId, _f: FunctionId) {
+            self.strands += 1;
+        }
+        fn on_read(&mut self, _s: StrandId, _a: MemAddr, _n: usize) {
+            self.reads += 1;
+        }
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let mut obs = MultiObserver::new(Counter::default(), Counter::default());
+        obs.on_strand_start(StrandId(0), FunctionId(0));
+        obs.on_read(StrandId(0), MemAddr(0), 4);
+        obs.on_read(StrandId(0), MemAddr(4), 4);
+        let (a, b) = obs.into_inner();
+        assert_eq!(a.strands, 1);
+        assert_eq!(b.strands, 1);
+        assert_eq!(a.reads, 2);
+        assert_eq!(b.reads, 2);
+    }
+
+    #[test]
+    fn null_observer_accepts_all_events() {
+        let mut n = NullObserver;
+        n.on_program_start(FunctionId(0), StrandId(0));
+        n.on_spawn(&SpawnEvent {
+            parent: FunctionId(0),
+            child: FunctionId(1),
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        });
+        n.on_program_end(StrandId(2));
+    }
+
+    #[test]
+    fn mut_ref_observer_delegates() {
+        let mut c = Counter::default();
+        {
+            let r = &mut c;
+            r.on_strand_start(StrandId(1), FunctionId(0));
+        }
+        assert_eq!(c.strands, 1);
+    }
+}

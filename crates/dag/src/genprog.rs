@@ -1,0 +1,408 @@
+//! Random task-parallel program generator.
+//!
+//! Property-based tests need a large supply of *valid* programs that use
+//! `spawn`/`sync`/`create_fut`/`get_fut` in interesting shapes. This module
+//! generates [`ProgramSpec`] trees — a purely declarative description that
+//! the executor in `futurerd-runtime` can interpret — under two regimes:
+//!
+//! * **structured** futures: every future handle is consumed at most once and
+//!   the `get_fut` is always sequentially after the `create_fut` (the handle
+//!   is either used later in the creating function or handed down to a single
+//!   descendant task created after the future);
+//! * **general** futures: handles may additionally be consumed several times
+//!   and by several different tasks, producing non-series-parallel dags that
+//!   only MultiBags+ can handle.
+//!
+//! Both regimes are *forward-pointing* by construction (the creator always
+//! executes before any getter in depth-first eager order), which is the
+//! paper's standing assumption for eager execution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a future within a generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FutId(pub u32);
+
+/// Identifier of an abstract shared-memory location within a generated
+/// program. The interpreter maps these to instrumented memory cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocId(pub u32);
+
+/// One step in the body of a generated function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Perform the given reads and writes on the current strand.
+    Compute {
+        /// Locations read.
+        reads: Vec<LocId>,
+        /// Locations written.
+        writes: Vec<LocId>,
+    },
+    /// Spawn a child task (fork-join parallelism).
+    Spawn(FunctionSpec),
+    /// Join all children spawned so far in this function.
+    Sync,
+    /// Create a future task with the given body.
+    CreateFuture(FutId, FunctionSpec),
+    /// Consume a future created earlier (by this function or an ancestor
+    /// that handed the handle down).
+    GetFuture(FutId),
+}
+
+/// The body of a generated function: a sequence of actions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Steps executed in order.
+    pub actions: Vec<Action>,
+}
+
+/// A complete generated program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Body of the root function.
+    pub root: FunctionSpec,
+    /// Number of distinct shared-memory locations referenced.
+    pub num_locations: u32,
+    /// Number of futures created.
+    pub num_futures: u32,
+    /// Whether the program obeys the *structured futures* restrictions.
+    pub structured: bool,
+}
+
+impl ProgramSpec {
+    /// Total number of actions in the program (over all nested functions).
+    pub fn num_actions(&self) -> usize {
+        fn count(f: &FunctionSpec) -> usize {
+            f.actions
+                .iter()
+                .map(|a| match a {
+                    Action::Spawn(g) | Action::CreateFuture(_, g) => 1 + count(g),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.root)
+    }
+
+    /// Number of `get_fut` operations in the program (the paper's `k`).
+    pub fn num_gets(&self) -> usize {
+        fn count(f: &FunctionSpec) -> usize {
+            f.actions
+                .iter()
+                .map(|a| match a {
+                    Action::Spawn(g) | Action::CreateFuture(_, g) => count(g),
+                    Action::GetFuture(_) => 1,
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.root)
+    }
+}
+
+/// Tunable parameters for the generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Maximum nesting depth of spawned/created tasks.
+    pub max_depth: u32,
+    /// Maximum number of actions per function body.
+    pub max_actions: u32,
+    /// Number of distinct shared locations.
+    pub num_locations: u32,
+    /// Allow general (multi-touch, shared-handle) futures.
+    pub general_futures: bool,
+    /// Probability weight of spawning a child.
+    pub w_spawn: u32,
+    /// Probability weight of creating a future.
+    pub w_create: u32,
+    /// Probability weight of a sync.
+    pub w_sync: u32,
+    /// Probability weight of getting an available future.
+    pub w_get: u32,
+    /// Probability weight of a compute (memory access) step.
+    pub w_compute: u32,
+    /// Maximum accesses per compute step.
+    pub max_accesses: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 5,
+            max_actions: 8,
+            num_locations: 16,
+            general_futures: false,
+            w_spawn: 2,
+            w_create: 2,
+            w_sync: 1,
+            w_get: 3,
+            w_compute: 4,
+            max_accesses: 3,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A configuration producing structured-futures programs.
+    pub fn structured() -> Self {
+        Self::default()
+    }
+
+    /// A configuration producing general-futures programs (multi-touch
+    /// handles shared across tasks).
+    pub fn general() -> Self {
+        Self {
+            general_futures: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a random program from `seed` under the given configuration.
+pub fn generate_program(config: &GenConfig, seed: u64) -> ProgramSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = Generator {
+        config,
+        rng: &mut rng,
+        next_fut: 0,
+    };
+    // Futures available to the root: none initially.
+    let root = gen.gen_function(0, &mut Vec::new());
+    ProgramSpec {
+        root,
+        num_locations: config.num_locations,
+        num_futures: gen.next_fut,
+        structured: !config.general_futures,
+    }
+}
+
+struct Generator<'a> {
+    config: &'a GenConfig,
+    rng: &'a mut StdRng,
+    next_fut: u32,
+}
+
+impl Generator<'_> {
+    /// Generates a function body. `available` is the set of future handles
+    /// this function may consume; handles it creates are added, and (in
+    /// structured mode) handles it consumes or hands to a child are removed.
+    fn gen_function(&mut self, depth: u32, available: &mut Vec<FutId>) -> FunctionSpec {
+        let n_actions = self.rng.gen_range(1..=self.config.max_actions);
+        let mut actions = Vec::new();
+        let mut pending_spawns = 0u32;
+
+        for _ in 0..n_actions {
+            let can_nest = depth < self.config.max_depth;
+            let c = self.config;
+            let mut choices: Vec<(u32, u8)> = vec![(c.w_compute, 0)];
+            if can_nest {
+                choices.push((c.w_spawn, 1));
+                choices.push((c.w_create, 2));
+            }
+            if pending_spawns > 0 {
+                choices.push((c.w_sync, 3));
+            }
+            if !available.is_empty() {
+                choices.push((c.w_get, 4));
+            }
+            let total: u32 = choices.iter().map(|(w, _)| w).sum();
+            let mut pick = self.rng.gen_range(0..total.max(1));
+            let mut chosen = 0u8;
+            for (w, tag) in choices {
+                if pick < w {
+                    chosen = tag;
+                    break;
+                }
+                pick -= w;
+            }
+
+            match chosen {
+                0 => actions.push(self.gen_compute()),
+                1 => {
+                    // Spawn: optionally hand some available handles down.
+                    let mut child_avail = self.split_handles(available);
+                    let body = self.gen_function(depth + 1, &mut child_avail);
+                    self.merge_back(available, child_avail);
+                    actions.push(Action::Spawn(body));
+                    pending_spawns += 1;
+                }
+                2 => {
+                    let id = FutId(self.next_fut);
+                    self.next_fut += 1;
+                    let mut child_avail = self.split_handles(available);
+                    let body = self.gen_function(depth + 1, &mut child_avail);
+                    self.merge_back(available, child_avail);
+                    actions.push(Action::CreateFuture(id, body));
+                    available.push(id);
+                }
+                3 => {
+                    actions.push(Action::Sync);
+                    pending_spawns = 0;
+                }
+                4 => {
+                    let idx = self.rng.gen_range(0..available.len());
+                    let id = if self.config.general_futures && self.rng.gen_bool(0.5) {
+                        // Multi-touch: keep the handle available.
+                        available[idx]
+                    } else {
+                        available.swap_remove(idx)
+                    };
+                    actions.push(Action::GetFuture(id));
+                }
+                _ => unreachable!(),
+            }
+        }
+        FunctionSpec { actions }
+    }
+
+    fn gen_compute(&mut self) -> Action {
+        let n = self.rng.gen_range(1..=self.config.max_accesses);
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for _ in 0..n {
+            let loc = LocId(self.rng.gen_range(0..self.config.num_locations));
+            if self.rng.gen_bool(0.5) {
+                reads.push(loc);
+            } else {
+                writes.push(loc);
+            }
+        }
+        Action::Compute { reads, writes }
+    }
+
+    /// Decide which available handles to hand to a child task. In structured
+    /// mode the parent gives the handle away (preserving single ownership);
+    /// in general mode the handle may be shared by parent and child.
+    fn split_handles(&mut self, available: &mut Vec<FutId>) -> Vec<FutId> {
+        let mut child = Vec::new();
+        let mut i = 0;
+        while i < available.len() {
+            if self.rng.gen_bool(0.3) {
+                if self.config.general_futures && self.rng.gen_bool(0.5) {
+                    // Share: both parent and child hold the handle.
+                    child.push(available[i]);
+                    i += 1;
+                } else {
+                    child.push(available.swap_remove(i));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        child
+    }
+
+    /// In general mode, handles the child did not consume flow back to the
+    /// parent; in structured mode they are simply dropped (the future is
+    /// never consumed, which is legal — "at most once").
+    fn merge_back(&mut self, available: &mut Vec<FutId>, child_left: Vec<FutId>) {
+        if self.config.general_futures {
+            for h in child_left {
+                if !available.contains(&h) {
+                    available.push(h);
+                }
+            }
+        }
+    }
+}
+
+/// Checks the structured-futures invariants of a program spec: every future
+/// is consumed at most once and only in a position sequentially after its
+/// creation (guaranteed by construction here, but validated for defense in
+/// depth). Returns a list of violations.
+pub fn check_structured(spec: &ProgramSpec) -> Vec<String> {
+    let mut touches: std::collections::HashMap<FutId, u32> = std::collections::HashMap::new();
+    fn walk(f: &FunctionSpec, touches: &mut std::collections::HashMap<FutId, u32>) {
+        for a in &f.actions {
+            match a {
+                Action::GetFuture(id) => *touches.entry(*id).or_insert(0) += 1,
+                Action::Spawn(g) | Action::CreateFuture(_, g) => walk(g, touches),
+                _ => {}
+            }
+        }
+    }
+    walk(&spec.root, &mut touches);
+    touches
+        .into_iter()
+        .filter(|&(_, n)| n > 1)
+        .map(|(id, n)| format!("future {id:?} consumed {n} times"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::structured();
+        let a = generate_program(&cfg, 42);
+        let b = generate_program(&cfg, 42);
+        assert_eq!(a, b);
+        let c = generate_program(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn structured_programs_are_single_touch() {
+        let cfg = GenConfig::structured();
+        for seed in 0..200 {
+            let p = generate_program(&cfg, seed);
+            assert!(p.structured);
+            let violations = check_structured(&p);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn general_programs_eventually_multi_touch() {
+        let cfg = GenConfig::general();
+        let mut saw_multi = false;
+        for seed in 0..300 {
+            let p = generate_program(&cfg, seed);
+            if !check_structured(&p).is_empty() {
+                saw_multi = true;
+                break;
+            }
+        }
+        assert!(saw_multi, "general generator never produced a multi-touch program");
+    }
+
+    #[test]
+    fn programs_have_bounded_size() {
+        let cfg = GenConfig {
+            max_depth: 3,
+            max_actions: 4,
+            ..GenConfig::structured()
+        };
+        for seed in 0..50 {
+            let p = generate_program(&cfg, seed);
+            // 4 actions per level, 4 levels deep at most => coarse bound.
+            assert!(p.num_actions() <= 4 + 16 + 64 + 256 + 1024);
+        }
+    }
+
+    #[test]
+    fn num_gets_counts_all_levels() {
+        let spec = ProgramSpec {
+            root: FunctionSpec {
+                actions: vec![
+                    Action::CreateFuture(
+                        FutId(0),
+                        FunctionSpec {
+                            actions: vec![Action::GetFuture(FutId(1))],
+                        },
+                    ),
+                    Action::GetFuture(FutId(0)),
+                ],
+            },
+            num_locations: 0,
+            num_futures: 2,
+            structured: false,
+        };
+        assert_eq!(spec.num_gets(), 2);
+        assert_eq!(spec.num_actions(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Ground-truth reachability over an explicit computation dag.
+//!
+//! [`ReachabilityOracle`] computes the full transitive closure of a dag with
+//! bit-parallel set operations. It is O(V·E/64) time and O(V²/8) bytes of
+//! memory — far too expensive to use during detection (which is the point of
+//! the MultiBags algorithms) but ideal as the *specification* in differential
+//! and property-based tests, and as the "explicit graph" comparator
+//! discussed in Section 5 of the paper.
+
+use crate::graph::Dag;
+use crate::ids::StrandId;
+
+/// A fixed-size bitset used for closure rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates a bitset able to hold `n` bits, all clear.
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Returns bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| (w >> (i % 64)) & 1 == 1)
+            .unwrap_or(false)
+    }
+
+    /// Ors another bitset into this one. Both must have the same capacity.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if (w >> b) & 1 == 1 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Transitive-closure reachability oracle over a [`Dag`].
+///
+/// `precedes(u, v)` answers whether there is a (non-empty or empty) directed
+/// path from `u` to `v`; [`ReachabilityOracle::strictly_precedes`] excludes
+/// the reflexive case. Two strands are *logically parallel* when neither
+/// precedes the other.
+#[derive(Debug, Clone)]
+pub struct ReachabilityOracle {
+    /// `pred[v]` = set of strands `u != v` with a path `u -> v`.
+    pred: Vec<BitSet>,
+}
+
+impl ReachabilityOracle {
+    /// Builds the oracle from a dag by one pass in topological order.
+    pub fn from_dag(dag: &Dag) -> Self {
+        let n = dag.num_strands();
+        let mut pred: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for v in dag.topological_order() {
+            // Collect predecessors first to avoid borrowing issues.
+            let incoming: Vec<StrandId> = dag.predecessors(v).iter().map(|&(u, _)| u).collect();
+            for u in incoming {
+                // pred[v] |= pred[u] ∪ {u}
+                let row = pred[u.index()].clone();
+                pred[v.index()].union_with(&row);
+                pred[v.index()].set(u.index());
+            }
+        }
+        Self { pred }
+    }
+
+    /// Number of strands covered by the oracle.
+    pub fn len(&self) -> usize {
+        self.pred.len()
+    }
+
+    /// True when the oracle covers no strands.
+    pub fn is_empty(&self) -> bool {
+        self.pred.is_empty()
+    }
+
+    /// True iff `u == v` or there is a directed path from `u` to `v`
+    /// (the paper's `u ≺ v` is the strict version combined with execution
+    /// order; race queries always compare distinct strands).
+    pub fn precedes(&self, u: StrandId, v: StrandId) -> bool {
+        u == v || self.strictly_precedes(u, v)
+    }
+
+    /// True iff there is a non-empty directed path from `u` to `v`.
+    pub fn strictly_precedes(&self, u: StrandId, v: StrandId) -> bool {
+        self.pred
+            .get(v.index())
+            .map(|s| s.get(u.index()))
+            .unwrap_or(false)
+    }
+
+    /// True iff neither strand precedes the other (they are logically
+    /// parallel).
+    pub fn parallel(&self, u: StrandId, v: StrandId) -> bool {
+        u != v && !self.strictly_precedes(u, v) && !self.strictly_precedes(v, u)
+    }
+
+    /// Number of ordered pairs `(u, v)` with `u` strictly preceding `v`.
+    pub fn num_ordered_pairs(&self) -> usize {
+        self.pred.iter().map(|s| s.count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::FunctionId;
+
+    fn chain(n: u32) -> Dag {
+        let mut d = Dag::new();
+        for i in 0..n {
+            d.add_strand(StrandId(i), FunctionId(0));
+            if i > 0 {
+                d.add_edge(StrandId(i - 1), StrandId(i), EdgeKind::Continue);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let mut c = BitSet::new(130);
+        c.set(3);
+        c.union_with(&b);
+        assert_eq!(c.count(), 4);
+    }
+
+    #[test]
+    fn chain_reachability() {
+        let d = chain(5);
+        let o = ReachabilityOracle::from_dag(&d);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                assert_eq!(
+                    o.strictly_precedes(StrandId(i), StrandId(j)),
+                    i < j,
+                    "({i},{j})"
+                );
+            }
+        }
+        assert_eq!(o.num_ordered_pairs(), 10);
+    }
+
+    #[test]
+    fn diamond_parallel_branches() {
+        // 0 -> 1 -> 3 ; 0 -> 2 -> 3
+        let mut d = Dag::new();
+        for i in 0..4 {
+            d.add_strand(StrandId(i), FunctionId(0));
+        }
+        d.add_edge(StrandId(0), StrandId(1), EdgeKind::Spawn);
+        d.add_edge(StrandId(0), StrandId(2), EdgeKind::Continue);
+        d.add_edge(StrandId(1), StrandId(3), EdgeKind::Join);
+        d.add_edge(StrandId(2), StrandId(3), EdgeKind::Continue);
+        let o = ReachabilityOracle::from_dag(&d);
+        assert!(o.parallel(StrandId(1), StrandId(2)));
+        assert!(o.strictly_precedes(StrandId(0), StrandId(3)));
+        assert!(o.strictly_precedes(StrandId(1), StrandId(3)));
+        assert!(!o.strictly_precedes(StrandId(3), StrandId(0)));
+        assert!(o.precedes(StrandId(2), StrandId(2)));
+        assert!(!o.strictly_precedes(StrandId(2), StrandId(2)));
+    }
+
+    #[test]
+    fn cross_sp_dag_reachability_via_future_edges() {
+        // Two "SP dags": {0,1} and {2,3}, connected 1 -create-> 2 and
+        // 3 -get-> 4 where 4 is a getter strand in the first dag.
+        let mut d = Dag::new();
+        for i in 0..5 {
+            d.add_strand(StrandId(i), FunctionId(if (2..=3).contains(&i) { 1 } else { 0 }));
+        }
+        d.add_edge(StrandId(0), StrandId(1), EdgeKind::Continue);
+        d.add_edge(StrandId(1), StrandId(2), EdgeKind::Create);
+        d.add_edge(StrandId(2), StrandId(3), EdgeKind::Continue);
+        d.add_edge(StrandId(1), StrandId(4), EdgeKind::Continue);
+        d.add_edge(StrandId(3), StrandId(4), EdgeKind::Get);
+        let o = ReachabilityOracle::from_dag(&d);
+        assert!(o.strictly_precedes(StrandId(0), StrandId(3)));
+        assert!(o.strictly_precedes(StrandId(2), StrandId(4)));
+        assert!(o.parallel(StrandId(2), StrandId(1)) || o.strictly_precedes(StrandId(1), StrandId(2)));
+        assert!(o.strictly_precedes(StrandId(1), StrandId(2)));
+    }
+}

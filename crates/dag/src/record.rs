@@ -1,0 +1,194 @@
+//! An [`Observer`] that records the execution event stream into an explicit
+//! [`Dag`], plus the execution order and memory-access counts.
+//!
+//! The recorder is the bridge between the on-the-fly detectors and the
+//! ground-truth oracle: tests run a program once with a
+//! [`MultiObserver`](crate::events::MultiObserver) combining a recorder and a
+//! detector, then validate every answer the detector gave against
+//! [`ReachabilityOracle`](crate::reachability::ReachabilityOracle) built from
+//! the recorded dag.
+
+use crate::events::{CreateFutureEvent, GetFutureEvent, Observer, SpawnEvent, SyncEvent};
+use crate::graph::{Dag, EdgeKind};
+use crate::ids::{FunctionId, MemAddr, StrandId};
+
+/// Records execution events into an explicit computation dag.
+#[derive(Debug, Default)]
+pub struct DagRecorder {
+    dag: Dag,
+    /// Strands in the order they began executing.
+    execution_order: Vec<StrandId>,
+    /// Number of read events observed.
+    pub reads: u64,
+    /// Number of write events observed.
+    pub writes: u64,
+    /// Last strand of the root function, filled in at program end.
+    pub final_strand: Option<StrandId>,
+}
+
+impl DagRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the recorded dag.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Consumes the recorder and returns the dag.
+    pub fn into_dag(self) -> Dag {
+        self.dag
+    }
+
+    /// The strands in the order they began executing.
+    pub fn execution_order(&self) -> &[StrandId] {
+        &self.execution_order
+    }
+
+    /// Total memory accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Observer for DagRecorder {
+    fn on_program_start(&mut self, root: FunctionId, first_strand: StrandId) {
+        self.dag.add_strand(first_strand, root);
+    }
+
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        self.dag.add_strand(strand, function);
+        self.execution_order.push(strand);
+    }
+
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        self.dag.add_strand(ev.child_first_strand, ev.child);
+        self.dag.add_strand(ev.cont_strand, ev.parent);
+        self.dag
+            .add_edge(ev.fork_strand, ev.child_first_strand, EdgeKind::Spawn);
+        self.dag
+            .add_edge(ev.fork_strand, ev.cont_strand, EdgeKind::Continue);
+    }
+
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        self.dag.add_strand(ev.child_first_strand, ev.child);
+        self.dag.add_strand(ev.cont_strand, ev.parent);
+        self.dag
+            .add_edge(ev.creator_strand, ev.child_first_strand, EdgeKind::Create);
+        self.dag
+            .add_edge(ev.creator_strand, ev.cont_strand, EdgeKind::Continue);
+    }
+
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        self.dag.add_strand(ev.join_strand, ev.parent);
+        self.dag
+            .add_edge(ev.child_last_strand, ev.join_strand, EdgeKind::Join);
+        self.dag
+            .add_edge(ev.pre_join_strand, ev.join_strand, EdgeKind::Continue);
+    }
+
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        self.dag.add_strand(ev.getter_strand, ev.parent);
+        self.dag
+            .add_edge(ev.future_last_strand, ev.getter_strand, EdgeKind::Get);
+        self.dag
+            .add_edge(ev.pre_get_strand, ev.getter_strand, EdgeKind::Continue);
+    }
+
+    fn on_read(&mut self, _strand: StrandId, _addr: MemAddr, _size: usize) {
+        self.reads += 1;
+    }
+
+    fn on_write(&mut self, _strand: StrandId, _addr: MemAddr, _size: usize) {
+        self.writes += 1;
+    }
+
+    fn on_program_end(&mut self, last_strand: StrandId) {
+        self.final_strand = Some(last_strand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::ForkInfo;
+    use crate::reachability::ReachabilityOracle;
+
+    /// Hand-emit the event stream of: root spawns a child, both access
+    /// memory, root syncs.
+    fn record_simple_fork_join() -> DagRecorder {
+        let mut r = DagRecorder::new();
+        let root = FunctionId(0);
+        let child = FunctionId(1);
+        let s0 = StrandId(0);
+        let s_child = StrandId(1);
+        let s_cont = StrandId(2);
+        let s_join = StrandId(3);
+
+        r.on_program_start(root, s0);
+        r.on_strand_start(s0, root);
+        r.on_spawn(&SpawnEvent {
+            parent: root,
+            child,
+            fork_strand: s0,
+            cont_strand: s_cont,
+            child_first_strand: s_child,
+        });
+        r.on_strand_start(s_child, child);
+        r.on_write(s_child, MemAddr(0), 4);
+        r.on_return(child, s_child);
+        r.on_strand_start(s_cont, root);
+        r.on_read(s_cont, MemAddr(0), 4);
+        r.on_sync(&SyncEvent {
+            parent: root,
+            child,
+            pre_join_strand: s_cont,
+            join_strand: s_join,
+            child_last_strand: s_child,
+            fork: ForkInfo {
+                pre_fork_strand: s0,
+                child_first_strand: s_child,
+                cont_strand: s_cont,
+            },
+        });
+        r.on_strand_start(s_join, root);
+        r.on_program_end(s_join);
+        r
+    }
+
+    #[test]
+    fn records_strands_edges_and_accesses() {
+        let r = record_simple_fork_join();
+        let dag = r.dag();
+        assert_eq!(dag.num_strands(), 4);
+        assert_eq!(dag.num_edges(), 4);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.writes, 1);
+        assert_eq!(r.accesses(), 2);
+        assert_eq!(r.final_strand, Some(StrandId(3)));
+        assert_eq!(
+            r.execution_order(),
+            &[StrandId(0), StrandId(1), StrandId(2), StrandId(3)]
+        );
+    }
+
+    #[test]
+    fn recorded_dag_has_expected_reachability() {
+        let r = record_simple_fork_join();
+        let oracle = ReachabilityOracle::from_dag(r.dag());
+        // Child and continuation are parallel.
+        assert!(oracle.parallel(StrandId(1), StrandId(2)));
+        // Everything precedes the join strand.
+        for i in 0..3u32 {
+            assert!(oracle.strictly_precedes(StrandId(i), StrandId(3)));
+        }
+    }
+
+    #[test]
+    fn recorded_dag_is_consistent() {
+        let r = record_simple_fork_join();
+        assert!(r.dag().check_consistency().is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Work/span and structural statistics of a computation dag.
+//!
+//! Following the performance model in Section 2 of the paper: the *work*
+//! `T1` is the total cost of all strands and the *span* `T∞` is the cost of
+//! the longest path through the dag. Here each strand has unit cost unless a
+//! per-strand weight is supplied, so "work" equals the number of strands and
+//! "span" the number of strands on a critical path.
+
+use crate::graph::{Dag, EdgeKindCounts};
+use crate::ids::StrandId;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a computation dag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagStats {
+    /// Number of strands (unit-cost work, `T1`).
+    pub work: u64,
+    /// Length of the longest path in strands (unit-cost span, `T∞`).
+    pub span: u64,
+    /// Number of function instances.
+    pub functions: u64,
+    /// Parallelism = work / span.
+    pub parallelism: f64,
+    /// Edge counts per kind.
+    pub edges: EdgeKindCounts,
+}
+
+/// Computes the unit-cost statistics of a dag.
+pub fn dag_stats(dag: &Dag) -> DagStats {
+    let weights = vec![1u64; dag.num_strands()];
+    weighted_dag_stats(dag, &weights)
+}
+
+/// Computes dag statistics where strand `s` costs `weights[s.index()]`.
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the number of strands or the dag is
+/// cyclic.
+pub fn weighted_dag_stats(dag: &Dag, weights: &[u64]) -> DagStats {
+    assert!(weights.len() >= dag.num_strands());
+    let order = dag.topological_order();
+    let mut longest: Vec<u64> = vec![0; dag.num_strands()];
+    let mut span = 0u64;
+    let mut work = 0u64;
+    for s in order {
+        let w = weights[s.index()];
+        work += w;
+        let best_pred = dag
+            .predecessors(s)
+            .iter()
+            .map(|&(p, _)| longest[p.index()])
+            .max()
+            .unwrap_or(0);
+        longest[s.index()] = best_pred + w;
+        span = span.max(longest[s.index()]);
+    }
+    let parallelism = if span == 0 {
+        0.0
+    } else {
+        work as f64 / span as f64
+    };
+    DagStats {
+        work,
+        span,
+        functions: dag.num_functions() as u64,
+        parallelism,
+        edges: dag.edge_kind_counts(),
+    }
+}
+
+/// Returns one longest (critical) path through the dag, as a list of strands
+/// from a source to a sink.
+pub fn critical_path(dag: &Dag) -> Vec<StrandId> {
+    if dag.is_empty() {
+        return Vec::new();
+    }
+    let order = dag.topological_order();
+    let mut longest: Vec<u64> = vec![0; dag.num_strands()];
+    let mut best_pred: Vec<Option<StrandId>> = vec![None; dag.num_strands()];
+    for &s in &order {
+        let mut best = 0;
+        let mut who = None;
+        for &(p, _) in dag.predecessors(s) {
+            if longest[p.index()] >= best {
+                best = longest[p.index()];
+                who = Some(p);
+            }
+        }
+        longest[s.index()] = best + 1;
+        best_pred[s.index()] = who;
+    }
+    let mut end = order[0];
+    for &s in &order {
+        if longest[s.index()] > longest[end.index()] {
+            end = s;
+        }
+    }
+    let mut path = vec![end];
+    while let Some(p) = best_pred[path.last().unwrap().index()] {
+        path.push(p);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::ids::FunctionId;
+
+    fn diamond() -> Dag {
+        let mut d = Dag::new();
+        for i in 0..4 {
+            d.add_strand(StrandId(i), FunctionId(0));
+        }
+        d.add_edge(StrandId(0), StrandId(1), EdgeKind::Spawn);
+        d.add_edge(StrandId(0), StrandId(2), EdgeKind::Continue);
+        d.add_edge(StrandId(1), StrandId(3), EdgeKind::Join);
+        d.add_edge(StrandId(2), StrandId(3), EdgeKind::Continue);
+        d
+    }
+
+    #[test]
+    fn unit_stats_of_diamond() {
+        let s = dag_stats(&diamond());
+        assert_eq!(s.work, 4);
+        assert_eq!(s.span, 3);
+        assert!((s.parallelism - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.functions, 1);
+    }
+
+    #[test]
+    fn weighted_stats_change_span() {
+        let d = diamond();
+        // Make strand 1 very heavy: critical path goes through it.
+        let weights = vec![1, 10, 1, 1];
+        let s = weighted_dag_stats(&d, &weights);
+        assert_eq!(s.work, 13);
+        assert_eq!(s.span, 12);
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let p = critical_path(&diamond());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], StrandId(0));
+        assert_eq!(p[2], StrandId(3));
+    }
+
+    #[test]
+    fn empty_dag_has_empty_path() {
+        assert!(critical_path(&Dag::new()).is_empty());
+    }
+
+    #[test]
+    fn chain_span_equals_work() {
+        let mut d = Dag::new();
+        for i in 0..6 {
+            d.add_strand(StrandId(i), FunctionId(0));
+            if i > 0 {
+                d.add_edge(StrandId(i - 1), StrandId(i), EdgeKind::Continue);
+            }
+        }
+        let s = dag_stats(&d);
+        assert_eq!(s.work, 6);
+        assert_eq!(s.span, 6);
+        assert!((s.parallelism - 1.0).abs() < 1e-9);
+    }
+}

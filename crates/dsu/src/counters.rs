@@ -1,0 +1,96 @@
+//! Operation counters used to report the work the reachability structures do.
+//!
+//! The paper's complexity bounds are stated in terms of the number of
+//! disjoint-set operations; these counters let the benchmark harness verify
+//! the *shape* of those bounds empirically (the `scaling` ablation table).
+
+/// Counts of the three disjoint-set operations performed so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Number of `make_set` calls.
+    pub make_sets: u64,
+    /// Number of `union` / `union_into` calls.
+    pub unions: u64,
+    /// Number of `find` calls (including those performed inside unions).
+    pub finds: u64,
+}
+
+impl OpCounters {
+    /// Total number of operations.
+    pub fn total(&self) -> u64 {
+        self.make_sets + self.unions + self.finds
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.make_sets += other.make_sets;
+        self.unions += other.unions;
+        self.finds += other.finds;
+    }
+}
+
+impl std::ops::Add for OpCounters {
+    type Output = OpCounters;
+    fn add(self, rhs: OpCounters) -> OpCounters {
+        OpCounters {
+            make_sets: self.make_sets + rhs.make_sets,
+            unions: self.unions + rhs.unions,
+            finds: self.finds + rhs.finds,
+        }
+    }
+}
+
+impl std::fmt::Display for OpCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "make_set={} union={} find={}",
+            self.make_sets, self.unions, self.finds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_fields() {
+        let c = OpCounters {
+            make_sets: 1,
+            unions: 2,
+            finds: 3,
+        };
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OpCounters {
+            make_sets: 1,
+            unions: 1,
+            finds: 1,
+        };
+        let b = OpCounters {
+            make_sets: 2,
+            unions: 3,
+            finds: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.make_sets, 3);
+        assert_eq!(a.unions, 4);
+        assert_eq!(a.finds, 5);
+        let c = a + b;
+        assert_eq!(c.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let c = OpCounters {
+            make_sets: 7,
+            unions: 8,
+            finds: 9,
+        };
+        assert_eq!(c.to_string(), "make_set=7 union=8 find=9");
+    }
+}

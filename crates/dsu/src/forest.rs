@@ -1,0 +1,351 @@
+//! The core union-find forest with union by rank and path compression.
+
+use crate::counters::OpCounters;
+use crate::ElementId;
+
+/// A forest of disjoint sets over dense element ids.
+///
+/// Supports the three classic operations:
+///
+/// * [`make_set`](DisjointSets::make_set) — create a fresh singleton set,
+/// * [`find`](DisjointSets::find) — return the representative of the set
+///   containing an element (with path compression),
+/// * [`union`](DisjointSets::union) — merge two sets (by rank).
+///
+/// Any sequence of `m` operations over `n` elements costs
+/// `O(m · α(m, n))` amortized.
+///
+/// # Example
+///
+/// ```
+/// use futurerd_dsu::DisjointSets;
+///
+/// let mut dsu = DisjointSets::new();
+/// let a = dsu.make_set();
+/// let b = dsu.make_set();
+/// let c = dsu.make_set();
+/// assert!(!dsu.same_set(a, b));
+/// dsu.union(a, b);
+/// assert!(dsu.same_set(a, b));
+/// assert!(!dsu.same_set(a, c));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DisjointSets {
+    /// Parent pointer per element; a root points to itself.
+    parent: Vec<u32>,
+    /// Union-by-rank rank per element (only meaningful at roots).
+    rank: Vec<u8>,
+    /// Number of live (non-merged-away) sets.
+    num_sets: usize,
+    /// Operation counters for complexity instrumentation.
+    counters: OpCounters,
+}
+
+impl DisjointSets {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty forest with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            parent: Vec::with_capacity(capacity),
+            rank: Vec::with_capacity(capacity),
+            num_sets: 0,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// Number of elements ever created.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if no element has been created yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct sets currently in the forest.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Returns the operation counters accumulated so far.
+    #[inline]
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Creates a new singleton set and returns its element id.
+    #[inline]
+    pub fn make_set(&mut self) -> ElementId {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.num_sets += 1;
+        self.counters.make_sets += 1;
+        ElementId(id)
+    }
+
+    /// Returns true if `x` is a valid element of this forest.
+    #[inline]
+    pub fn contains(&self, x: ElementId) -> bool {
+        x.index() < self.parent.len()
+    }
+
+    /// Finds the representative of the set containing `x`, compressing the
+    /// path as it goes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was not created by this forest.
+    pub fn find(&mut self, x: ElementId) -> ElementId {
+        assert!(self.contains(x), "element {x} out of range");
+        self.counters.finds += 1;
+        let mut root = x.0;
+        // Walk up to the root.
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression: point every node on the path straight at the root.
+        let mut cur = x.0;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        ElementId(root)
+    }
+
+    /// Finds the representative of the set containing `x` without mutating
+    /// the structure (no path compression). Slower but usable from `&self`.
+    pub fn find_immutable(&self, x: ElementId) -> ElementId {
+        assert!(self.contains(x), "element {x} out of range");
+        let mut root = x.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        ElementId(root)
+    }
+
+    /// Returns true if `x` and `y` are currently in the same set.
+    pub fn same_set(&mut self, x: ElementId, y: ElementId) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Unions the sets containing `x` and `y` (union by rank) and returns the
+    /// representative of the merged set. If they are already the same set the
+    /// existing representative is returned.
+    pub fn union(&mut self, x: ElementId, y: ElementId) -> ElementId {
+        self.counters.unions += 1;
+        let rx = self.find(x);
+        let ry = self.find(y);
+        if rx == ry {
+            return rx;
+        }
+        self.num_sets -= 1;
+        let (hi, lo) = if self.rank[rx.index()] >= self.rank[ry.index()] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[lo.index()] = hi.0;
+        if self.rank[hi.index()] == self.rank[lo.index()] {
+            self.rank[hi.index()] += 1;
+        }
+        hi
+    }
+
+    /// Unions the set containing `victim` *into* the set containing `winner`,
+    /// guaranteeing that the representative of the merged set is the current
+    /// representative of `winner`'s set.
+    ///
+    /// This is the operation the MultiBags algorithms need (`Union(S_F, P_G)`
+    /// must leave the result identified as `S_F`). It still uses union by
+    /// rank internally: if the rank order would prefer `victim`'s root we
+    /// still link under it, but then *re-point the identity*: the returned
+    /// representative is always `winner`'s old root, and callers that track
+    /// tags should use [`TaggedDisjointSets`](crate::TaggedDisjointSets),
+    /// which handles the re-tagging automatically.
+    ///
+    /// Returns `(representative, merged)` where `merged` is false if the two
+    /// elements were already in the same set.
+    pub fn union_into(&mut self, winner: ElementId, victim: ElementId) -> (ElementId, bool) {
+        self.counters.unions += 1;
+        let rw = self.find(winner);
+        let rv = self.find(victim);
+        if rw == rv {
+            return (rw, false);
+        }
+        self.num_sets -= 1;
+        // Union by rank for the tree shape; identity follows the winner.
+        let (hi, lo) = if self.rank[rw.index()] >= self.rank[rv.index()] {
+            (rw, rv)
+        } else {
+            (rv, rw)
+        };
+        self.parent[lo.index()] = hi.0;
+        if self.rank[hi.index()] == self.rank[lo.index()] {
+            self.rank[hi.index()] += 1;
+        }
+        (hi, true)
+    }
+
+    /// Returns every element currently in the same set as `x`.
+    ///
+    /// This is an O(n) scan intended for tests and debugging output, not for
+    /// the hot path.
+    pub fn members_of(&mut self, x: ElementId) -> Vec<ElementId> {
+        let root = self.find(x);
+        (0..self.parent.len() as u32)
+            .map(ElementId)
+            .filter(|&e| self.find(e) == root)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_is_its_own_representative() {
+        let mut dsu = DisjointSets::new();
+        let a = dsu.make_set();
+        assert_eq!(dsu.find(a), a);
+        assert_eq!(dsu.num_sets(), 1);
+        assert_eq!(dsu.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_sets() {
+        let mut dsu = DisjointSets::new();
+        let ids: Vec<_> = (0..10).map(|_| dsu.make_set()).collect();
+        for w in ids.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+        assert_eq!(dsu.num_sets(), 1);
+        let root = dsu.find(ids[0]);
+        for &e in &ids {
+            assert_eq!(dsu.find(e), root);
+        }
+    }
+
+    #[test]
+    fn union_of_same_set_is_noop() {
+        let mut dsu = DisjointSets::new();
+        let a = dsu.make_set();
+        let b = dsu.make_set();
+        dsu.union(a, b);
+        let sets_before = dsu.num_sets();
+        dsu.union(a, b);
+        assert_eq!(dsu.num_sets(), sets_before);
+    }
+
+    #[test]
+    fn union_into_reports_merge_flag() {
+        let mut dsu = DisjointSets::new();
+        let a = dsu.make_set();
+        let b = dsu.make_set();
+        let (_, merged) = dsu.union_into(a, b);
+        assert!(merged);
+        let (_, merged) = dsu.union_into(a, b);
+        assert!(!merged);
+    }
+
+    #[test]
+    fn members_of_returns_whole_set() {
+        let mut dsu = DisjointSets::new();
+        let a = dsu.make_set();
+        let b = dsu.make_set();
+        let c = dsu.make_set();
+        let d = dsu.make_set();
+        dsu.union(a, b);
+        dsu.union(c, d);
+        let mut members = dsu.members_of(a);
+        members.sort();
+        assert_eq!(members, vec![a, b]);
+        let mut members = dsu.members_of(d);
+        members.sort();
+        assert_eq!(members, vec![c, d]);
+    }
+
+    #[test]
+    fn find_immutable_matches_find() {
+        let mut dsu = DisjointSets::new();
+        let ids: Vec<_> = (0..32).map(|_| dsu.make_set()).collect();
+        for i in (0..32).step_by(2) {
+            dsu.union(ids[i], ids[i + 1]);
+        }
+        for &e in &ids {
+            assert_eq!(dsu.find_immutable(e), dsu.find(e));
+        }
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut dsu = DisjointSets::new();
+        let a = dsu.make_set();
+        let b = dsu.make_set();
+        dsu.union(a, b);
+        dsu.find(a);
+        assert_eq!(dsu.counters().make_sets, 2);
+        assert_eq!(dsu.counters().unions, 1);
+        // union performs internal finds too.
+        assert!(dsu.counters().finds >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn find_of_unknown_element_panics() {
+        let mut dsu = DisjointSets::new();
+        dsu.find(ElementId(3));
+    }
+
+    #[test]
+    fn many_unions_stay_consistent() {
+        // Deterministic pseudo-random union pattern; verify against a naive
+        // labelling implementation.
+        let n = 500usize;
+        let mut dsu = DisjointSets::new();
+        let ids: Vec<_> = (0..n).map(|_| dsu.make_set()).collect();
+        let mut labels: Vec<usize> = (0..n).collect();
+        let relabel = |labels: &mut Vec<usize>, from: usize, to: usize| {
+            for l in labels.iter_mut() {
+                if *l == from {
+                    *l = to;
+                }
+            }
+        };
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as usize
+        };
+        for _ in 0..2 * n {
+            let x = next() % n;
+            let y = next() % n;
+            dsu.union(ids[x], ids[y]);
+            let (lx, ly) = (labels[x], labels[y]);
+            if lx != ly {
+                relabel(&mut labels, ly, lx);
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    dsu.same_set(ids[i], ids[j]),
+                    labels[i] == labels[j],
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+}

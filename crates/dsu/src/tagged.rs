@@ -1,0 +1,230 @@
+//! A disjoint-set forest whose sets carry a user-defined tag.
+//!
+//! The MultiBags algorithms need to know, for every strand, *which bag* it
+//! currently lives in (an S-bag or P-bag of some function, or for
+//! MultiBags+'s `DNSP` structure, an attached or unattached set with its
+//! predecessor/successor pointers). The natural encoding is a disjoint-set
+//! forest where the tag describing the bag lives at the set's representative
+//! and moves with it when sets are merged or relabelled.
+
+use crate::forest::DisjointSets;
+use crate::{ElementId, OpCounters};
+
+/// A disjoint-set forest where every set has an associated tag of type `T`.
+///
+/// Tags are supplied at [`make_set`](TaggedDisjointSets::make_set) time and
+/// can be read or replaced for the whole set at any point. When two sets are
+/// merged with [`union_into`](TaggedDisjointSets::union_into) the surviving
+/// set keeps the *winner's* tag; the victim's tag is dropped.
+///
+/// # Example
+///
+/// ```
+/// use futurerd_dsu::TaggedDisjointSets;
+///
+/// #[derive(Debug, PartialEq, Clone)]
+/// enum Bag { S(u32), P(u32) }
+///
+/// let mut bags: TaggedDisjointSets<Bag> = TaggedDisjointSets::new();
+/// let u = bags.make_set(Bag::S(0));
+/// let v = bags.make_set(Bag::S(1));
+/// bags.union_into(u, v);                 // v's strands join function 0's S bag
+/// assert_eq!(bags.tag(v), &Bag::S(0));
+/// bags.set_tag(u, Bag::P(0));            // function 0 returned: S bag becomes P bag
+/// assert_eq!(bags.tag(v), &Bag::P(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaggedDisjointSets<T> {
+    forest: DisjointSets,
+    /// Tag slot per element; only the slot of a set's current representative
+    /// is meaningful.
+    tags: Vec<Option<T>>,
+}
+
+impl<T> Default for TaggedDisjointSets<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TaggedDisjointSets<T> {
+    /// Creates an empty tagged forest.
+    pub fn new() -> Self {
+        Self {
+            forest: DisjointSets::new(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Creates an empty tagged forest with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            forest: DisjointSets::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of elements ever created.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// True if no elements have been created.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    /// Number of distinct sets.
+    pub fn num_sets(&self) -> usize {
+        self.forest.num_sets()
+    }
+
+    /// Operation counters from the underlying forest.
+    pub fn counters(&self) -> &OpCounters {
+        self.forest.counters()
+    }
+
+    /// Returns true if `x` is a valid element.
+    pub fn contains(&self, x: ElementId) -> bool {
+        self.forest.contains(x)
+    }
+
+    /// Creates a new singleton set carrying `tag`.
+    pub fn make_set(&mut self, tag: T) -> ElementId {
+        let id = self.forest.make_set();
+        debug_assert_eq!(id.index(), self.tags.len());
+        self.tags.push(Some(tag));
+        id
+    }
+
+    /// Finds the representative of the set containing `x`.
+    pub fn find(&mut self, x: ElementId) -> ElementId {
+        self.forest.find(x)
+    }
+
+    /// Returns true if `x` and `y` are in the same set.
+    pub fn same_set(&mut self, x: ElementId, y: ElementId) -> bool {
+        self.forest.same_set(x, y)
+    }
+
+    /// Returns a reference to the tag of the set containing `x`.
+    pub fn tag(&mut self, x: ElementId) -> &T {
+        let root = self.forest.find(x);
+        self.tags[root.index()]
+            .as_ref()
+            .expect("set representative must carry a tag")
+    }
+
+    /// Returns a mutable reference to the tag of the set containing `x`.
+    pub fn tag_mut(&mut self, x: ElementId) -> &mut T {
+        let root = self.forest.find(x);
+        self.tags[root.index()]
+            .as_mut()
+            .expect("set representative must carry a tag")
+    }
+
+    /// Replaces the tag of the entire set containing `x`, returning the old
+    /// tag.
+    pub fn set_tag(&mut self, x: ElementId, tag: T) -> T {
+        let root = self.forest.find(x);
+        self.tags[root.index()]
+            .replace(tag)
+            .expect("set representative must carry a tag")
+    }
+
+    /// Merges the set containing `victim` into the set containing `winner`.
+    /// The merged set keeps the winner's tag; the victim's tag is returned
+    /// (or `None` if the two were already the same set).
+    pub fn union_into(&mut self, winner: ElementId, victim: ElementId) -> Option<T> {
+        let winner_root = self.forest.find(winner);
+        let victim_root = self.forest.find(victim);
+        if winner_root == victim_root {
+            return None;
+        }
+        let winner_tag = self.tags[winner_root.index()]
+            .take()
+            .expect("winner representative must carry a tag");
+        let victim_tag = self.tags[victim_root.index()]
+            .take()
+            .expect("victim representative must carry a tag");
+        let (new_root, merged) = self.forest.union_into(winner_root, victim_root);
+        debug_assert!(merged);
+        self.tags[new_root.index()] = Some(winner_tag);
+        Some(victim_tag)
+    }
+
+    /// Returns every element in the same set as `x` (O(n); for tests/debug).
+    pub fn members_of(&mut self, x: ElementId) -> Vec<ElementId> {
+        self.forest.members_of(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_follow_sets() {
+        let mut t: TaggedDisjointSets<&'static str> = TaggedDisjointSets::new();
+        let a = t.make_set("alpha");
+        let b = t.make_set("beta");
+        assert_eq!(*t.tag(a), "alpha");
+        assert_eq!(*t.tag(b), "beta");
+        let dropped = t.union_into(a, b);
+        assert_eq!(dropped, Some("beta"));
+        assert_eq!(*t.tag(b), "alpha");
+        assert_eq!(t.num_sets(), 1);
+    }
+
+    #[test]
+    fn set_tag_relabels_whole_set() {
+        let mut t: TaggedDisjointSets<u32> = TaggedDisjointSets::new();
+        let a = t.make_set(1);
+        let b = t.make_set(2);
+        let c = t.make_set(3);
+        t.union_into(a, b);
+        t.union_into(a, c);
+        let old = t.set_tag(c, 99);
+        assert_eq!(old, 1);
+        assert_eq!(*t.tag(a), 99);
+        assert_eq!(*t.tag(b), 99);
+        assert_eq!(*t.tag(c), 99);
+    }
+
+    #[test]
+    fn union_into_same_set_returns_none_and_keeps_tag() {
+        let mut t: TaggedDisjointSets<u32> = TaggedDisjointSets::new();
+        let a = t.make_set(7);
+        let b = t.make_set(8);
+        t.union_into(a, b);
+        assert_eq!(t.union_into(a, b), None);
+        assert_eq!(*t.tag(b), 7);
+    }
+
+    #[test]
+    fn winner_tag_survives_regardless_of_rank_order() {
+        // Build a deep set for the victim so union-by-rank would prefer the
+        // victim's root; the winner's tag must still win.
+        let mut t: TaggedDisjointSets<&'static str> = TaggedDisjointSets::new();
+        let winner = t.make_set("winner");
+        let victims: Vec<_> = (0..16).map(|_| t.make_set("victim")).collect();
+        for w in victims.windows(2) {
+            t.union_into(w[0], w[1]);
+        }
+        t.union_into(winner, victims[0]);
+        for &v in &victims {
+            assert_eq!(*t.tag(v), "winner");
+        }
+        assert_eq!(*t.tag(winner), "winner");
+    }
+
+    #[test]
+    fn tag_mut_mutates_in_place() {
+        let mut t: TaggedDisjointSets<Vec<u32>> = TaggedDisjointSets::new();
+        let a = t.make_set(vec![1]);
+        let b = t.make_set(vec![2]);
+        t.union_into(a, b);
+        t.tag_mut(b).push(42);
+        assert_eq!(*t.tag(a), vec![1, 42]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the disjoint-set forests: differential testing
+//! against a naive label-array implementation.
+
+use futurerd_dsu::{DisjointSets, ElementId, TaggedDisjointSets};
+use proptest::prelude::*;
+
+/// A naive O(n) union-find used as the specification.
+#[derive(Clone)]
+struct NaiveSets {
+    label: Vec<usize>,
+}
+
+impl NaiveSets {
+    fn new() -> Self {
+        Self { label: Vec::new() }
+    }
+    fn make_set(&mut self) -> usize {
+        let id = self.label.len();
+        self.label.push(id);
+        id
+    }
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.label[a] == self.label[b]
+    }
+    fn union_into(&mut self, winner: usize, victim: usize) {
+        let (lw, lv) = (self.label[winner], self.label[victim]);
+        if lw == lv {
+            return;
+        }
+        for l in self.label.iter_mut() {
+            if *l == lv {
+                *l = lw;
+            }
+        }
+    }
+    fn num_sets(&self) -> usize {
+        let mut labels: Vec<usize> = self.label.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    MakeSet,
+    Union(usize, usize),
+    CheckSame(usize, usize),
+}
+
+fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => Just(Op::MakeSet),
+            3 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Union(a, b)),
+            3 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::CheckSame(a, b)),
+        ],
+        1..max_ops,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn forest_matches_naive_model(ops in ops_strategy(200)) {
+        let mut dsu = DisjointSets::new();
+        let mut naive = NaiveSets::new();
+        let mut ids: Vec<ElementId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::MakeSet => {
+                    let id = dsu.make_set();
+                    let nid = naive.make_set();
+                    prop_assert_eq!(id.index(), nid);
+                    ids.push(id);
+                }
+                Op::Union(a, b) if !ids.is_empty() => {
+                    let a = a % ids.len();
+                    let b = b % ids.len();
+                    dsu.union_into(ids[a], ids[b]);
+                    naive.union_into(a, b);
+                }
+                Op::CheckSame(a, b) if !ids.is_empty() => {
+                    let a = a % ids.len();
+                    let b = b % ids.len();
+                    prop_assert_eq!(dsu.same_set(ids[a], ids[b]), naive.same(a, b));
+                }
+                _ => {}
+            }
+            prop_assert_eq!(dsu.num_sets(), naive.num_sets());
+        }
+    }
+
+    #[test]
+    fn tagged_forest_tag_is_winners(ops in ops_strategy(200)) {
+        // Model: the tag of a set is the label of the "winner chain" root.
+        let mut tagged: TaggedDisjointSets<usize> = TaggedDisjointSets::new();
+        let mut naive = NaiveSets::new();
+        // naive_tag[label] = tag of that set
+        let mut naive_tag: Vec<usize> = Vec::new();
+        let mut ids: Vec<ElementId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::MakeSet => {
+                    let nid = naive.make_set();
+                    naive_tag.push(nid); // initial tag = element id
+                    let id = tagged.make_set(nid);
+                    ids.push(id);
+                }
+                Op::Union(a, b) if !ids.is_empty() => {
+                    let a = a % ids.len();
+                    let b = b % ids.len();
+                    if !naive.same(a, b) {
+                        let winner_tag = naive_tag[naive.label[a]];
+                        naive.union_into(a, b);
+                        naive_tag[naive.label[a]] = winner_tag;
+                    }
+                    tagged.union_into(ids[a], ids[b]);
+                }
+                Op::CheckSame(a, b) if !ids.is_empty() => {
+                    let a = a % ids.len();
+                    let b = b % ids.len();
+                    prop_assert_eq!(tagged.same_set(ids[a], ids[b]), naive.same(a, b));
+                    prop_assert_eq!(*tagged.tag(ids[a]), naive_tag[naive.label[a]]);
+                    prop_assert_eq!(*tagged.tag(ids[b]), naive_tag[naive.label[b]]);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn find_is_idempotent(n in 1usize..200, unions in prop::collection::vec((0usize..200, 0usize..200), 0..300)) {
+        let mut dsu = DisjointSets::new();
+        let ids: Vec<_> = (0..n).map(|_| dsu.make_set()).collect();
+        for (a, b) in unions {
+            dsu.union(ids[a % n], ids[b % n]);
+        }
+        for &e in &ids {
+            let r1 = dsu.find(e);
+            let r2 = dsu.find(e);
+            prop_assert_eq!(r1, r2);
+            // The representative of the representative is itself.
+            prop_assert_eq!(dsu.find(r1), r1);
+        }
+    }
+}

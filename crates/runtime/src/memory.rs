@@ -1,0 +1,340 @@
+//! Instrumented shared-memory wrappers.
+//!
+//! The paper's FutureRD instruments every compiled load and store via the
+//! compiler. A library-level reproduction instead routes detector-visible
+//! memory through explicit wrappers: a [`ShadowArray`], [`ShadowCell`] or
+//! [`ShadowMatrix`] owns its data and an abstract address range allocated
+//! from the execution context, and every instrumented access reports a read
+//! or write event for the covered granules before touching the data.
+//!
+//! Each element is padded to the access-history granularity
+//! ([`MemAddr::GRANULARITY`] = 4 bytes) so that two distinct elements never
+//! share a granule; this mirrors the paper's per-four-byte tracking (all its
+//! benchmarks perform four-byte-or-larger accesses).
+//!
+//! Uninstrumented (`raw`) accessors are provided for program setup,
+//! verification and I/O — the phases the paper's benchmarks do not
+//! instrument either.
+
+use crate::exec::Cx;
+use futurerd_dag::{MemAddr, Observer};
+
+fn elem_stride<T>() -> u64 {
+    let sz = std::mem::size_of::<T>() as u64;
+    sz.max(MemAddr::GRANULARITY)
+        .div_ceil(MemAddr::GRANULARITY)
+        * MemAddr::GRANULARITY
+}
+
+/// A one-dimensional instrumented array.
+///
+/// # Example
+///
+/// ```
+/// use futurerd_dag::NullObserver;
+/// use futurerd_runtime::{run_program, ShadowArray};
+///
+/// let (sum, _, summary) = run_program(NullObserver, |cx| {
+///     let mut a = ShadowArray::new(cx, 4, 0u32);
+///     for i in 0..4 {
+///         a.set(cx, i, i as u32 + 1);
+///     }
+///     (0..4).map(|i| a.get(cx, i)).sum::<u32>()
+/// });
+/// assert_eq!(sum, 10);
+/// assert_eq!(summary.writes, 4);
+/// assert_eq!(summary.reads, 4);
+/// ```
+#[derive(Debug)]
+pub struct ShadowArray<T> {
+    data: Vec<T>,
+    base: MemAddr,
+    stride: u64,
+}
+
+impl<T: Copy> ShadowArray<T> {
+    /// Allocates an instrumented array of `len` copies of `init`.
+    pub fn new<O: Observer>(cx: &mut Cx<O>, len: usize, init: T) -> Self {
+        Self::from_vec(cx, vec![init; len])
+    }
+}
+
+impl<T> ShadowArray<T> {
+    /// Wraps an existing vector, giving it an instrumented address range.
+    pub fn from_vec<O: Observer>(cx: &mut Cx<O>, data: Vec<T>) -> Self {
+        let stride = elem_stride::<T>();
+        let base = cx.alloc_region(stride * data.len().max(1) as u64);
+        Self { data, base, stride }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The abstract address of element `i`.
+    pub fn addr_of(&self, i: usize) -> MemAddr {
+        assert!(i < self.data.len(), "index {i} out of bounds");
+        self.base.offset(self.stride * i as u64)
+    }
+
+    /// The size in bytes reported for each element access.
+    fn access_size(&self) -> usize {
+        std::mem::size_of::<T>().max(MemAddr::GRANULARITY as usize)
+    }
+
+    /// Instrumented read of element `i`.
+    pub fn get<O: Observer>(&self, cx: &mut Cx<O>, i: usize) -> T
+    where
+        T: Copy,
+    {
+        cx.record_read(self.addr_of(i), self.access_size());
+        self.data[i]
+    }
+
+    /// Instrumented write of element `i`.
+    pub fn set<O: Observer>(&mut self, cx: &mut Cx<O>, i: usize, value: T) {
+        cx.record_write(self.addr_of(i), self.access_size());
+        self.data[i] = value;
+    }
+
+    /// Instrumented read-modify-write of element `i` (reported as a read
+    /// followed by a write, as a compiler would emit for `a[i] += x`).
+    pub fn update<O: Observer>(&mut self, cx: &mut Cx<O>, i: usize, f: impl FnOnce(&T) -> T) {
+        cx.record_read(self.addr_of(i), self.access_size());
+        let new = f(&self.data[i]);
+        cx.record_write(self.addr_of(i), self.access_size());
+        self.data[i] = new;
+    }
+
+    /// Uninstrumented view of the data (setup / verification only).
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Uninstrumented mutable view of the data (setup / verification only).
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the wrapper and returns the data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+/// A single instrumented memory cell.
+#[derive(Debug)]
+pub struct ShadowCell<T> {
+    value: T,
+    addr: MemAddr,
+}
+
+impl<T> ShadowCell<T> {
+    /// Allocates an instrumented cell holding `value`.
+    pub fn new<O: Observer>(cx: &mut Cx<O>, value: T) -> Self {
+        let addr = cx.alloc_region(elem_stride::<T>());
+        Self { value, addr }
+    }
+
+    /// The cell's abstract address.
+    pub fn addr(&self) -> MemAddr {
+        self.addr
+    }
+
+    fn access_size(&self) -> usize {
+        std::mem::size_of::<T>().max(MemAddr::GRANULARITY as usize)
+    }
+
+    /// Instrumented read.
+    pub fn get<O: Observer>(&self, cx: &mut Cx<O>) -> T
+    where
+        T: Copy,
+    {
+        cx.record_read(self.addr, self.access_size());
+        self.value
+    }
+
+    /// Instrumented write.
+    pub fn set<O: Observer>(&mut self, cx: &mut Cx<O>, value: T) {
+        cx.record_write(self.addr, self.access_size());
+        self.value = value;
+    }
+
+    /// Uninstrumented read (setup / verification only).
+    pub fn raw(&self) -> &T {
+        &self.value
+    }
+}
+
+/// A two-dimensional instrumented matrix stored in row-major order.
+#[derive(Debug)]
+pub struct ShadowMatrix<T> {
+    data: ShadowArray<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Copy> ShadowMatrix<T> {
+    /// Allocates a `rows × cols` matrix filled with `init`.
+    pub fn new<O: Observer>(cx: &mut Cx<O>, rows: usize, cols: usize, init: T) -> Self {
+        Self {
+            data: ShadowArray::new(cx, rows * cols, init),
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn index(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        r * self.cols + c
+    }
+
+    /// Instrumented read of element `(r, c)`.
+    pub fn get<O: Observer>(&self, cx: &mut Cx<O>, r: usize, c: usize) -> T {
+        self.data.get(cx, self.index(r, c))
+    }
+
+    /// Instrumented write of element `(r, c)`.
+    pub fn set<O: Observer>(&mut self, cx: &mut Cx<O>, r: usize, c: usize, value: T) {
+        let i = self.index(r, c);
+        self.data.set(cx, i, value)
+    }
+
+    /// The abstract address of element `(r, c)`.
+    pub fn addr_of(&self, r: usize, c: usize) -> MemAddr {
+        self.data.addr_of(self.index(r, c))
+    }
+
+    /// Uninstrumented view of the underlying row-major data.
+    pub fn raw(&self) -> &[T] {
+        self.data.raw()
+    }
+
+    /// Uninstrumented mutable view of the underlying row-major data.
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        self.data.raw_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_program;
+    use futurerd_dag::NullObserver;
+
+    #[test]
+    fn element_addresses_do_not_share_granules() {
+        run_program(NullObserver, |cx| {
+            let bytes = ShadowArray::new(cx, 8, 0u8);
+            let mut granules = std::collections::HashSet::new();
+            for i in 0..8 {
+                assert!(granules.insert(bytes.addr_of(i).granule()));
+            }
+        });
+    }
+
+    #[test]
+    fn wide_elements_cover_multiple_granules() {
+        run_program(NullObserver, |cx| {
+            let wide = ShadowArray::new(cx, 2, [0u64; 2]);
+            let g0: Vec<u64> = wide.addr_of(0).granules(16).collect();
+            let g1: Vec<u64> = wide.addr_of(1).granules(16).collect();
+            assert_eq!(g0.len(), 4);
+            assert!(g0.iter().all(|g| !g1.contains(g)));
+        });
+    }
+
+    #[test]
+    fn arrays_from_different_allocations_are_disjoint() {
+        run_program(NullObserver, |cx| {
+            let a = ShadowArray::new(cx, 4, 0u32);
+            let b = ShadowArray::new(cx, 4, 0u32);
+            assert!(a.addr_of(3).raw() < b.addr_of(0).raw());
+        });
+    }
+
+    #[test]
+    fn update_counts_read_and_write() {
+        let (_, _, s) = run_program(NullObserver, |cx| {
+            let mut a = ShadowArray::new(cx, 1, 5u32);
+            a.update(cx, 0, |v| v + 1);
+            assert_eq!(a.raw()[0], 6);
+        });
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let (v, _, s) = run_program(NullObserver, |cx| {
+            let mut c = ShadowCell::new(cx, 1.5f64);
+            c.set(cx, 2.5);
+            c.get(cx)
+        });
+        assert_eq!(v, 2.5);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn matrix_addressing_is_row_major_and_disjoint() {
+        run_program(NullObserver, |cx| {
+            let m = ShadowMatrix::new(cx, 3, 4, 0i32);
+            assert_eq!(m.rows(), 3);
+            assert_eq!(m.cols(), 4);
+            let mut addrs = std::collections::HashSet::new();
+            for r in 0..3 {
+                for c in 0..4 {
+                    assert!(addrs.insert(m.addr_of(r, c)));
+                }
+            }
+            assert!(m.addr_of(0, 3) < m.addr_of(1, 0));
+        });
+    }
+
+    #[test]
+    fn matrix_get_set() {
+        let (v, _, _) = run_program(NullObserver, |cx| {
+            let mut m = ShadowMatrix::new(cx, 2, 2, 0u32);
+            m.set(cx, 1, 1, 9);
+            m.get(cx, 1, 1) + m.get(cx, 0, 0)
+        });
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_bounds_checked() {
+        run_program(NullObserver, |cx| {
+            let m = ShadowMatrix::new(cx, 2, 2, 0u32);
+            m.get(cx, 2, 0);
+        });
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        run_program(NullObserver, |cx| {
+            let a = ShadowArray::from_vec(cx, vec![3u64, 1, 4, 1, 5]);
+            assert_eq!(a.len(), 5);
+            assert_eq!(a.raw(), &[3, 1, 4, 1, 5]);
+            assert_eq!(a.into_vec(), vec![3, 1, 4, 1, 5]);
+        });
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-worker job deques.
+//!
+//! Each worker owns a deque that it treats as a LIFO stack (`push`/`pop` at
+//! the back), while thieves steal from the front (FIFO). LIFO execution for
+//! the owner preserves the depth-first, cache-friendly order of the
+//! sequential program; FIFO stealing hands thieves the oldest — and
+//! typically largest — pending subcomputation, exactly the Cilk/rayon
+//! discipline.
+//!
+//! The implementation protects the deque with a [`parking_lot::Mutex`]. A
+//! lock-free Chase–Lev deque is the classical alternative; with the coarse
+//! task granularity used by the benchmark workloads the mutex version is not
+//! a bottleneck, and it keeps this crate free of subtle memory-ordering
+//! proofs. The owner/stealer API mirrors the lock-free design so the
+//! internals can be swapped without touching the scheduler.
+
+use super::job::JobRef;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Inner {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+/// The owner side of a worker deque (only the worker thread uses it).
+pub(super) struct WorkerDeque {
+    inner: Arc<Inner>,
+}
+
+/// The thief side of a worker deque (shared with every other worker).
+#[derive(Clone)]
+pub(super) struct Stealer {
+    inner: Arc<Inner>,
+}
+
+impl WorkerDeque {
+    /// Creates an empty deque.
+    pub(super) fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner::default()),
+        }
+    }
+
+    /// Returns a stealer handle for this deque.
+    pub(super) fn stealer(&self) -> Stealer {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pushes a job onto the owner end (back).
+    pub(super) fn push(&self, job: JobRef) {
+        self.inner.jobs.lock().push_back(job);
+    }
+
+    /// Pops a job from the owner end (back, LIFO).
+    pub(super) fn pop(&self) -> Option<JobRef> {
+        self.inner.jobs.lock().pop_back()
+    }
+
+    /// Number of queued jobs (used by tests).
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.inner.jobs.lock().len()
+    }
+}
+
+impl Stealer {
+    /// Steals a job from the thief end (front, FIFO).
+    pub(super) fn steal(&self) -> Option<JobRef> {
+        self.inner.jobs.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::job::{HeapJob, IntoJobRef};
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+
+    fn counting_job(counter: &StdArc<AtomicUsize>, tag: usize) -> JobRef {
+        let counter = StdArc::clone(counter);
+        HeapJob::new(move || {
+            counter.fetch_add(tag, Ordering::SeqCst);
+        })
+        .into_job_ref()
+    }
+
+    #[test]
+    fn owner_pops_lifo_and_thief_steals_fifo() {
+        let counter = StdArc::new(AtomicUsize::new(0));
+        let deque = WorkerDeque::new();
+        let stealer = deque.stealer();
+        deque.push(counting_job(&counter, 1));
+        deque.push(counting_job(&counter, 10));
+        deque.push(counting_job(&counter, 100));
+        assert_eq!(deque.len(), 3);
+
+        // Thief gets the oldest job (tag 1).
+        let stolen = stealer.steal().unwrap();
+        unsafe { stolen.execute() };
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+
+        // Owner gets the newest job (tag 100).
+        let popped = deque.pop().unwrap();
+        unsafe { popped.execute() };
+        assert_eq!(counter.load(Ordering::SeqCst), 101);
+
+        let last = deque.pop().unwrap();
+        unsafe { last.execute() };
+        assert_eq!(counter.load(Ordering::SeqCst), 111);
+        assert!(deque.pop().is_none());
+        assert!(stealer.steal().is_none());
+    }
+
+    #[test]
+    fn concurrent_steals_never_duplicate_jobs() {
+        let counter = StdArc::new(AtomicUsize::new(0));
+        let deque = WorkerDeque::new();
+        let n = 1000;
+        for _ in 0..n {
+            deque.push(counting_job(&counter, 1));
+        }
+        let stealers: Vec<Stealer> = (0..4).map(|_| deque.stealer()).collect();
+        std::thread::scope(|s| {
+            for st in stealers {
+                s.spawn(move || {
+                    while let Some(job) = st.steal() {
+                        unsafe { job.execute() };
+                    }
+                });
+            }
+            while let Some(job) = deque.pop() {
+                unsafe { job.execute() };
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), n);
+    }
+}

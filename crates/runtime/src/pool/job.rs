@@ -1,0 +1,274 @@
+//! Type-erased jobs executed by worker threads.
+//!
+//! Two job flavours exist:
+//!
+//! * [`StackJob`] — lives on the stack of the thread that published it
+//!   (`join`/`install`). It is published *by reference* as a [`JobRef`];
+//!   safety rests on the publisher waiting on the job's latch before its
+//!   stack frame is torn down.
+//! * [`HeapJob`] — an owned, `'static` closure used by `spawn_future` and
+//!   scope tasks.
+
+use super::latch::Latch;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The payload carried by a panicking job.
+pub(super) type PanicPayload = Box<dyn Any + Send>;
+
+/// A type-erased pointer to a job plus its execute function.
+///
+/// `JobRef` is `Send` even though it may point at non-`Send` data captured on
+/// another thread's stack; the scheduler only ever executes a job once, and
+/// the `join`/`install` protocols guarantee the pointee is alive until then.
+pub(super) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Creates a job reference from a pointer to a job implementation.
+    ///
+    /// # Safety
+    ///
+    /// `data` must remain valid until [`JobRef::execute`] has been called
+    /// exactly once.
+    pub(super) unsafe fn new<T: ErasedJob>(data: *const T) -> JobRef {
+        JobRef {
+            pointer: data as *const (),
+            execute_fn: |ptr| unsafe { T::execute(ptr as *const T) },
+        }
+    }
+
+    /// An identity tag used to recognize a job popped back off a deque.
+    pub(super) fn tag(&self) -> usize {
+        self.pointer as usize
+    }
+
+    /// Executes the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, while the pointee is still alive.
+    pub(super) unsafe fn execute(self) {
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+}
+
+/// A job that can be executed through a raw pointer.
+pub(super) trait ErasedJob {
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a live job that has not been executed yet.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A job whose closure and result live on the publishing thread's stack.
+pub(super) struct StackJob<'l, L: Latch, F, R> {
+    latch: &'l L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<Result<R, PanicPayload>>>,
+}
+
+impl<'l, L: Latch, F, R> StackJob<'l, L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    /// Wraps `func`; `latch` is set after the job runs.
+    pub(super) fn new(func: F, latch: &'l L) -> Self {
+        Self {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// Publishes the job by reference.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not drop the job (or return from its stack frame)
+    /// until the latch has been set.
+    pub(super) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self as *const Self) }
+    }
+
+    /// Takes the result after the latch has been set, propagating any panic
+    /// raised by the closure.
+    pub(super) fn into_result(self) -> R {
+        match self.into_result_catching() {
+            Ok(v) => v,
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+
+    /// Takes the result (or the captured panic) after the latch has been
+    /// set.
+    pub(super) fn into_result_catching(self) -> Result<R, PanicPayload> {
+        self.result
+            .into_inner()
+            .expect("stack job result taken before the job executed")
+    }
+}
+
+impl<L: Latch, F, R> ErasedJob for StackJob<'_, L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        unsafe { *this.result.get() = Some(result) };
+        // Setting the latch releases the publisher, which may immediately
+        // deallocate the job — nothing may touch `this` afterwards.
+        this.latch.set();
+    }
+}
+
+/// An owned, heap-allocated job.
+pub(super) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    /// Wraps an owned closure.
+    pub(super) fn new(func: F) -> Box<Self> {
+        Box::new(Self { func })
+    }
+}
+
+/// Extension: convert a boxed heap job into a job reference that owns it.
+pub(super) trait IntoJobRef {
+    /// Converts into a [`JobRef`] that frees the job after executing it.
+    fn into_job_ref(self) -> JobRef;
+}
+
+impl<F> IntoJobRef for Box<HeapJob<F>>
+where
+    F: FnOnce() + Send,
+{
+    fn into_job_ref(self) -> JobRef {
+        let raw = Box::into_raw(self);
+        // Safety: the pointer stays valid until execute reconstructs the box.
+        unsafe { JobRef::new(raw) }
+    }
+}
+
+impl<F> ErasedJob for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let job = unsafe { Box::from_raw(this as *mut Self) };
+        (job.func)();
+    }
+}
+
+/// Shared completion state of a [`FutureTask`](super::FutureTask).
+pub(super) struct FutureState<T> {
+    result: parking_lot::Mutex<Option<Result<T, PanicPayload>>>,
+    condvar: parking_lot::Condvar,
+    done: AtomicBool,
+}
+
+impl<T> FutureState<T> {
+    /// Creates an incomplete state.
+    pub(super) fn new() -> Self {
+        Self {
+            result: parking_lot::Mutex::new(None),
+            condvar: parking_lot::Condvar::new(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Stores the result and wakes waiters.
+    pub(super) fn complete(&self, value: Result<T, PanicPayload>) {
+        let mut slot = self.result.lock();
+        *slot = Some(value);
+        self.done.store(true, Ordering::Release);
+        self.condvar.notify_all();
+    }
+
+    /// True once the task has completed.
+    pub(super) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the task completes and takes the result.
+    pub(super) fn wait(&self) -> Result<T, PanicPayload> {
+        let mut slot = self.result.lock();
+        while slot.is_none() {
+            self.condvar.wait(&mut slot);
+        }
+        slot.take().expect("future result already taken")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::latch::SpinLatch;
+    use super::*;
+
+    #[test]
+    fn stack_job_runs_and_sets_latch() {
+        let latch = SpinLatch::new();
+        let job = StackJob::new(|| 6 * 7, &latch);
+        let job_ref = unsafe { job.as_job_ref() };
+        assert!(!latch.probe());
+        unsafe { job_ref.execute() };
+        assert!(latch.probe());
+        assert_eq!(job.into_result(), 42);
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let latch = SpinLatch::new();
+        let job: StackJob<'_, _, _, u32> = StackJob::new(|| panic!("nope"), &latch);
+        let job_ref = unsafe { job.as_job_ref() };
+        unsafe { job_ref.execute() };
+        assert!(latch.probe());
+        assert!(job.into_result_catching().is_err());
+    }
+
+    #[test]
+    fn heap_job_executes_and_frees() {
+        let flag = std::sync::Arc::new(AtomicBool::new(false));
+        let flag2 = std::sync::Arc::clone(&flag);
+        let job = HeapJob::new(move || flag2.store(true, Ordering::SeqCst)).into_job_ref();
+        unsafe { job.execute() };
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn future_state_roundtrip() {
+        let st: FutureState<u32> = FutureState::new();
+        assert!(!st.is_done());
+        st.complete(Ok(5));
+        assert!(st.is_done());
+        assert_eq!(st.wait().unwrap(), 5);
+    }
+
+    #[test]
+    fn job_ref_tags_are_distinct_per_job() {
+        let latch = SpinLatch::new();
+        let a = StackJob::new(|| 1, &latch);
+        let b = StackJob::new(|| 2, &latch);
+        let (ra, rb) = unsafe { (a.as_job_ref(), b.as_job_ref()) };
+        assert_ne!(ra.tag(), rb.tag());
+        unsafe {
+            ra.execute();
+            rb.execute();
+        }
+        let _ = (a.into_result(), b.into_result());
+    }
+}

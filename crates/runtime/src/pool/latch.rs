@@ -1,0 +1,168 @@
+//! Latches: one-shot "this happened" flags used to signal job completion.
+//!
+//! Three flavours, matching how the waiter wants to wait:
+//!
+//! * [`SpinLatch`] — probed by a worker thread that keeps stealing other work
+//!   while it waits (used by `join`).
+//! * [`LockLatch`] — blocks a non-worker thread on a condition variable
+//!   (used by `install`).
+//! * [`CountLatch`] — counts down from N; used by scopes to wait for all
+//!   spawned tasks.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A one-shot completion flag.
+pub(super) trait Latch {
+    /// Signals completion. May be called from any thread; called exactly
+    /// once per logical event.
+    fn set(&self);
+}
+
+/// A latch probed by busy workers.
+#[derive(Debug, Default)]
+pub(super) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    /// Creates an unset latch.
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns true once [`Latch::set`] has been called.
+    pub(super) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A latch a non-worker thread can block on.
+#[derive(Debug, Default)]
+pub(super) struct LockLatch {
+    done: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl LockLatch {
+    /// Creates an unset latch.
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until the latch is set.
+    pub(super) fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.condvar.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.condvar.notify_all();
+    }
+}
+
+/// A countdown latch: `increment` before publishing a task, `decrement` when
+/// it completes; `wait` blocks until the count returns to zero.
+#[derive(Debug)]
+pub(super) struct CountLatch {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl CountLatch {
+    /// Creates a latch with a count of zero (already "done").
+    pub(super) fn new() -> Self {
+        Self {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Registers one more pending task.
+    pub(super) fn increment(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks one task complete.
+    pub(super) fn decrement(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.lock.lock();
+            self.condvar.notify_all();
+        }
+    }
+
+    /// True when no tasks are pending.
+    pub(super) fn is_done(&self) -> bool {
+        self.count.load(Ordering::SeqCst) == 0
+    }
+
+    /// Blocks until no tasks are pending.
+    pub(super) fn wait(&self) {
+        let mut guard = self.lock.lock();
+        while !self.is_done() {
+            self.condvar
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_probe_transitions() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_wakes_waiter() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            l2.set();
+        });
+        l.wait();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn count_latch_counts_down() {
+        let l = Arc::new(CountLatch::new());
+        assert!(l.is_done());
+        for _ in 0..8 {
+            l.increment();
+        }
+        assert!(!l.is_done());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || l.decrement())
+            })
+            .collect();
+        l.wait();
+        assert!(l.is_done());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

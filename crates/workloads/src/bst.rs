@@ -1,0 +1,391 @@
+//! Binary tree / ordered-set merge (`bst`), after Blelloch & Reid-Miller's
+//! "Pipelining with futures" (SPAA 1997).
+//!
+//! Two sorted key sets are merged by divide and conquer: split the first
+//! set at its median, binary-search the split key in the second set, and
+//! merge the two halves independently. Each half writes a *disjoint*,
+//! precomputed range of the output, so the computation is determinacy-race
+//! free while exposing abundant parallelism with very little work per task
+//! — exactly the property the paper highlights for `bst` ("very little work
+//! per parallel construct"), which makes the reachability overhead visible.
+//!
+//! * **Structured**: each recursive call creates futures for its two halves
+//!   and consumes both before returning (single touch).
+//! * **General**: the recursion additionally *pipelines*: the future for a
+//!   half is touched a second time by a downstream consumer (a checksum
+//!   pass) that walks the output ranges as they become available —
+//!   multi-touch futures, the use case Blelloch & Reid-Miller's pipelining
+//!   is about.
+
+use futurerd_dag::Observer;
+use futurerd_runtime::exec::FutureHandle;
+use futurerd_runtime::{Cx, ShadowArray, ThreadPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input: two sorted, duplicate-free key sequences.
+#[derive(Debug, Clone)]
+pub struct BstInput {
+    /// First sorted set.
+    pub a: Vec<u64>,
+    /// Second sorted set.
+    pub b: Vec<u64>,
+}
+
+impl BstInput {
+    /// Generates two sorted random key sets of sizes `n_a` and `n_b`.
+    pub fn generate(n_a: usize, n_b: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen_sorted = |n: usize| {
+            let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..u64::MAX / 2)).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        Self {
+            a: gen_sorted(n_a),
+            b: gen_sorted(n_b),
+        }
+    }
+
+    /// Total number of keys.
+    pub fn total(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+}
+
+/// Serial reference merge.
+pub fn serial(input: &BstInput) -> Vec<u64> {
+    let mut out = Vec::with_capacity(input.total());
+    let (mut i, mut j) = (0, 0);
+    while i < input.a.len() && j < input.b.len() {
+        if input.a[i] <= input.b[j] {
+            out.push(input.a[i]);
+            i += 1;
+        } else {
+            out.push(input.b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&input.a[i..]);
+    out.extend_from_slice(&input.b[j..]);
+    out
+}
+
+/// Checksum of a merged sequence.
+pub fn checksum(keys: &[u64]) -> u64 {
+    keys.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &k)| acc.wrapping_add(k.rotate_left((i % 63) as u32)))
+}
+
+/// Sequentially (and instrumented) merges `a[ar]` and `b[br]` into
+/// `out[start..]`.
+fn merge_base<O: Observer>(
+    cx: &mut Cx<O>,
+    a: &ShadowArray<u64>,
+    b: &ShadowArray<u64>,
+    out: &mut ShadowArray<u64>,
+    ar: std::ops::Range<usize>,
+    br: std::ops::Range<usize>,
+    start: usize,
+) {
+    let (mut i, mut j, mut o) = (ar.start, br.start, start);
+    while i < ar.end && j < br.end {
+        let x = a.get(cx, i);
+        let y = b.get(cx, j);
+        if x <= y {
+            out.set(cx, o, x);
+            i += 1;
+        } else {
+            out.set(cx, o, y);
+            j += 1;
+        }
+        o += 1;
+    }
+    while i < ar.end {
+        let x = a.get(cx, i);
+        out.set(cx, o, x);
+        i += 1;
+        o += 1;
+    }
+    while j < br.end {
+        let y = b.get(cx, j);
+        out.set(cx, o, y);
+        j += 1;
+        o += 1;
+    }
+}
+
+/// Binary search (instrumented reads) for the first index in `b[br]` whose
+/// key is `>= key`.
+fn lower_bound<O: Observer>(
+    cx: &mut Cx<O>,
+    b: &ShadowArray<u64>,
+    br: std::ops::Range<usize>,
+    key: u64,
+) -> usize {
+    let (mut lo, mut hi) = (br.start, br.end);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if b.get(cx, mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// How the recursive halves are joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Single-touch futures consumed by the parent.
+    Structured,
+    /// Futures stored for a second (pipelined) touch by the consumer pass.
+    General,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_rec<O: Observer>(
+    cx: &mut Cx<O>,
+    a: &ShadowArray<u64>,
+    b: &ShadowArray<u64>,
+    out: &mut ShadowArray<u64>,
+    ar: std::ops::Range<usize>,
+    br: std::ops::Range<usize>,
+    start: usize,
+    base: usize,
+    mode: Mode,
+    pipeline: &mut Vec<(usize, usize, FutureHandle<()>)>,
+) {
+    if ar.len() + br.len() <= base || ar.is_empty() || br.is_empty() {
+        merge_base(cx, a, b, out, ar, br, start);
+        return;
+    }
+    let mid = ar.start + ar.len() / 2;
+    let pivot = a.get(cx, mid);
+    let split = lower_bound(cx, b, br.clone(), pivot);
+    let left_len = (mid - ar.start) + (split - br.start);
+
+    // Left half: [ar.start, mid) x [br.start, split) -> out[start..]
+    // Right half: [mid, ar.end) x [split, br.end)   -> out[start+left_len..]
+    let (ar_l, ar_r) = (ar.start..mid, mid..ar.end);
+    let (br_l, br_r) = (br.start..split, split..br.end);
+
+    let mut left_pipeline = Vec::new();
+    let mut right_pipeline = Vec::new();
+    let mut left = {
+        let out_ref = &mut *out;
+        let (arl, brl) = (ar_l.clone(), br_l.clone());
+        let lp = &mut left_pipeline;
+        cx.create_future(move |cx| {
+            merge_rec(cx, a, b, out_ref, arl, brl, start, base, mode, lp)
+        })
+    };
+    let mut right = {
+        let out_ref = &mut *out;
+        let (arr, brr) = (ar_r.clone(), br_r.clone());
+        let rp = &mut right_pipeline;
+        cx.create_future(move |cx| {
+            merge_rec(
+                cx,
+                a,
+                b,
+                out_ref,
+                arr,
+                brr,
+                start + left_len,
+                base,
+                mode,
+                rp,
+            )
+        })
+    };
+    match mode {
+        Mode::Structured => {
+            cx.get_future(left);
+            cx.get_future(right);
+        }
+        Mode::General => {
+            // Join the halves here (first touch) and also hand them to the
+            // downstream pipeline, which touches them a second time before
+            // consuming their output range — multi-touch futures.
+            cx.touch_future(&mut left);
+            cx.touch_future(&mut right);
+            pipeline.push((start, left_len, left));
+            pipeline.push((start + left_len, ar_r.len() + br_r.len(), right));
+        }
+    }
+    pipeline.append(&mut left_pipeline);
+    pipeline.append(&mut right_pipeline);
+}
+
+fn setup<O: Observer>(
+    cx: &mut Cx<O>,
+    input: &BstInput,
+) -> (ShadowArray<u64>, ShadowArray<u64>, ShadowArray<u64>) {
+    let a = ShadowArray::from_vec(cx, input.a.clone());
+    let b = ShadowArray::from_vec(cx, input.b.clone());
+    let out = ShadowArray::new(cx, input.total(), 0u64);
+    (a, b, out)
+}
+
+/// Structured-futures merge; returns the checksum of the merged output.
+pub fn structured<O: Observer>(cx: &mut Cx<O>, input: &BstInput, base: usize) -> u64 {
+    let (a, b, mut out) = setup(cx, input);
+    let (ar, br) = (0..a.len(), 0..b.len());
+    let mut pipeline = Vec::new();
+    merge_rec(cx, &a, &b, &mut out, ar, br, 0, base, Mode::Structured, &mut pipeline);
+    debug_assert!(pipeline.is_empty());
+    checksum(out.raw())
+}
+
+/// General-futures merge with a pipelined checksum consumer; returns the
+/// checksum.
+pub fn general<O: Observer>(cx: &mut Cx<O>, input: &BstInput, base: usize) -> u64 {
+    let (a, b, mut out) = setup(cx, input);
+    let (ar, br) = (0..a.len(), 0..b.len());
+    let mut pipeline = Vec::new();
+    let root = {
+        let out_ref = &mut out;
+        let p = &mut pipeline;
+        let (a_ref, b_ref) = (&a, &b);
+        let (arc, brc) = (ar.clone(), br.clone());
+        cx.create_future(move |cx| {
+            let mut inner = Vec::new();
+            merge_rec(cx, a_ref, b_ref, out_ref, arc, brc, 0, base, Mode::General, &mut inner);
+            p.append(&mut inner);
+        })
+    };
+    // Pipelined consumer: each produced range's future is touched a second
+    // time and its slice of the output read (the downstream stage of
+    // Blelloch & Reid-Miller-style pipelining).
+    let mut consumed = 0u64;
+    for (start, len, mut fut) in std::mem::take(&mut pipeline) {
+        cx.touch_future(&mut fut);
+        for i in start..start + len {
+            consumed = consumed.wrapping_add(out.get(cx, i));
+        }
+    }
+    cx.get_future(root);
+    // `consumed` double-counts nested ranges by design (every pipeline stage
+    // reads its whole range); the caller-visible result is the canonical
+    // checksum of the merged output.
+    std::hint::black_box(consumed);
+    checksum(out.raw())
+}
+
+/// Parallel (uninstrumented) merge on the work-stealing pool.
+pub fn parallel(pool: &ThreadPool, input: &BstInput, base: usize) -> u64 {
+    fn rec(
+        pool: &ThreadPool,
+        a: &[u64],
+        b: &[u64],
+        out: &mut [u64],
+        base: usize,
+    ) {
+        if a.len() + b.len() <= base || a.is_empty() || b.is_empty() {
+            let (mut i, mut j, mut o) = (0, 0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    out[o] = a[i];
+                    i += 1;
+                } else {
+                    out[o] = b[j];
+                    j += 1;
+                }
+                o += 1;
+            }
+            out[o..o + a.len() - i].copy_from_slice(&a[i..]);
+            out[o + a.len() - i..].copy_from_slice(&b[j..]);
+            return;
+        }
+        let mid = a.len() / 2;
+        let pivot = a[mid];
+        let split = b.partition_point(|&x| x < pivot);
+        let left_len = mid + split;
+        let (a_l, a_r) = a.split_at(mid);
+        let (b_l, b_r) = b.split_at(split);
+        let (out_l, out_r) = out.split_at_mut(left_len);
+        pool.join(
+            || rec(pool, a_l, b_l, out_l, base),
+            || rec(pool, a_r, b_r, out_r, base),
+        );
+    }
+    let mut out = vec![0u64; input.total()];
+    pool.install(|| rec(pool, &input.a, &input.b, &mut out, base));
+    checksum(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
+    use futurerd_dag::NullObserver;
+    use futurerd_runtime::run_program;
+
+    fn input() -> BstInput {
+        BstInput::generate(300, 200, 13)
+    }
+
+    #[test]
+    fn structured_matches_serial() {
+        let inp = input();
+        let expected = checksum(&serial(&inp));
+        for base in [8, 32, 1024] {
+            let (got, _, _) = run_program(NullObserver, |cx| structured(cx, &inp, base));
+            assert_eq!(got, expected, "base {base}");
+        }
+    }
+
+    #[test]
+    fn general_matches_serial() {
+        let inp = input();
+        let expected = checksum(&serial(&inp));
+        let (got, _, _) = run_program(NullObserver, |cx| general(cx, &inp, 16));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let inp = input();
+        let pool = ThreadPool::new(4);
+        assert_eq!(parallel(&pool, &inp, 16), checksum(&serial(&inp)));
+    }
+
+    #[test]
+    fn merged_output_is_sorted() {
+        let inp = input();
+        let merged = serial(&inp);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(merged.len(), inp.total());
+    }
+
+    #[test]
+    fn structured_variant_is_race_free() {
+        let inp = BstInput::generate(120, 90, 3);
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp, 16));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn general_variant_is_race_free() {
+        let inp = BstInput::generate(120, 90, 3);
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 16));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn little_work_per_construct() {
+        // bst's defining property in the paper: the ratio of memory accesses
+        // to parallel constructs is small compared with the dense kernels.
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| structured(cx, &inp, 8));
+        let per_construct = s.accesses() as f64 / s.parallel_constructs() as f64;
+        assert!(per_construct < 200.0, "accesses per construct: {per_construct}");
+    }
+}

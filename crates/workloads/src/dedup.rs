@@ -1,0 +1,320 @@
+//! Deduplicating compression pipeline (`dedup`) — synthetic substitute for
+//! the PARSEC benchmark used in the paper.
+//!
+//! PARSEC's dedup compresses a data stream with a pipeline: *fragment* the
+//! stream into chunks, *deduplicate* chunks against a global hash table,
+//! *compress* first-occurrence chunks, and *reorder/emit* the results in
+//! stream order. The deduplication stage is inherently serial (it mutates
+//! the shared table), while fragmentation and compression of different
+//! chunks are parallel — the pipeline-parallel pattern the paper cites as
+//! not expressible with fork-join alone.
+//!
+//! The input stream here is synthetic (deterministic pseudo-random data with
+//! planted repetitions so deduplication actually triggers); the pipeline
+//! stages, their dependence structure and their memory behaviour mirror the
+//! real benchmark.
+//!
+//! * **Structured**: per-chunk *compress* futures run in parallel; the
+//!   driver consumes each chunk's future once, in order, and performs the
+//!   serial dedup-table update itself (single touch).
+//! * **General**: the dedup stage is itself a chain of futures (stage `i`
+//!   touches stage `i-1`), and the reorder stage touches both the dedup
+//!   future and the compress future of each chunk — multi-touch futures
+//!   forming a non-series-parallel pipeline dag.
+
+use futurerd_dag::Observer;
+use futurerd_runtime::exec::FutureHandle;
+use futurerd_runtime::{Cx, ShadowArray};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The synthetic input stream.
+#[derive(Debug, Clone)]
+pub struct DedupInput {
+    /// Raw data stream.
+    pub data: Vec<u8>,
+    /// Chunk size used by the fragmentation stage.
+    pub chunk_size: usize,
+}
+
+impl DedupInput {
+    /// Generates a stream of `chunks` chunks of `chunk_size` bytes with
+    /// roughly 30% duplicate chunks.
+    pub fn generate(chunks: usize, chunk_size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut unique: Vec<Vec<u8>> = Vec::new();
+        let mut data = Vec::with_capacity(chunks * chunk_size);
+        for _ in 0..chunks {
+            if !unique.is_empty() && rng.gen_bool(0.3) {
+                let pick = rng.gen_range(0..unique.len());
+                data.extend_from_slice(&unique[pick]);
+            } else {
+                let chunk: Vec<u8> = (0..chunk_size).map(|_| rng.gen()).collect();
+                data.extend_from_slice(&chunk);
+                unique.push(chunk);
+            }
+        }
+        Self { data, chunk_size }
+    }
+
+    /// Number of chunks in the stream.
+    pub fn num_chunks(&self) -> usize {
+        self.data.len().div_ceil(self.chunk_size)
+    }
+}
+
+/// FNV-style chunk fingerprint.
+fn fingerprint(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(0xcbf29ce484222325u64, |h, &b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+/// "Compression": run-length summary plus a mixing checksum — enough work to
+/// stand in for the compression stage without an external codec.
+fn compress(bytes: &[u8]) -> u64 {
+    let mut out = 0u64;
+    let mut run = 1u64;
+    for w in bytes.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            out = out.wrapping_mul(31).wrapping_add(run).wrapping_add(w[0] as u64);
+            run = 1;
+        }
+    }
+    out.wrapping_add(fingerprint(bytes).rotate_left(17))
+}
+
+/// Serial reference: returns the checksum of the emitted stream (compressed
+/// payload for first occurrences, back-references for duplicates).
+pub fn serial(input: &DedupInput) -> u64 {
+    let mut table: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut out = 0u64;
+    for (i, chunk) in input.data.chunks(input.chunk_size).enumerate() {
+        let fp = fingerprint(chunk);
+        let emitted = match table.get(&fp) {
+            Some(&first) => (first as u64).rotate_left(3),
+            None => {
+                table.insert(fp, i);
+                compress(chunk)
+            }
+        };
+        out = out.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(emitted);
+    }
+    out
+}
+
+struct ChunkArrays {
+    data: ShadowArray<u8>,
+    fingerprints: ShadowArray<u64>,
+    compressed: ShadowArray<u64>,
+    emitted: ShadowArray<u64>,
+}
+
+fn setup<O: Observer>(cx: &mut Cx<O>, input: &DedupInput) -> ChunkArrays {
+    let n = input.num_chunks();
+    ChunkArrays {
+        data: ShadowArray::from_vec(cx, input.data.clone()),
+        fingerprints: ShadowArray::new(cx, n, 0u64),
+        compressed: ShadowArray::new(cx, n, 0u64),
+        emitted: ShadowArray::new(cx, n, 0u64),
+    }
+}
+
+fn chunk_range(input: &DedupInput, i: usize) -> std::ops::Range<usize> {
+    (i * input.chunk_size)..((i + 1) * input.chunk_size).min(input.data.len())
+}
+
+/// Fragment + fingerprint + compress one chunk (instrumented reads of the
+/// stream, writes of the per-chunk outputs).
+fn process_chunk<O: Observer>(
+    cx: &mut Cx<O>,
+    arrays: &mut ChunkArrays,
+    range: std::ops::Range<usize>,
+    index: usize,
+) {
+    let mut bytes = Vec::with_capacity(range.len());
+    for i in range {
+        bytes.push(arrays.data.get(cx, i));
+    }
+    arrays.fingerprints.set(cx, index, fingerprint(&bytes));
+    arrays.compressed.set(cx, index, compress(&bytes));
+}
+
+fn fold_emitted<O: Observer>(cx: &mut Cx<O>, arrays: &ShadowArray<u64>, n: usize) -> u64 {
+    let mut out = 0u64;
+    for i in 0..n {
+        out = out.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(arrays.get(cx, i));
+    }
+    out
+}
+
+/// Structured-futures pipeline. Returns the output-stream checksum.
+pub fn structured<O: Observer>(cx: &mut Cx<O>, input: &DedupInput) -> u64 {
+    let n = input.num_chunks();
+    let mut arrays = setup(cx, input);
+    // Stage 1+3 (fragment + compress) in parallel, one future per chunk.
+    let mut futures: Vec<FutureHandle<()>> = Vec::new();
+    for i in 0..n {
+        let range = chunk_range(input, i);
+        let arrays_ref = &mut arrays;
+        futures.push(cx.create_future(move |cx| process_chunk(cx, arrays_ref, range, i)));
+    }
+    // Stage 2 (dedup) + stage 4 (reorder/emit) performed serially by the
+    // driver, consuming each chunk's future exactly once, in order.
+    let mut table: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (i, fut) in futures.into_iter().enumerate() {
+        cx.get_future(fut);
+        let fp = arrays.fingerprints.get(cx, i);
+        let value = match table.get(&fp) {
+            Some(&first) => (first as u64).rotate_left(3),
+            None => {
+                table.insert(fp, i);
+                arrays.compressed.get(cx, i)
+            }
+        };
+        arrays.emitted.set(cx, i, value);
+    }
+    fold_emitted(cx, &arrays.emitted, n)
+}
+
+/// General-futures pipeline: a serial chain of dedup futures plus parallel
+/// compress futures, joined by a reorder stage that touches both — the dag
+/// is not series-parallel. Returns the output-stream checksum.
+pub fn general<O: Observer>(cx: &mut Cx<O>, input: &DedupInput) -> u64 {
+    let n = input.num_chunks();
+    let mut arrays = setup(cx, input);
+    // The dedup stage's shared table lives in instrumented memory so that a
+    // missing ordering edge would be reported as a race: dedup_slot[i] holds
+    // the index of the first chunk with chunk i's fingerprint.
+    let mut dedup_slot = ShadowArray::new(cx, n, u32::MAX);
+    let mut table: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+
+    // Parallel compress futures.
+    let mut compress_futs: Vec<Option<FutureHandle<()>>> = Vec::new();
+    for i in 0..n {
+        let range = chunk_range(input, i);
+        let arrays_ref = &mut arrays;
+        compress_futs.push(Some(
+            cx.create_future(move |cx| process_chunk(cx, arrays_ref, range, i)),
+        ));
+    }
+    // Serial dedup chain: future i touches future i-1 (serializing the
+    // table updates) and the chunk's own compress future (first touch).
+    let mut prev_dedup: Option<FutureHandle<()>> = None;
+    for i in 0..n {
+        let mut prev = prev_dedup.take();
+        let mut own_compress = compress_futs[i].take();
+        let arrays_ref = &mut arrays;
+        let slot_ref = &mut dedup_slot;
+        let table_ref = &mut table;
+        let handle = {
+            let prev_ref = &mut prev;
+            let own_ref = &mut own_compress;
+            cx.create_future(move |cx| {
+                if let Some(p) = prev_ref.as_mut() {
+                    cx.touch_future(p);
+                }
+                if let Some(c) = own_ref.as_mut() {
+                    cx.touch_future(c);
+                }
+                let fp = arrays_ref.fingerprints.get(cx, i);
+                let first = *table_ref.entry(fp).or_insert(i);
+                slot_ref.set(cx, i, first as u32);
+            })
+        };
+        // The compress handle goes back so the reorder stage can touch it a
+        // second time; the dedup handle becomes the next chain predecessor.
+        compress_futs[i] = own_compress;
+        prev_dedup = Some(handle);
+    }
+    // Reorder/emit stage: touches the final dedup future (ordering the whole
+    // chain) and each chunk's compress future a second time, then emits.
+    if let Some(mut last) = prev_dedup.take() {
+        cx.touch_future(&mut last);
+    }
+    for i in 0..n {
+        if let Some(c) = compress_futs[i].as_mut() {
+            cx.touch_future(c);
+        }
+        let first = dedup_slot.get(cx, i) as usize;
+        let value = if first == i {
+            arrays.compressed.get(cx, i)
+        } else {
+            (first as u64).rotate_left(3)
+        };
+        arrays.emitted.set(cx, i, value);
+    }
+    fold_emitted(cx, &arrays.emitted, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
+    use futurerd_dag::NullObserver;
+    use futurerd_runtime::run_program;
+
+    fn input() -> DedupInput {
+        DedupInput::generate(24, 64, 17)
+    }
+
+    #[test]
+    fn input_contains_duplicates() {
+        let inp = input();
+        let fps: std::collections::HashSet<u64> = inp
+            .data
+            .chunks(inp.chunk_size)
+            .map(fingerprint)
+            .collect();
+        assert!(fps.len() < inp.num_chunks());
+    }
+
+    #[test]
+    fn structured_matches_serial() {
+        let inp = input();
+        let (got, _, _) = run_program(NullObserver, |cx| structured(cx, &inp));
+        assert_eq!(got, serial(&inp));
+    }
+
+    #[test]
+    fn general_matches_serial() {
+        let inp = input();
+        let (got, _, _) = run_program(NullObserver, |cx| general(cx, &inp));
+        assert_eq!(got, serial(&inp));
+    }
+
+    #[test]
+    fn structured_is_race_free_under_multibags() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn general_is_race_free_under_multibags_plus() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn one_future_per_chunk_in_structured_mode() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| structured(cx, &inp));
+        assert_eq!(s.creates, inp.num_chunks() as u64);
+        assert_eq!(s.gets, s.creates);
+    }
+
+    #[test]
+    fn general_mode_builds_a_longer_pipeline() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| general(cx, &inp));
+        assert_eq!(s.creates, 2 * inp.num_chunks() as u64);
+        assert!(s.gets > s.creates);
+    }
+}

@@ -1,0 +1,318 @@
+//! A uniform entry point over all workloads, used by the benchmark harness
+//! and the integration tests.
+
+use crate::{bst, dedup, heartwall, lcs, mm, sw};
+use futurerd_dag::Observer;
+use futurerd_runtime::exec::ExecutionSummary;
+use futurerd_runtime::run_program;
+
+/// Which benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Longest common subsequence.
+    Lcs,
+    /// Smith–Waterman.
+    Sw,
+    /// Matrix multiplication without temporaries.
+    Mm,
+    /// Binary tree / ordered-set merge.
+    Bst,
+    /// Heart-wall tracking (synthetic frames).
+    Heartwall,
+    /// Dedup compression pipeline (synthetic stream).
+    Dedup,
+}
+
+impl WorkloadKind {
+    /// All benchmarks, in the order the paper's tables list them.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::Lcs,
+        WorkloadKind::Sw,
+        WorkloadKind::Mm,
+        WorkloadKind::Heartwall,
+        WorkloadKind::Dedup,
+        WorkloadKind::Bst,
+    ];
+
+    /// The benchmark's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Lcs => "lcs",
+            WorkloadKind::Sw => "sw",
+            WorkloadKind::Mm => "mm",
+            WorkloadKind::Bst => "bst",
+            WorkloadKind::Heartwall => "heartwall",
+            WorkloadKind::Dedup => "dedup",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which futures variant of a workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FutureMode {
+    /// Structured (single-touch) futures — the MultiBags use case.
+    Structured,
+    /// General (multi-touch) futures — the MultiBags+ use case.
+    General,
+}
+
+impl std::fmt::Display for FutureMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FutureMode::Structured => "structured",
+            FutureMode::General => "general",
+        })
+    }
+}
+
+/// Problem-size parameters. The defaults are scaled-down versions of the
+/// paper's inputs (which target minutes-long native runs); the benchmark
+/// harness scales them up or down via environment variables.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Sequence length (lcs, sw) or matrix dimension (mm).
+    pub n: usize,
+    /// Tile/base-case size for the blocked kernels.
+    pub base: usize,
+    /// Tree sizes for bst (the paper uses 8e6 / 4e6).
+    pub bst_sizes: (usize, usize),
+    /// Frames and points for heartwall (the paper uses 10 frames).
+    pub heartwall: (usize, usize, usize),
+    /// Chunks and chunk size for dedup.
+    pub dedup: (usize, usize),
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self {
+            n: 128,
+            base: 16,
+            bst_sizes: (4000, 2000),
+            heartwall: (10, 16, 64),
+            dedup: (64, 256),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Parameters sized for fast unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            n: 32,
+            base: 8,
+            bst_sizes: (300, 200),
+            heartwall: (3, 6, 32),
+            dedup: (16, 64),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Returns a copy with a different blocked-kernel base case (used by the
+    /// Figure 8 sweep).
+    pub fn with_base(mut self, base: usize) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Returns a copy with a different problem size.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+}
+
+/// Result of running one workload once.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadResult {
+    /// A checksum of the computed output (same value across variants and
+    /// detector configurations for a given input).
+    pub checksum: u64,
+    /// Execution counters (strands, futures, memory accesses, ...).
+    pub summary: ExecutionSummary,
+}
+
+/// Runs `kind` in `mode` with the given parameters under `observer`,
+/// returning the observer (e.g. a detector with its race report) and the
+/// result.
+pub fn run_workload<O: Observer>(
+    kind: WorkloadKind,
+    mode: FutureMode,
+    params: &WorkloadParams,
+    observer: O,
+) -> (O, WorkloadResult) {
+    let (checksum, obs, summary) = match (kind, mode) {
+        (WorkloadKind::Lcs, FutureMode::Structured) => {
+            let input = lcs::LcsInput::generate(params.n, params.seed);
+            let (v, o, s) = run_program(observer, |cx| lcs::structured(cx, &input, params.base));
+            (v as u64, o, s)
+        }
+        (WorkloadKind::Lcs, FutureMode::General) => {
+            let input = lcs::LcsInput::generate(params.n, params.seed);
+            let (v, o, s) = run_program(observer, |cx| lcs::general(cx, &input, params.base));
+            (v as u64, o, s)
+        }
+        (WorkloadKind::Sw, FutureMode::Structured) => {
+            let input = sw::SwInput::generate(params.n, params.seed);
+            let (v, o, s) = run_program(observer, |cx| sw::structured(cx, &input, params.base));
+            (v as u64, o, s)
+        }
+        (WorkloadKind::Sw, FutureMode::General) => {
+            let input = sw::SwInput::generate(params.n, params.seed);
+            let (v, o, s) = run_program(observer, |cx| sw::general(cx, &input, params.base));
+            (v as u64, o, s)
+        }
+        (WorkloadKind::Mm, FutureMode::Structured) => {
+            let input = mm::MmInput::generate(params.n, params.seed);
+            let (v, o, s) = run_program(observer, |cx| mm::structured(cx, &input, params.base));
+            (v, o, s)
+        }
+        (WorkloadKind::Mm, FutureMode::General) => {
+            let input = mm::MmInput::generate(params.n, params.seed);
+            let (v, o, s) = run_program(observer, |cx| mm::general(cx, &input, params.base));
+            (v, o, s)
+        }
+        (WorkloadKind::Bst, FutureMode::Structured) => {
+            let input = bst::BstInput::generate(params.bst_sizes.0, params.bst_sizes.1, params.seed);
+            let (v, o, s) = run_program(observer, |cx| bst::structured(cx, &input, params.base));
+            (v, o, s)
+        }
+        (WorkloadKind::Bst, FutureMode::General) => {
+            let input = bst::BstInput::generate(params.bst_sizes.0, params.bst_sizes.1, params.seed);
+            let (v, o, s) = run_program(observer, |cx| bst::general(cx, &input, params.base));
+            (v, o, s)
+        }
+        (WorkloadKind::Heartwall, FutureMode::Structured) => {
+            let (frames, points, dim) = params.heartwall;
+            let input = heartwall::HeartwallInput::generate(frames, points, dim, params.seed);
+            let (v, o, s) = run_program(observer, |cx| heartwall::structured(cx, &input));
+            (v, o, s)
+        }
+        (WorkloadKind::Heartwall, FutureMode::General) => {
+            let (frames, points, dim) = params.heartwall;
+            let input = heartwall::HeartwallInput::generate(frames, points, dim, params.seed);
+            let (v, o, s) = run_program(observer, |cx| heartwall::general(cx, &input));
+            (v, o, s)
+        }
+        (WorkloadKind::Dedup, FutureMode::Structured) => {
+            let input = dedup::DedupInput::generate(params.dedup.0, params.dedup.1, params.seed);
+            let (v, o, s) = run_program(observer, |cx| dedup::structured(cx, &input));
+            (v, o, s)
+        }
+        (WorkloadKind::Dedup, FutureMode::General) => {
+            let input = dedup::DedupInput::generate(params.dedup.0, params.dedup.1, params.seed);
+            let (v, o, s) = run_program(observer, |cx| dedup::general(cx, &input));
+            (v, o, s)
+        }
+    };
+    (
+        obs,
+        WorkloadResult {
+            checksum,
+            summary,
+        },
+    )
+}
+
+/// The serial (uninstrumented) reference checksum for a workload/parameters
+/// pair; used to verify results under every detector configuration.
+pub fn reference_checksum(kind: WorkloadKind, params: &WorkloadParams) -> u64 {
+    match kind {
+        WorkloadKind::Lcs => lcs::serial(&lcs::LcsInput::generate(params.n, params.seed)) as u64,
+        WorkloadKind::Sw => sw::serial(&sw::SwInput::generate(params.n, params.seed)) as u64,
+        WorkloadKind::Mm => mm::checksum(&mm::serial(&mm::MmInput::generate(params.n, params.seed))),
+        WorkloadKind::Bst => bst::checksum(&bst::serial(&bst::BstInput::generate(
+            params.bst_sizes.0,
+            params.bst_sizes.1,
+            params.seed,
+        ))),
+        WorkloadKind::Heartwall => {
+            let (frames, points, dim) = params.heartwall;
+            heartwall::serial(&heartwall::HeartwallInput::generate(frames, points, dim, params.seed))
+        }
+        WorkloadKind::Dedup => {
+            dedup::serial(&dedup::DedupInput::generate(params.dedup.0, params.dedup.1, params.seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus};
+    use futurerd_dag::NullObserver;
+
+    #[test]
+    fn every_workload_and_mode_matches_the_reference() {
+        let params = WorkloadParams::tiny();
+        for kind in WorkloadKind::ALL {
+            let expected = reference_checksum(kind, &params);
+            for mode in [FutureMode::Structured, FutureMode::General] {
+                let (_, result) = run_workload(kind, mode, &params, NullObserver);
+                assert_eq!(result.checksum, expected, "{kind} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_is_race_free_under_its_designated_detector() {
+        let params = WorkloadParams::tiny();
+        for kind in WorkloadKind::ALL {
+            let (det, _) = run_workload(
+                kind,
+                FutureMode::Structured,
+                &params,
+                RaceDetector::<MultiBags>::structured(),
+            );
+            assert!(det.report().is_race_free(), "{kind} structured: {}", det.report());
+            let (det, _) = run_workload(
+                kind,
+                FutureMode::General,
+                &params,
+                RaceDetector::<MultiBagsPlus>::general(),
+            );
+            assert!(det.report().is_race_free(), "{kind} general: {}", det.report());
+        }
+    }
+
+    #[test]
+    fn detectors_agree_with_the_oracle_on_every_workload() {
+        let params = WorkloadParams::tiny();
+        for kind in WorkloadKind::ALL {
+            for mode in [FutureMode::Structured, FutureMode::General] {
+                let (oracle_det, _) =
+                    run_workload(kind, mode, &params, RaceDetector::new(GraphOracle::new()));
+                let (mbp_det, _) = run_workload(kind, mode, &params, RaceDetector::general());
+                assert_eq!(
+                    oracle_det.report().race_count(),
+                    mbp_det.report().race_count(),
+                    "{kind} {mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_mode_always_uses_more_gets() {
+        let params = WorkloadParams::tiny();
+        for kind in WorkloadKind::ALL {
+            let (_, s) = run_workload(kind, FutureMode::Structured, &params, NullObserver);
+            let (_, g) = run_workload(kind, FutureMode::General, &params, NullObserver);
+            assert!(
+                g.summary.gets >= s.summary.gets,
+                "{kind}: structured {} vs general {}",
+                s.summary.gets,
+                g.summary.gets
+            );
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Heart-wall tracking (`heartwall`) — synthetic substitute for the Rodinia
+//! benchmark used in the paper.
+//!
+//! The Rodinia benchmark tracks a set of sample points on the inner and
+//! outer heart wall across a sequence of ultrasound frames: the position of
+//! point `p` in frame `f` is found by correlating a template around the
+//! point's position in frame `f-1` with a search window in frame `f`. The
+//! dependence structure — per-point chains across frames, all points of a
+//! frame independent of each other — is what matters for race-detection
+//! overhead; the pixel data itself does not, so frames here are
+//! synthetically generated.
+//!
+//! * **Structured**: frames are processed with a barrier — the driver
+//!   creates one future per point for frame `f` and joins them all before
+//!   frame `f+1` (single touch).
+//! * **General**: the future for point `p` in frame `f` directly touches the
+//!   frame-`f-1` futures of `p` and of its two neighbouring points (the
+//!   search windows overlap), so futures are multi-touch and the dag is not
+//!   series-parallel.
+
+use futurerd_dag::Observer;
+use futurerd_runtime::exec::FutureHandle;
+use futurerd_runtime::{Cx, ShadowArray, ShadowMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters and synthetic frames.
+#[derive(Debug, Clone)]
+pub struct HeartwallInput {
+    /// Number of frames (the paper uses 10).
+    pub frames: usize,
+    /// Number of tracked sample points.
+    pub points: usize,
+    /// Width/height of each (square) synthetic frame.
+    pub frame_dim: usize,
+    /// Half-width of the correlation search window.
+    pub window: usize,
+    /// Synthetic frame pixels, one `frame_dim²` block per frame.
+    pub pixels: Vec<Vec<i32>>,
+}
+
+impl HeartwallInput {
+    /// Generates synthetic frames.
+    pub fn generate(frames: usize, points: usize, frame_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pixels = (0..frames)
+            .map(|_| (0..frame_dim * frame_dim).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        Self {
+            frames,
+            points,
+            frame_dim,
+            window: 4,
+            pixels,
+        }
+    }
+}
+
+/// Correlation kernel: given the previous position of a point, scan the
+/// search window in the current frame and return the offset with the best
+/// (synthetic) response. Deterministic in the inputs.
+fn track_point<O: Observer>(
+    cx: &mut Cx<O>,
+    frame: &ShadowMatrix<i32>,
+    prev_pos: (usize, usize),
+    window: usize,
+    dim: usize,
+) -> (usize, usize) {
+    let (py, px) = prev_pos;
+    let mut best = i64::MIN;
+    let mut best_pos = prev_pos;
+    let y0 = py.saturating_sub(window);
+    let x0 = px.saturating_sub(window);
+    let y1 = (py + window).min(dim - 1);
+    let x1 = (px + window).min(dim - 1);
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            // A small correlation surrogate: sum of a 3x3 neighbourhood
+            // weighted by distance from the previous position.
+            let mut acc = 0i64;
+            for dy in 0..3usize {
+                for dx in 0..3usize {
+                    let yy = (y + dy).min(dim - 1);
+                    let xx = (x + dx).min(dim - 1);
+                    acc += frame.get(cx, yy, xx) as i64;
+                }
+            }
+            let dist = (y.abs_diff(py) + x.abs_diff(px)) as i64;
+            let score = acc - 7 * dist;
+            if score > best {
+                best = score;
+                best_pos = (y, x);
+            }
+        }
+    }
+    best_pos
+}
+
+/// Serial reference: tracks every point through every frame and returns a
+/// checksum of the final positions.
+pub fn serial(input: &HeartwallInput) -> u64 {
+    let dim = input.frame_dim;
+    let mut positions: Vec<(usize, usize)> = (0..input.points)
+        .map(|p| (dim / 2, (p * dim / input.points.max(1)).min(dim - 1)))
+        .collect();
+    for f in 0..input.frames {
+        let frame = &input.pixels[f];
+        for pos in positions.iter_mut() {
+            let (py, px) = *pos;
+            let mut best = i64::MIN;
+            let mut best_pos = *pos;
+            let (y0, x0) = (py.saturating_sub(input.window), px.saturating_sub(input.window));
+            let (y1, x1) = ((py + input.window).min(dim - 1), (px + input.window).min(dim - 1));
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let mut acc = 0i64;
+                    for dy in 0..3usize {
+                        for dx in 0..3usize {
+                            acc += frame[(y + dy).min(dim - 1) * dim + (x + dx).min(dim - 1)] as i64;
+                        }
+                    }
+                    let dist = (y.abs_diff(py) + x.abs_diff(px)) as i64;
+                    let score = acc - 7 * dist;
+                    if score > best {
+                        best = score;
+                        best_pos = (y, x);
+                    }
+                }
+            }
+            *pos = best_pos;
+        }
+    }
+    positions
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &(y, x))| {
+            acc.wrapping_add(((y * dim + x) as u64).rotate_left((i % 61) as u32))
+        })
+}
+
+fn checksum(positions: &[(usize, usize)], dim: usize) -> u64 {
+    positions
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &(y, x))| {
+            acc.wrapping_add(((y * dim + x) as u64).rotate_left((i % 61) as u32))
+        })
+}
+
+fn initial_positions(input: &HeartwallInput) -> Vec<(usize, usize)> {
+    let dim = input.frame_dim;
+    (0..input.points)
+        .map(|p| (dim / 2, (p * dim / input.points.max(1)).min(dim - 1)))
+        .collect()
+}
+
+fn load_frame<O: Observer>(cx: &mut Cx<O>, input: &HeartwallInput, f: usize) -> ShadowMatrix<i32> {
+    let dim = input.frame_dim;
+    let mut m = ShadowMatrix::new(cx, dim, dim, 0i32);
+    m.raw_mut().copy_from_slice(&input.pixels[f]);
+    m
+}
+
+/// Structured-futures tracker (per-frame barrier). Returns a checksum of the
+/// final point positions.
+pub fn structured<O: Observer>(cx: &mut Cx<O>, input: &HeartwallInput) -> u64 {
+    let dim = input.frame_dim;
+    // Positions are stored in instrumented memory: frame f's tracking of
+    // point p reads positions[p] (written in frame f-1) and writes it back.
+    let mut pos_y = ShadowArray::new(cx, input.points, 0u32);
+    let mut pos_x = ShadowArray::new(cx, input.points, 0u32);
+    for (p, (y, x)) in initial_positions(input).into_iter().enumerate() {
+        pos_y.set(cx, p, y as u32);
+        pos_x.set(cx, p, x as u32);
+    }
+    for f in 0..input.frames {
+        let frame = load_frame(cx, input, f);
+        let mut futures: Vec<FutureHandle<()>> = Vec::new();
+        for p in 0..input.points {
+            let frame_ref = &frame;
+            let (py_ref, px_ref) = (&mut pos_y, &mut pos_x);
+            let window = input.window;
+            futures.push(cx.create_future(move |cx| {
+                let prev = (py_ref.get(cx, p) as usize, px_ref.get(cx, p) as usize);
+                let (ny, nx) = track_point(cx, frame_ref, prev, window, dim);
+                py_ref.set(cx, p, ny as u32);
+                px_ref.set(cx, p, nx as u32);
+            }));
+        }
+        for fut in futures {
+            cx.get_future(fut);
+        }
+    }
+    let positions: Vec<(usize, usize)> = (0..input.points)
+        .map(|p| (pos_y.raw()[p] as usize, pos_x.raw()[p] as usize))
+        .collect();
+    checksum(&positions, dim)
+}
+
+/// General-futures tracker: point `(f, p)` touches the frame-`f-1` futures
+/// of `p-1`, `p`, `p+1` (multi-touch), with no per-frame barrier.
+pub fn general<O: Observer>(cx: &mut Cx<O>, input: &HeartwallInput) -> u64 {
+    let dim = input.frame_dim;
+    // Per-point position cells; each (f, p) future owns cell p exclusively
+    // in its frame, ordered across frames by the future chain.
+    let mut pos_y = ShadowArray::new(cx, input.points, 0u32);
+    let mut pos_x = ShadowArray::new(cx, input.points, 0u32);
+    for (p, (y, x)) in initial_positions(input).into_iter().enumerate() {
+        pos_y.set(cx, p, y as u32);
+        pos_x.set(cx, p, x as u32);
+    }
+    let mut prev_frame: Vec<Option<FutureHandle<()>>> = (0..input.points).map(|_| None).collect();
+    for f in 0..input.frames {
+        let frame = load_frame(cx, input, f);
+        let mut this_frame: Vec<Option<FutureHandle<()>>> = (0..input.points).map(|_| None).collect();
+        for p in 0..input.points {
+            // Dependencies: previous frame's futures for p-1, p, p+1.
+            let lo = p.saturating_sub(1);
+            let hi = (p + 1).min(input.points - 1);
+            let mut deps: Vec<Option<FutureHandle<()>>> =
+                (lo..=hi).map(|q| prev_frame[q].take()).collect();
+            let frame_ref = &frame;
+            let (py_ref, px_ref) = (&mut pos_y, &mut pos_x);
+            let window = input.window;
+            let handle = {
+                let deps_ref = &mut deps;
+                cx.create_future(move |cx| {
+                    for d in deps_ref.iter_mut().flatten() {
+                        cx.touch_future(d);
+                    }
+                    let prev = (py_ref.get(cx, p) as usize, px_ref.get(cx, p) as usize);
+                    let (ny, nx) = track_point(cx, frame_ref, prev, window, dim);
+                    py_ref.set(cx, p, ny as u32);
+                    px_ref.set(cx, p, nx as u32);
+                })
+            };
+            for (q, dep) in (lo..=hi).zip(deps.into_iter()) {
+                if dep.is_some() {
+                    prev_frame[q] = dep;
+                }
+            }
+            this_frame[p] = Some(handle);
+        }
+        prev_frame = this_frame;
+    }
+    // Join the last frame's futures before reading the final positions.
+    for slot in prev_frame.iter_mut() {
+        if let Some(h) = slot.as_mut() {
+            cx.touch_future(h);
+        }
+    }
+    let positions: Vec<(usize, usize)> = (0..input.points)
+        .map(|p| (pos_y.get(cx, p) as usize, pos_x.get(cx, p) as usize))
+        .collect();
+    checksum(&positions, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
+    use futurerd_dag::NullObserver;
+    use futurerd_runtime::run_program;
+
+    fn input() -> HeartwallInput {
+        HeartwallInput::generate(4, 6, 32, 21)
+    }
+
+    #[test]
+    fn structured_matches_serial() {
+        let inp = input();
+        let (got, _, _) = run_program(NullObserver, |cx| structured(cx, &inp));
+        assert_eq!(got, serial(&inp));
+    }
+
+    #[test]
+    fn general_matches_serial() {
+        let inp = input();
+        let (got, _, _) = run_program(NullObserver, |cx| general(cx, &inp));
+        assert_eq!(got, serial(&inp));
+    }
+
+    #[test]
+    fn structured_is_race_free_under_multibags() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn general_is_race_free_under_multibags_plus() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn one_future_per_point_per_frame() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| structured(cx, &inp));
+        assert_eq!(s.creates, (inp.frames * inp.points) as u64);
+        assert_eq!(s.gets, s.creates);
+    }
+
+    #[test]
+    fn general_has_multi_touch_gets() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| general(cx, &inp));
+        assert!(s.gets > s.creates);
+    }
+}

@@ -1,0 +1,425 @@
+//! Longest common subsequence (`lcs`).
+//!
+//! The classic Θ(n²) dynamic program over two strings, blocked into
+//! `B × B` tiles. Tile `(i, j)` depends on tiles `(i-1, j)`, `(i, j-1)` and
+//! `(i-1, j-1)`, giving a wavefront of parallelism along anti-diagonals.
+//!
+//! * **Structured** variant: the driver walks anti-diagonals; it creates one
+//!   future per tile of the current diagonal and consumes (`get_fut`) all of
+//!   them before moving to the next diagonal. Every future is touched
+//!   exactly once and strictly after its creation — structured futures,
+//!   `k = (n/B)²` gets.
+//! * **General** variant: one future per tile, and each tile's *body*
+//!   touches the futures of its up / left / diagonal neighbours directly
+//!   (multi-touch: an interior tile's future is consumed by up to three
+//!   other tiles plus the final collection), exercising MultiBags+.
+//!
+//! Both variants are determinacy-race free: every cell of the DP table is
+//! written by exactly one tile, and every read of another tile's cells
+//! happens after the corresponding future has been joined.
+
+use futurerd_dag::Observer;
+use futurerd_runtime::exec::FutureHandle;
+use futurerd_runtime::{Cx, ShadowArray, ShadowMatrix, ThreadPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input strings for the DP.
+#[derive(Debug, Clone)]
+pub struct LcsInput {
+    /// First sequence.
+    pub a: Vec<u8>,
+    /// Second sequence.
+    pub b: Vec<u8>,
+}
+
+impl LcsInput {
+    /// Generates two random sequences of length `n` over a 4-letter
+    /// alphabet.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..n).map(|_| rng.gen_range(b'a'..b'e')).collect();
+        let b = (0..n).map(|_| rng.gen_range(b'a'..b'e')).collect();
+        Self { a, b }
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True if the input is empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+}
+
+/// Serial reference implementation (uninstrumented).
+pub fn serial(input: &LcsInput) -> u32 {
+    let (n, m) = (input.a.len(), input.b.len());
+    let mut prev = vec![0u32; m + 1];
+    let mut cur = vec![0u32; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            cur[j] = if input.a[i - 1] == input.b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Computes one `B × B` tile of the DP table in place.
+fn compute_tile<O: Observer>(
+    cx: &mut Cx<O>,
+    table: &mut ShadowMatrix<u32>,
+    a: &ShadowArray<u8>,
+    b: &ShadowArray<u8>,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) {
+    for i in rows {
+        for j in cols.clone() {
+            let up = table.get(cx, i - 1, j);
+            let left = table.get(cx, i, j - 1);
+            let diag = table.get(cx, i - 1, j - 1);
+            let value = if a.get(cx, i - 1) == b.get(cx, j - 1) {
+                diag + 1
+            } else {
+                up.max(left)
+            };
+            table.set(cx, i, j, value);
+        }
+    }
+}
+
+fn tile_ranges(n: usize, base: usize, t: usize) -> std::ops::Range<usize> {
+    let start = t * base + 1;
+    let end = ((t + 1) * base).min(n) + 1;
+    start..end
+}
+
+/// Shared setup: allocate the instrumented table and inputs.
+fn setup<O: Observer>(
+    cx: &mut Cx<O>,
+    input: &LcsInput,
+) -> (ShadowMatrix<u32>, ShadowArray<u8>, ShadowArray<u8>) {
+    let n = input.a.len();
+    let m = input.b.len();
+    let table = ShadowMatrix::new(cx, n + 1, m + 1, 0u32);
+    let a = ShadowArray::from_vec(cx, input.a.clone());
+    let b = ShadowArray::from_vec(cx, input.b.clone());
+    (table, a, b)
+}
+
+/// Structured-futures variant: anti-diagonal barriers, one future per tile.
+pub fn structured<O: Observer>(cx: &mut Cx<O>, input: &LcsInput, base: usize) -> u32 {
+    let n = input.a.len();
+    let m = input.b.len();
+    let (mut table, a, b) = setup(cx, input);
+    let tiles_i = n.div_ceil(base);
+    let tiles_j = m.div_ceil(base);
+
+    for diag in 0..(tiles_i + tiles_j - 1) {
+        let mut futures: Vec<FutureHandle<()>> = Vec::new();
+        for ti in 0..tiles_i {
+            if diag < ti {
+                continue;
+            }
+            let tj = diag - ti;
+            if tj >= tiles_j {
+                continue;
+            }
+            let rows = tile_ranges(n, base, ti);
+            let cols = tile_ranges(m, base, tj);
+            let table_ref = &mut table;
+            let (a_ref, b_ref) = (&a, &b);
+            futures.push(cx.create_future(move |cx| {
+                compute_tile(cx, table_ref, a_ref, b_ref, rows, cols);
+            }));
+        }
+        // Barrier: consume every tile of this diagonal exactly once before
+        // the next diagonal's tiles are created.
+        for f in futures {
+            cx.get_future(f);
+        }
+    }
+    table.get(cx, n, m)
+}
+
+/// General-futures variant: one future per tile; each tile touches its
+/// neighbours' futures (multi-touch).
+pub fn general<O: Observer>(cx: &mut Cx<O>, input: &LcsInput, base: usize) -> u32 {
+    let n = input.a.len();
+    let m = input.b.len();
+    let (mut table, a, b) = setup(cx, input);
+    let tiles_i = n.div_ceil(base);
+    let tiles_j = m.div_ceil(base);
+
+    // Futures indexed by tile, created in wavefront order so every
+    // dependency exists (and has executed, under eager evaluation) before
+    // the tile that needs it.
+    let mut futures: Vec<Vec<Option<FutureHandle<()>>>> = (0..tiles_i)
+        .map(|_| (0..tiles_j).map(|_| None).collect())
+        .collect();
+
+    for diag in 0..(tiles_i + tiles_j - 1) {
+        for ti in 0..tiles_i {
+            if diag < ti {
+                continue;
+            }
+            let tj = diag - ti;
+            if tj >= tiles_j {
+                continue;
+            }
+            let rows = tile_ranges(n, base, ti);
+            let cols = tile_ranges(m, base, tj);
+            // Take the dependency handles out, touch them inside the new
+            // tile's future, then put them back (they may be needed by the
+            // next wavefront and by the final collection).
+            let mut up = if ti > 0 { futures[ti - 1][tj].take() } else { None };
+            let mut left = if tj > 0 { futures[ti][tj - 1].take() } else { None };
+            let mut diag_dep = if ti > 0 && tj > 0 {
+                futures[ti - 1][tj - 1].take()
+            } else {
+                None
+            };
+            let table_ref = &mut table;
+            let (a_ref, b_ref) = (&a, &b);
+            let handle = {
+                let (up_ref, left_ref, diag_ref) = (&mut up, &mut left, &mut diag_dep);
+                cx.create_future(move |cx| {
+                    if let Some(h) = up_ref.as_mut() {
+                        cx.touch_future(h);
+                    }
+                    if let Some(h) = left_ref.as_mut() {
+                        cx.touch_future(h);
+                    }
+                    if let Some(h) = diag_ref.as_mut() {
+                        cx.touch_future(h);
+                    }
+                    compute_tile(cx, table_ref, a_ref, b_ref, rows, cols);
+                })
+            };
+            if let Some(h) = up {
+                futures[ti - 1][tj] = Some(h);
+            }
+            if let Some(h) = left {
+                futures[ti][tj - 1] = Some(h);
+            }
+            if let Some(h) = diag_dep {
+                futures[ti - 1][tj - 1] = Some(h);
+            }
+            futures[ti][tj] = Some(handle);
+        }
+    }
+    // Join the final tile (its transitive dependencies cover the table).
+    if let Some(mut last) = futures[tiles_i - 1][tiles_j - 1].take() {
+        cx.touch_future(&mut last);
+    }
+    table.get(cx, n, m)
+}
+
+/// A variant with a seeded determinacy race: the diagonal dependency is not
+/// joined, so reading the diagonal neighbour's cells races with their
+/// writes. Used by tests to confirm detection.
+pub fn structured_with_race<O: Observer>(cx: &mut Cx<O>, input: &LcsInput, base: usize) -> u32 {
+    let n = input.a.len();
+    let m = input.b.len();
+    let (mut table, a, b) = setup(cx, input);
+    let tiles = n.div_ceil(base).min(m.div_ceil(base));
+    // Create the (0,0) tile and the (1,1) tile without joining (0,0):
+    // the (1,1) tile reads cells written by (0,0) -> race.
+    let r0 = tile_ranges(n, base, 0);
+    let c0 = tile_ranges(m, base, 0);
+    let f0 = {
+        let table_ref = &mut table;
+        let (a_ref, b_ref) = (&a, &b);
+        let (r0c, c0c) = (r0.clone(), c0.clone());
+        cx.create_future(move |cx| compute_tile(cx, table_ref, a_ref, b_ref, r0c, c0c))
+    };
+    if tiles > 1 {
+        let r1 = tile_ranges(n, base, 1);
+        let c1 = tile_ranges(m, base, 1);
+        let table_ref = &mut table;
+        let (a_ref, b_ref) = (&a, &b);
+        let f1 = cx.create_future(move |cx| {
+            // Reads row r1.start-1 / col c1.start-1, written by tile (0,0):
+            // no join happened, so this is a determinacy race.
+            compute_tile(cx, table_ref, a_ref, b_ref, r1, c1)
+        });
+        cx.get_future(f1);
+    }
+    cx.get_future(f0);
+    table.get(cx, n.min(base), m.min(base))
+}
+
+/// Parallel (uninstrumented) blocked LCS on the work-stealing pool,
+/// processing each anti-diagonal's tiles with a parallel scope.
+pub fn parallel(pool: &ThreadPool, input: &LcsInput, base: usize) -> u32 {
+    let n = input.a.len();
+    let m = input.b.len();
+    let mut table = vec![0u32; (n + 1) * (m + 1)];
+    let width = m + 1;
+    let tiles_i = n.div_ceil(base);
+    let tiles_j = m.div_ceil(base);
+    let a = &input.a;
+    let b = &input.b;
+
+    for diag in 0..(tiles_i + tiles_j - 1) {
+        // Collect the tiles of this diagonal as disjoint row-slices of the
+        // table; each tile writes only rows it owns... rows are shared
+        // between tiles of the same row-range, so instead split the table
+        // into per-tile temporary deltas is overkill — tiles on one
+        // anti-diagonal touch disjoint (row-block, col-block) regions, so a
+        // raw pointer per tile would be needed for full parallel writes.
+        // Keep it simple and safe: compute each tile's cells into a local
+        // buffer in parallel, then write back serially.
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for ti in 0..tiles_i {
+            if diag >= ti && diag - ti < tiles_j {
+                work.push((ti, diag - ti));
+            }
+        }
+        let snapshot = table.clone();
+        let mut results: Vec<(usize, usize, Vec<u32>)> = work
+            .iter()
+            .map(|&(ti, tj)| (ti, tj, Vec::new()))
+            .collect();
+        pool.scope(|s| {
+            for (ti, tj, out) in results.iter_mut() {
+                let snapshot = &snapshot;
+                s.spawn(move || {
+                    let rows = tile_ranges(n, base, *ti);
+                    let cols = tile_ranges(m, base, *tj);
+                    let mut local = snapshot.clone();
+                    for i in rows.clone() {
+                        for j in cols.clone() {
+                            local[i * width + j] = if a[i - 1] == b[j - 1] {
+                                local[(i - 1) * width + (j - 1)] + 1
+                            } else {
+                                local[(i - 1) * width + j].max(local[i * width + (j - 1)])
+                            };
+                        }
+                    }
+                    let mut collected = Vec::with_capacity(rows.len() * cols.len());
+                    for i in rows {
+                        for j in cols.clone() {
+                            collected.push(local[i * width + j]);
+                        }
+                    }
+                    *out = collected;
+                });
+            }
+        });
+        for (ti, tj, values) in results {
+            let rows = tile_ranges(n, base, ti);
+            let cols = tile_ranges(m, base, tj);
+            let mut it = values.into_iter();
+            for i in rows {
+                for j in cols.clone() {
+                    table[i * width + j] = it.next().unwrap();
+                }
+            }
+        }
+    }
+    table[n * width + m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
+    use futurerd_dag::NullObserver;
+    use futurerd_runtime::run_program;
+
+    fn input() -> LcsInput {
+        LcsInput::generate(48, 7)
+    }
+
+    #[test]
+    fn structured_matches_serial() {
+        let inp = input();
+        let expected = serial(&inp);
+        for base in [4, 7, 16, 48, 64] {
+            let (got, _, _) = run_program(NullObserver, |cx| structured(cx, &inp, base));
+            assert_eq!(got, expected, "base {base}");
+        }
+    }
+
+    #[test]
+    fn general_matches_serial() {
+        let inp = input();
+        let expected = serial(&inp);
+        for base in [4, 7, 16, 48] {
+            let (got, _, _) = run_program(NullObserver, |cx| general(cx, &inp, base));
+            assert_eq!(got, expected, "base {base}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let inp = input();
+        let pool = ThreadPool::new(4);
+        assert_eq!(parallel(&pool, &inp, 8), serial(&inp));
+    }
+
+    #[test]
+    fn structured_variant_is_race_free_under_multibags() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp, 8));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn general_variant_is_race_free_under_multibags_plus() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 8));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn seeded_race_is_detected() {
+        let inp = input();
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            structured_with_race(cx, &inp, 8)
+        });
+        assert!(!det.report().is_race_free());
+    }
+
+    #[test]
+    fn future_count_scales_with_base_case() {
+        let inp = input();
+        let (_, _, small) = run_program(NullObserver, |cx| structured(cx, &inp, 4));
+        let (_, _, large) = run_program(NullObserver, |cx| structured(cx, &inp, 16));
+        assert!(small.gets > large.gets);
+        assert_eq!(small.gets, small.creates);
+        // (48/4)^2 = 144 tiles.
+        assert_eq!(small.creates, 144);
+    }
+
+    #[test]
+    fn general_variant_has_more_gets_than_structured() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| structured(cx, &inp, 8));
+        let (_, _, g) = run_program(NullObserver, |cx| general(cx, &inp, 8));
+        assert!(g.gets > s.gets);
+    }
+
+    #[test]
+    fn deterministic_input_generation() {
+        let a = LcsInput::generate(32, 1);
+        let b = LcsInput::generate(32, 1);
+        let c = LcsInput::generate(32, 2);
+        assert_eq!(a.a, b.a);
+        assert_ne!(a.a, c.a);
+        assert_eq!(a.len(), 32);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Benchmark workloads from the PPoPP 2019 evaluation of FutureRD.
+//!
+//! Six benchmarks, each in a *structured*-futures and a *general*-futures
+//! variant, written against the `futurerd-runtime` execution context so the
+//! same code runs under every detector configuration:
+//!
+//! | Benchmark | Paper description | Here |
+//! |---|---|---|
+//! | [`lcs`] | longest common subsequence, Θ(n²) work, `(n/B)²` futures | blocked wavefront DP |
+//! | [`sw`] | Smith–Waterman with general gap penalty, Θ(n³) work, `(n/B)²` futures | blocked wavefront DP with row/column scans |
+//! | [`mm`] | matrix multiplication without temporaries, Θ(n³) work, `(n/B)³` futures | blocked k-round accumulation |
+//! | [`bst`] | binary tree merge (Blelloch & Reid-Miller pipelining) | divide-and-conquer ordered merge with futures |
+//! | [`heartwall`] | Rodinia heart-wall tracking (10 ultrasound frames) | synthetic per-frame point tracker with the same cross-frame dependence structure |
+//! | [`dedup`] | PARSEC dedup pipeline (fragment, dedup, compress, reorder) | synthetic chunk pipeline with a serialized dedup stage |
+//!
+//! `heartwall` and `dedup` replace proprietary/packaged inputs with
+//! synthetically generated data of the same shape (see `DESIGN.md`,
+//! "Substitutions"); the dependence structure — which is what the race
+//! detector's overhead depends on — is preserved.
+//!
+//! Every workload provides:
+//!
+//! * an input generator (deterministic from a seed),
+//! * a serial reference implementation used to verify results,
+//! * `structured`/`general` variants running on the instrumented executor,
+//! * for the divide-and-conquer benchmarks, a `parallel` variant on the
+//!   work-stealing pool demonstrating the same decomposition running
+//!   multithreaded,
+//! * a "seeded race" variant used by tests to confirm the detectors flag
+//!   injected races.
+
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod dedup;
+pub mod harness;
+pub mod heartwall;
+pub mod lcs;
+pub mod mm;
+pub mod sw;
+
+pub use harness::{
+    reference_checksum, run_workload, FutureMode, WorkloadKind, WorkloadParams, WorkloadResult,
+};

@@ -1,0 +1,269 @@
+//! Matrix multiplication without temporary matrices (`mm`).
+//!
+//! `C += A · B` on `n × n` matrices, blocked into `B × B` tiles. Because no
+//! temporary matrices are used, the updates of a given `C` tile across the
+//! `k` dimension must be serialized; tiles of `C` are independent of each
+//! other. The paper's general-futures version uses `(n/B)³` futures (one per
+//! `(i, j, k)` tile product); the structured version processes the `k`
+//! rounds with a barrier between rounds.
+//!
+//! * **Structured**: for each `k` round, one future per `(i, j)` tile
+//!   computing `C[i,j] += A[i,k] · B[k,j]`; the driver consumes all futures
+//!   of the round before the next round starts (single touch).
+//! * **General**: one future per `(i, j, k)` product; the future for
+//!   `(i, j, k)` touches the future for `(i, j, k-1)` (the accumulation
+//!   chain), and the driver additionally touches every chain tail at the
+//!   end — multi-touch, `k_gets ≈ (n/B)³`.
+
+use futurerd_dag::Observer;
+use futurerd_runtime::exec::FutureHandle;
+use futurerd_runtime::{Cx, ShadowMatrix, ThreadPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input matrices (row-major, `n × n`).
+#[derive(Debug, Clone)]
+pub struct MmInput {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Left operand.
+    pub a: Vec<i64>,
+    /// Right operand.
+    pub b: Vec<i64>,
+}
+
+impl MmInput {
+    /// Generates two random `n × n` matrices with small entries.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            n,
+            a: (0..n * n).map(|_| rng.gen_range(-4i64..5)).collect(),
+            b: (0..n * n).map(|_| rng.gen_range(-4i64..5)).collect(),
+        }
+    }
+}
+
+/// Serial reference product; returns the full result matrix.
+pub fn serial(input: &MmInput) -> Vec<i64> {
+    let n = input.n;
+    let mut c = vec![0i64; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = input.a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * input.b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// A cheap checksum of a matrix, used to compare results across variants.
+pub fn checksum(c: &[i64]) -> u64 {
+    c.iter().fold(0u64, |acc, &x| {
+        acc.wrapping_mul(0x100000001b3).wrapping_add(x as u64)
+    })
+}
+
+fn range(n: usize, base: usize, t: usize) -> std::ops::Range<usize> {
+    (t * base)..((t + 1) * base).min(n)
+}
+
+/// `C[rows, cols] += A[rows, kk] · B[kk, cols]` on instrumented matrices.
+fn accumulate_tile<O: Observer>(
+    cx: &mut Cx<O>,
+    c: &mut ShadowMatrix<i64>,
+    a: &ShadowMatrix<i64>,
+    b: &ShadowMatrix<i64>,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+    kk: std::ops::Range<usize>,
+) {
+    for i in rows {
+        for k in kk.clone() {
+            let aik = a.get(cx, i, k);
+            for j in cols.clone() {
+                let prev = c.get(cx, i, j);
+                let bkj = b.get(cx, k, j);
+                c.set(cx, i, j, prev + aik * bkj);
+            }
+        }
+    }
+}
+
+fn setup<O: Observer>(
+    cx: &mut Cx<O>,
+    input: &MmInput,
+) -> (ShadowMatrix<i64>, ShadowMatrix<i64>, ShadowMatrix<i64>) {
+    let n = input.n;
+    let mut a = ShadowMatrix::new(cx, n, n, 0i64);
+    let mut b = ShadowMatrix::new(cx, n, n, 0i64);
+    a.raw_mut().copy_from_slice(&input.a);
+    b.raw_mut().copy_from_slice(&input.b);
+    let c = ShadowMatrix::new(cx, n, n, 0i64);
+    (c, a, b)
+}
+
+/// Structured-futures variant. Returns the checksum of `C`.
+pub fn structured<O: Observer>(cx: &mut Cx<O>, input: &MmInput, base: usize) -> u64 {
+    let n = input.n;
+    let (mut c, a, b) = setup(cx, input);
+    let tiles = n.div_ceil(base);
+    for tk in 0..tiles {
+        let mut futures: Vec<FutureHandle<()>> = Vec::new();
+        for ti in 0..tiles {
+            for tj in 0..tiles {
+                let (rows, cols, kk) = (range(n, base, ti), range(n, base, tj), range(n, base, tk));
+                let c_ref = &mut c;
+                let (a_ref, b_ref) = (&a, &b);
+                futures.push(cx.create_future(move |cx| {
+                    accumulate_tile(cx, c_ref, a_ref, b_ref, rows, cols, kk);
+                }));
+            }
+        }
+        for f in futures {
+            cx.get_future(f);
+        }
+    }
+    checksum(c.raw())
+}
+
+/// General-futures variant (per-`(i,j,k)` futures chained along `k`).
+/// Returns the checksum of `C`.
+pub fn general<O: Observer>(cx: &mut Cx<O>, input: &MmInput, base: usize) -> u64 {
+    let n = input.n;
+    let (mut c, a, b) = setup(cx, input);
+    let tiles = n.div_ceil(base);
+    // chain[ti][tj] holds the future of the most recent k-step for that tile.
+    let mut chain: Vec<Vec<Option<FutureHandle<()>>>> =
+        (0..tiles).map(|_| (0..tiles).map(|_| None).collect()).collect();
+    for tk in 0..tiles {
+        for ti in 0..tiles {
+            for tj in 0..tiles {
+                let (rows, cols, kk) = (range(n, base, ti), range(n, base, tj), range(n, base, tk));
+                let mut prev = chain[ti][tj].take();
+                let c_ref = &mut c;
+                let (a_ref, b_ref) = (&a, &b);
+                let handle = {
+                    let prev_ref = &mut prev;
+                    cx.create_future(move |cx| {
+                        if let Some(p) = prev_ref.as_mut() {
+                            cx.touch_future(p);
+                        }
+                        accumulate_tile(cx, c_ref, a_ref, b_ref, rows, cols, kk);
+                    })
+                };
+                chain[ti][tj] = Some(handle);
+                // The previous link stays alive conceptually (multi-touch);
+                // it has already been consumed inside the new future so we
+                // can drop it here.
+                drop(prev);
+            }
+        }
+    }
+    // Touch every chain tail so the final read of C is ordered after all
+    // accumulations.
+    for row in chain.iter_mut() {
+        for slot in row.iter_mut() {
+            if let Some(h) = slot.as_mut() {
+                cx.touch_future(h);
+            }
+        }
+    }
+    checksum(c.raw())
+}
+
+/// Parallel (uninstrumented) blocked multiplication on the work-stealing
+/// pool: `C` row-blocks are distributed across scope tasks.
+pub fn parallel(pool: &ThreadPool, input: &MmInput, base: usize) -> u64 {
+    let n = input.n;
+    let mut c = vec![0i64; n * n];
+    let a = &input.a;
+    let b = &input.b;
+    let row_blocks: Vec<&mut [i64]> = c.chunks_mut(base.max(1) * n).collect();
+    pool.scope(|s| {
+        for (bi, block) in row_blocks.into_iter().enumerate() {
+            s.spawn(move || {
+                let i0 = bi * base;
+                let rows_here = block.len() / n;
+                for di in 0..rows_here {
+                    let i = i0 + di;
+                    for k in 0..n {
+                        let aik = a[i * n + k];
+                        for j in 0..n {
+                            block[di * n + j] += aik * b[k * n + j];
+                        }
+                    }
+                }
+            });
+        }
+    });
+    checksum(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
+    use futurerd_dag::NullObserver;
+    use futurerd_runtime::run_program;
+
+    fn input() -> MmInput {
+        MmInput::generate(12, 5)
+    }
+
+    #[test]
+    fn structured_matches_serial() {
+        let inp = input();
+        let expected = checksum(&serial(&inp));
+        for base in [3, 4, 12] {
+            let (got, _, _) = run_program(NullObserver, |cx| structured(cx, &inp, base));
+            assert_eq!(got, expected, "base {base}");
+        }
+    }
+
+    #[test]
+    fn general_matches_serial() {
+        let inp = input();
+        let expected = checksum(&serial(&inp));
+        let (got, _, _) = run_program(NullObserver, |cx| general(cx, &inp, 4));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let inp = input();
+        let pool = ThreadPool::new(3);
+        assert_eq!(parallel(&pool, &inp, 4), checksum(&serial(&inp)));
+    }
+
+    #[test]
+    fn both_variants_are_race_free() {
+        let inp = input();
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp, 4));
+        assert!(det.report().is_race_free(), "{}", det.report());
+        let (_, det, _) =
+            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 4));
+        assert!(det.report().is_race_free(), "{}", det.report());
+    }
+
+    #[test]
+    fn general_future_count_is_cubic_in_tiles() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| general(cx, &inp, 4));
+        // 3 tiles per dimension -> 27 futures; gets = 27 (chains) + ... >= 27.
+        assert_eq!(s.creates, 27);
+        assert!(s.gets >= 27);
+    }
+
+    #[test]
+    fn structured_creates_one_future_per_tile_per_round() {
+        let inp = input();
+        let (_, _, s) = run_program(NullObserver, |cx| structured(cx, &inp, 4));
+        assert_eq!(s.creates, 27);
+        assert_eq!(s.gets, 27);
+    }
+}

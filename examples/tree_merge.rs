@@ -1,0 +1,46 @@
+//! Ordered-set merge (the `bst` benchmark): parallel execution on the
+//! work-stealing pool plus race detection of both futures variants.
+//!
+//! ```text
+//! cargo run --release -p futurerd-workloads --example tree_merge
+//! ```
+
+use futurerd_core::detector::RaceDetector;
+use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
+use futurerd_runtime::{run_program, ThreadPool};
+use futurerd_workloads::bst::{self, BstInput};
+
+fn main() {
+    let input = BstInput::generate(50_000, 30_000, 7);
+    let expected = bst::checksum(&bst::serial(&input));
+
+    let pool = ThreadPool::new(4);
+    let parallel = bst::parallel(&pool, &input, 512);
+    assert_eq!(parallel, expected);
+    println!(
+        "parallel merge of {} + {} keys on {} workers: checksum {parallel:#x}",
+        input.a.len(),
+        input.b.len(),
+        pool.num_threads()
+    );
+
+    let small = BstInput::generate(4_000, 2_000, 7);
+    let (sum, det, s) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+        bst::structured(cx, &small, 64)
+    });
+    println!(
+        "structured merge: checksum {sum:#x}, {} futures, {} accesses — {}",
+        s.creates,
+        s.accesses(),
+        det.report()
+    );
+
+    let (sum, det, s) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+        bst::general(cx, &small, 64)
+    });
+    println!(
+        "pipelined merge:  checksum {sum:#x}, {} get_fut operations — {}",
+        s.gets,
+        det.report()
+    );
+}

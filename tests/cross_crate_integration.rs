@@ -1,0 +1,146 @@
+//! Integration tests spanning every crate of the workspace: workloads run on
+//! the runtime under the detectors from `futurerd-core`, with the dag model
+//! and oracle from `futurerd-dag` cross-checking the results.
+
+use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
+use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus};
+use futurerd_dag::stats::dag_stats;
+use futurerd_dag::{DagRecorder, MultiObserver, NullObserver};
+use futurerd_runtime::{run_program, ThreadPool};
+use futurerd_workloads::{
+    lcs, mm, reference_checksum, run_workload, FutureMode, WorkloadKind, WorkloadParams,
+};
+
+#[test]
+fn all_workloads_give_identical_results_under_every_configuration() {
+    let params = WorkloadParams::tiny();
+    for kind in WorkloadKind::ALL {
+        let expected = reference_checksum(kind, &params);
+        for mode in [FutureMode::Structured, FutureMode::General] {
+            let (_, r) = run_workload(kind, mode, &params, NullObserver);
+            assert_eq!(r.checksum, expected, "{kind} {mode} baseline");
+            let (_, r) = run_workload(kind, mode, &params, ReachabilityOnly::<MultiBagsPlus>::general());
+            assert_eq!(r.checksum, expected, "{kind} {mode} reachability");
+            let (_, r) = run_workload(kind, mode, &params, InstrumentationOnly::<MultiBagsPlus>::general());
+            assert_eq!(r.checksum, expected, "{kind} {mode} instrumentation");
+            let (det, r) = run_workload(kind, mode, &params, RaceDetector::<MultiBagsPlus>::general());
+            assert_eq!(r.checksum, expected, "{kind} {mode} full");
+            assert!(det.report().is_race_free(), "{kind} {mode}: {}", det.report());
+        }
+    }
+}
+
+#[test]
+fn structured_workloads_are_race_free_under_multibags_and_agree_with_oracle() {
+    let params = WorkloadParams::tiny();
+    for kind in WorkloadKind::ALL {
+        let (mb, _) = run_workload(
+            kind,
+            FutureMode::Structured,
+            &params,
+            RaceDetector::<MultiBags>::structured(),
+        );
+        let (oracle, _) = run_workload(
+            kind,
+            FutureMode::Structured,
+            &params,
+            RaceDetector::new(GraphOracle::new()),
+        );
+        assert_eq!(
+            mb.report().race_count(),
+            oracle.report().race_count(),
+            "{kind}"
+        );
+        assert!(mb.report().is_race_free(), "{kind}");
+    }
+}
+
+#[test]
+fn recorded_workload_dags_have_futures_and_parallelism() {
+    // Record the dag of the general-futures lcs and check its shape: it has
+    // create/get edges (non-SP), and parallelism > 1.
+    let input = lcs::LcsInput::generate(32, 1);
+    let (_, recorder, summary) =
+        run_program(DagRecorder::new(), |cx| lcs::general(cx, &input, 8));
+    let dag = recorder.dag();
+    assert_eq!(dag.num_strands() as u64, summary.strands);
+    let stats = dag_stats(dag);
+    assert!(stats.edges.create > 0);
+    assert!(stats.edges.get > 0);
+    assert!(stats.parallelism > 1.0, "parallelism {}", stats.parallelism);
+    assert!(dag.check_consistency().is_empty());
+}
+
+#[test]
+fn detector_and_recorder_can_share_one_execution() {
+    let input = mm::MmInput::generate(8, 2);
+    let (_, obs, _) = run_program(
+        MultiObserver::new(DagRecorder::new(), RaceDetector::<MultiBagsPlus>::general()),
+        |cx| mm::general(cx, &input, 4),
+    );
+    let (recorder, detector) = obs.into_inner();
+    assert!(detector.report().is_race_free());
+    assert!(recorder.dag().num_strands() > 0);
+    // Each recorded access produces at least one granule-level check (wide
+    // elements such as i64 span several four-byte granules, so checks can
+    // exceed accesses but never fall below them).
+    let s = detector.history_stats();
+    assert!(s.read_checks >= recorder.reads);
+    assert!(s.write_checks >= recorder.writes);
+}
+
+#[test]
+fn seeded_race_is_reported_by_every_detector() {
+    let input = lcs::LcsInput::generate(32, 9);
+    let (_, mb, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+        lcs::structured_with_race(cx, &input, 8)
+    });
+    let (_, mbp, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+        lcs::structured_with_race(cx, &input, 8)
+    });
+    let (_, oracle, _) = run_program(RaceDetector::new(GraphOracle::new()), |cx| {
+        lcs::structured_with_race(cx, &input, 8)
+    });
+    assert!(!mb.report().is_race_free());
+    assert!(!mbp.report().is_race_free());
+    assert!(!oracle.report().is_race_free());
+    assert_eq!(mb.report().race_count(), oracle.report().race_count());
+    assert_eq!(mbp.report().race_count(), oracle.report().race_count());
+}
+
+#[test]
+fn parallel_pool_and_detected_execution_compute_the_same_answers() {
+    let pool = ThreadPool::new(4);
+    let lcs_input = lcs::LcsInput::generate(64, 4);
+    let serial = lcs::serial(&lcs_input);
+    assert_eq!(lcs::parallel(&pool, &lcs_input, 16), serial);
+    let (detected, det, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+        lcs::structured(cx, &lcs_input, 16)
+    });
+    assert_eq!(detected, serial);
+    assert!(det.report().is_race_free());
+
+    let mm_input = mm::MmInput::generate(16, 4);
+    let expected = mm::checksum(&mm::serial(&mm_input));
+    assert_eq!(mm::parallel(&pool, &mm_input, 4), expected);
+}
+
+#[test]
+fn detection_statistics_are_consistent_with_execution_counters() {
+    let params = WorkloadParams::tiny();
+    let (det, result) = run_workload(
+        WorkloadKind::Dedup,
+        FutureMode::General,
+        &params,
+        RaceDetector::<MultiBagsPlus>::general(),
+    );
+    let (report, reach, hist) = det.into_parts();
+    assert!(report.is_race_free());
+    // Every instrumented access produced at least one granule check.
+    assert!(hist.read_checks >= result.summary.reads);
+    assert!(hist.write_checks >= result.summary.writes);
+    // The reachability structure answered at least one query per write that
+    // found a previous accessor, and created O(k) attached sets.
+    assert!(reach.queries > 0);
+    assert!(reach.attached_sets as u64 <= 4 * result.summary.gets + 4);
+}

@@ -1,0 +1,161 @@
+//! Walk-through examples in the spirit of the paper's figures.
+//!
+//! * Figure 2 illustrates MultiBags on a structured-futures program whose
+//!   creations and joins are *not* well nested (the dag is not
+//!   series-parallel): futures created inside one task are consumed by an
+//!   outer task much later. The test below builds a program with the same
+//!   shape and asserts the S-bag/P-bag states the walk-through highlights.
+//! * Figure 5 illustrates MultiBags+ on a general-futures program; the test
+//!   asserts the attached-set/`R` behaviour the section describes (only
+//!   O(k) attached sets; queries across non-SP edges answered through `R`).
+
+use futurerd_core::detector::RaceDetector;
+use futurerd_core::reachability::{MultiBags, MultiBagsPlus, Reachability};
+use futurerd_dag::{DagRecorder, MultiObserver, ReachabilityOracle};
+use futurerd_runtime::run_program;
+
+/// Figure 2-style program: the main task A creates future B; B creates C;
+/// C creates D and E and consumes E but *not* D; B consumes C and creates F,
+/// and F consumes D (joining a future created two levels down, outside any
+/// sync scope); A finally consumes B and F's value flows back through B.
+///
+/// While D is outstanding its strand must be in a P-bag (parallel with
+/// everything that runs next); every other completed task must be in an
+/// S-bag exactly when the paper's table says so.
+#[test]
+fn figure2_style_multibags_bag_states() {
+    let (_, detector, summary) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+        // Task D: created by C, consumed much later by F.
+        let mut d_strand = None;
+        let mut e_strand = None;
+        let mut c_strand = None;
+
+        let b = cx.create_future(|cx| {
+            // This is task B.
+            let (c_val, d_handle) = {
+                let c = cx.create_future(|cx| {
+                    // This is task C.
+                    c_strand = Some(cx.current_strand());
+                    let d = cx.create_future(|cx| {
+                        d_strand = Some(cx.current_strand());
+                        4u32
+                    });
+                    let e = cx.create_future(|cx| {
+                        e_strand = Some(cx.current_strand());
+                        6u32
+                    });
+                    // C consumes E but not D; D escapes upward.
+                    let e_val = cx.get_future(e);
+                    // E's strands are now sequentially before C's current
+                    // strand: they must be in an S bag.
+                    assert!(cx.observer_mut().strand_precedes_current(e_strand.unwrap()));
+                    // D has returned but has not been consumed: P bag.
+                    assert!(!cx.observer_mut().strand_precedes_current(d_strand.unwrap()));
+                    (e_val, d)
+                });
+                let c_val_and_d = cx.get_future(c);
+                c_val_and_d
+            };
+            // After consuming C, C's strands are in S bags again, but D is
+            // still outstanding and stays in a P bag.
+            assert!(cx.observer_mut().strand_precedes_current(c_strand.unwrap()));
+            assert!(!cx.observer_mut().strand_precedes_current(d_strand.unwrap()));
+
+            // Task F consumes D.
+            let f = cx.create_future(|cx| {
+                let d_val = cx.get_future(d_handle);
+                // Now D precedes F's current strand.
+                assert!(cx.observer_mut().strand_precedes_current(d_strand.unwrap()));
+                d_val + 8
+            });
+            c_val + cx.get_future(f)
+        });
+        let total = cx.get_future(b);
+        // Everything has joined: every recorded strand precedes the final
+        // strand (all in S bags).
+        assert!(cx.observer_mut().strand_precedes_current(d_strand.unwrap()));
+        assert!(cx.observer_mut().strand_precedes_current(e_strand.unwrap()));
+        assert!(cx.observer_mut().strand_precedes_current(c_strand.unwrap()));
+        total
+    });
+    assert!(detector.report().is_race_free());
+    // 6 function instances: main, B, C, D, E, F — as in Figure 2.
+    assert_eq!(summary.functions, 6);
+    assert_eq!(summary.creates, 5);
+    assert_eq!(summary.gets, 5);
+}
+
+/// Figure 5-style program for MultiBags+: a mix of spawn/sync fork-join code
+/// with futures whose values are consumed across branch boundaries
+/// (multi-touch), producing a dag with non-SP edges. The test validates the
+/// reachability answers against the ground-truth oracle over the recorded
+/// dag, and checks that the number of attached sets stays O(k) — small
+/// compared with the number of strands.
+#[test]
+fn figure5_style_multibags_plus_attached_sets() {
+    let recorder = DagRecorder::new();
+    let mbp = MultiBagsPlus::new();
+    let (probe_strands, observers, summary) =
+        run_program(MultiObserver::new(recorder, mbp), |cx| {
+            let mut probes = Vec::new();
+            // A future shared (multi-touched) by two spawned subtasks.
+            let mut shared = cx.create_future(|cx| {
+                probes.push(cx.current_strand());
+                21u64
+            });
+            let mut acc = 0u64;
+            {
+                let shared_ref = &mut shared;
+                let probes_ref = &mut probes;
+                let acc_ref = &mut acc;
+                cx.spawn(move |cx| {
+                    probes_ref.push(cx.current_strand());
+                    *acc_ref += cx.touch_future(shared_ref);
+                });
+            }
+            {
+                let shared_ref = &mut shared;
+                let acc_ref = &mut acc;
+                cx.spawn(move |cx| {
+                    *acc_ref += cx.touch_future(shared_ref);
+                });
+            }
+            cx.sync();
+            // A second future created inside a spawned task and consumed by
+            // the main task after the sync (escaping its creator's scope).
+            let mut escaped = None;
+            {
+                let escaped_ref = &mut escaped;
+                cx.spawn(move |cx| {
+                    *escaped_ref = Some(cx.create_future(|_| 7u64));
+                });
+            }
+            cx.sync();
+            let v = cx.get_future(escaped.unwrap());
+            probes.push(cx.current_strand());
+            acc += v;
+            assert_eq!(acc, 49);
+            probes
+        });
+    let (recorder, mut mbp) = observers.into_inner();
+    let oracle = ReachabilityOracle::from_dag(recorder.dag());
+
+    // Every pair (probe strand, final strand) must be answered identically
+    // by MultiBags+ and by the ground-truth oracle.
+    let last = *probe_strands.last().unwrap();
+    for &s in &probe_strands {
+        assert_eq!(
+            mbp.precedes_current(s),
+            oracle.precedes(s, last),
+            "disagreement about {s}"
+        );
+    }
+
+    // k (gets) is small, and the number of attached sets is O(k), far below
+    // the number of strands.
+    assert!(summary.gets >= 3);
+    let attached = mbp.num_attached_sets() as u64;
+    assert!(attached <= 4 * summary.gets + 4, "attached sets: {attached}");
+    assert!(attached <= summary.strands);
+    assert_eq!(mbp.stats().unexpected_attachifies, 0);
+}
