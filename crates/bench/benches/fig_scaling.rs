@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn dsu_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_dsu");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for &n in &[1_000usize, 10_000, 100_000] {
         group.bench_with_input(BenchmarkId::new("union_find_chain", n), &n, |b, &n| {
             b.iter(|| {
@@ -35,7 +37,9 @@ fn dsu_micro(c: &mut Criterion) {
 
 fn rgraph_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_rgraph");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for &k in &[64usize, 256, 1024] {
         group.bench_with_input(BenchmarkId::new("closure_chain", k), &k, |b, &k| {
             b.iter(|| {

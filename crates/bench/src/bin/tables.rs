@@ -13,8 +13,8 @@
 //! `FUTURERD_SCALE` to enlarge the inputs.
 
 use futurerd_bench::{
-    base_case_table, format_base_case_table, format_overhead_table, format_scaling_table,
-    geomean, overhead_table, scaling_table, Algorithm,
+    base_case_table, format_base_case_table, format_overhead_table, format_scaling_table, geomean,
+    overhead_table, scaling_table, Algorithm,
 };
 use futurerd_workloads::FutureMode;
 

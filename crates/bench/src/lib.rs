@@ -21,6 +21,26 @@
 //! — is what the harness reproduces. Input sizes can be scaled with the
 //! `FUTURERD_SCALE` environment variable (1 = defaults, 2 = 2× larger
 //! problem sizes, ...).
+//!
+//! ## Quick start
+//!
+//! Time one (workload, mode, algorithm, configuration) cell directly:
+//!
+//! ```
+//! use futurerd_bench::{run_config, Algorithm, Config};
+//! use futurerd_workloads::{FutureMode, WorkloadKind, WorkloadParams};
+//!
+//! let params = WorkloadParams::tiny();
+//! let (time, checksum, stats) = run_config(
+//!     WorkloadKind::Lcs,
+//!     FutureMode::Structured,
+//!     Algorithm::MultiBags,
+//!     Config::Full,
+//!     &params,
+//! );
+//! assert!(time.as_nanos() > 0 && checksum != 0);
+//! assert!(stats.unwrap().queries > 0); // full detection queried reachability
+//! ```
 
 #![warn(missing_docs)]
 
@@ -148,23 +168,44 @@ pub fn run_config(
             (start.elapsed(), result.checksum, None)
         }
         (Config::Reachability, Algorithm::MultiBags) => {
-            let (obs, result) = run_workload(kind, mode, params, ReachabilityOnly::<MultiBags>::structured());
+            let (obs, result) = run_workload(
+                kind,
+                mode,
+                params,
+                ReachabilityOnly::<MultiBags>::structured(),
+            );
             (start.elapsed(), result.checksum, Some(obs.stats()))
         }
         (Config::Reachability, Algorithm::MultiBagsPlus) => {
-            let (obs, result) = run_workload(kind, mode, params, ReachabilityOnly::<MultiBagsPlus>::general());
+            let (obs, result) = run_workload(
+                kind,
+                mode,
+                params,
+                ReachabilityOnly::<MultiBagsPlus>::general(),
+            );
             (start.elapsed(), result.checksum, Some(obs.stats()))
         }
         (Config::Instrumentation, Algorithm::MultiBags) => {
-            let (obs, result) = run_workload(kind, mode, params, InstrumentationOnly::<MultiBags>::structured());
+            let (obs, result) = run_workload(
+                kind,
+                mode,
+                params,
+                InstrumentationOnly::<MultiBags>::structured(),
+            );
             (start.elapsed(), result.checksum, Some(obs.stats()))
         }
         (Config::Instrumentation, Algorithm::MultiBagsPlus) => {
-            let (obs, result) = run_workload(kind, mode, params, InstrumentationOnly::<MultiBagsPlus>::general());
+            let (obs, result) = run_workload(
+                kind,
+                mode,
+                params,
+                InstrumentationOnly::<MultiBagsPlus>::general(),
+            );
             (start.elapsed(), result.checksum, Some(obs.stats()))
         }
         (Config::Full, Algorithm::MultiBags) => {
-            let (obs, result) = run_workload(kind, mode, params, RaceDetector::<MultiBags>::structured());
+            let (obs, result) =
+                run_workload(kind, mode, params, RaceDetector::<MultiBags>::structured());
             assert!(
                 obs.report().is_race_free(),
                 "{kind} {mode}: unexpected race: {}",
@@ -173,7 +214,8 @@ pub fn run_config(
             (start.elapsed(), result.checksum, Some(obs.reach_stats()))
         }
         (Config::Full, Algorithm::MultiBagsPlus) => {
-            let (obs, result) = run_workload(kind, mode, params, RaceDetector::<MultiBagsPlus>::general());
+            let (obs, result) =
+                run_workload(kind, mode, params, RaceDetector::<MultiBagsPlus>::general());
             assert!(
                 obs.report().is_race_free(),
                 "{kind} {mode}: unexpected race: {}",
@@ -243,8 +285,22 @@ pub fn overhead_table(mode: FutureMode, algorithm: Algorithm, repeats: u32) -> V
             let params = bench_params(kind);
             let times = [
                 run_config_timed(kind, mode, algorithm, Config::Baseline, &params, repeats),
-                run_config_timed(kind, mode, algorithm, Config::Reachability, &params, repeats),
-                run_config_timed(kind, mode, algorithm, Config::Instrumentation, &params, repeats),
+                run_config_timed(
+                    kind,
+                    mode,
+                    algorithm,
+                    Config::Reachability,
+                    &params,
+                    repeats,
+                ),
+                run_config_timed(
+                    kind,
+                    mode,
+                    algorithm,
+                    Config::Instrumentation,
+                    &params,
+                    repeats,
+                ),
                 run_config_timed(kind, mode, algorithm, Config::Full, &params, repeats),
             ];
             OverheadRow {
@@ -512,8 +568,13 @@ mod tests {
         let params = WorkloadParams::tiny();
         let mut checksums = Vec::new();
         for config in Config::ALL {
-            let (_, checksum, _) =
-                run_config(kind, FutureMode::Structured, Algorithm::MultiBags, config, &params);
+            let (_, checksum, _) = run_config(
+                kind,
+                FutureMode::Structured,
+                Algorithm::MultiBags,
+                config,
+                &params,
+            );
             checksums.push(checksum);
         }
         assert!(checksums.windows(2).all(|w| w[0] == w[1]));

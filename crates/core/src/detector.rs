@@ -238,63 +238,65 @@ impl<R: Reachability> RaceDetector<R> {
     fn handle_read(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
         let reach = &mut self.reach;
         let report = &mut self.report;
-        self.history.for_each_granule(addr, size, |granule, state, stats| {
-            stats.read_checks += 1;
-            if let Some(writer) = state.last_writer {
-                if !reach.precedes_current(writer) {
-                    stats.races_found += 1;
-                    report.record(Race {
-                        addr: MemAddr(granule * MemAddr::GRANULARITY),
-                        prior_strand: writer,
-                        prior_kind: AccessKind::Write,
-                        current_strand: strand,
-                        current_kind: AccessKind::Read,
-                    });
+        self.history
+            .for_each_granule(addr, size, |granule, state, stats| {
+                stats.read_checks += 1;
+                if let Some(writer) = state.last_writer {
+                    if !reach.precedes_current(writer) {
+                        stats.races_found += 1;
+                        report.record(Race {
+                            addr: MemAddr(granule * MemAddr::GRANULARITY),
+                            prior_strand: writer,
+                            prior_kind: AccessKind::Write,
+                            current_strand: strand,
+                            current_kind: AccessKind::Read,
+                        });
+                    }
                 }
-            }
-            // Avoid appending the same strand repeatedly for consecutive
-            // reads; a strand needs to appear only once per write epoch.
-            if state.readers.last() != Some(&strand) {
-                state.readers.push(strand);
-                stats.readers_recorded += 1;
-            }
-        });
+                // Avoid appending the same strand repeatedly for consecutive
+                // reads; a strand needs to appear only once per write epoch.
+                if state.readers.last() != Some(&strand) {
+                    state.readers.push(strand);
+                    stats.readers_recorded += 1;
+                }
+            });
     }
 
     fn handle_write(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
         let reach = &mut self.reach;
         let report = &mut self.report;
-        self.history.for_each_granule(addr, size, |granule, state, stats| {
-            stats.write_checks += 1;
-            let addr_of_granule = MemAddr(granule * MemAddr::GRANULARITY);
-            if let Some(writer) = state.last_writer {
-                if !reach.precedes_current(writer) {
-                    stats.races_found += 1;
-                    report.record(Race {
-                        addr: addr_of_granule,
-                        prior_strand: writer,
-                        prior_kind: AccessKind::Write,
-                        current_strand: strand,
-                        current_kind: AccessKind::Write,
-                    });
+        self.history
+            .for_each_granule(addr, size, |granule, state, stats| {
+                stats.write_checks += 1;
+                let addr_of_granule = MemAddr(granule * MemAddr::GRANULARITY);
+                if let Some(writer) = state.last_writer {
+                    if !reach.precedes_current(writer) {
+                        stats.races_found += 1;
+                        report.record(Race {
+                            addr: addr_of_granule,
+                            prior_strand: writer,
+                            prior_kind: AccessKind::Write,
+                            current_strand: strand,
+                            current_kind: AccessKind::Write,
+                        });
+                    }
                 }
-            }
-            for &reader in &state.readers {
-                if !reach.precedes_current(reader) {
-                    stats.races_found += 1;
-                    report.record(Race {
-                        addr: addr_of_granule,
-                        prior_strand: reader,
-                        prior_kind: AccessKind::Read,
-                        current_strand: strand,
-                        current_kind: AccessKind::Write,
-                    });
+                for &reader in &state.readers {
+                    if !reach.precedes_current(reader) {
+                        stats.races_found += 1;
+                        report.record(Race {
+                            addr: addr_of_granule,
+                            prior_strand: reader,
+                            prior_kind: AccessKind::Read,
+                            current_strand: strand,
+                            current_kind: AccessKind::Write,
+                        });
+                    }
                 }
-            }
-            stats.readers_cleared += state.readers.len() as u64;
-            state.readers.clear();
-            state.last_writer = Some(strand);
-        });
+                stats.readers_cleared += state.readers.len() as u64;
+                state.readers.clear();
+                state.last_writer = Some(strand);
+            });
     }
 }
 

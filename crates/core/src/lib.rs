@@ -13,12 +13,12 @@
 //! * a **reachability data structure** answering "is the previously executed
 //!   strand *u* sequentially before the currently executing strand?" —
 //!   the paper's contribution:
-//!   * [`MultiBags`](reachability::MultiBags) for *structured* futures, in
+//!   * [`MultiBags`] for *structured* futures, in
 //!     `O(T1·α(m,n))` total time (Section 4 of the paper);
-//!   * [`MultiBagsPlus`](reachability::MultiBagsPlus) for *general* futures,
+//!   * [`MultiBagsPlus`] for *general* futures,
 //!     in `O((T1+k²)·α(m,n))` (Section 5);
-//!   * plus an [`SpBags`](reachability::SpBags) baseline for pure fork-join
-//!     programs and a ground-truth [`GraphOracle`](reachability::GraphOracle)
+//!   * plus an [`SpBags`] baseline for pure fork-join
+//!     programs and a ground-truth [`GraphOracle`]
 //!     used in tests and ablations;
 //! * an **access history** ([`shadow::AccessHistory`]) storing, per
 //!   four-byte granule, the last writer and the list of readers since that

@@ -272,7 +272,11 @@ impl Observer for MultiBagsPlus {
             self.r.add_arc(rt2, rj);
         } else {
             // Lines 41–46: exactly one branch contains non-SP edges.
-            let (ta, tu, sa) = if t1_attached { (t1, t2, s1) } else { (t2, t1, s2) };
+            let (ta, tu, sa) = if t1_attached {
+                (t1, t2, s1)
+            } else {
+                (t2, t1, s2)
+            };
             if !self.is_attached(f) {
                 // Union(DNSP, sa, f): grow the attached branch's source set
                 // backwards over the fork strand's set.

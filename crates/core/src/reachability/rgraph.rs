@@ -11,9 +11,7 @@ use crate::bitset::DynBitSet;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node of `R` (an attached set).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RNodeId(pub u32);
 
 impl RNodeId {

@@ -57,7 +57,8 @@ impl SpBags {
 
     fn bags_of(&mut self, function: FunctionId) -> &mut FunctionBags {
         if self.functions.len() <= function.index() {
-            self.functions.resize(function.index() + 1, FunctionBags::default());
+            self.functions
+                .resize(function.index() + 1, FunctionBags::default());
         }
         &mut self.functions[function.index()]
     }

@@ -11,6 +11,10 @@
 //! A second battery compares full race detection (same access-history
 //! protocol, different reachability structures): the set of racy granules
 //! reported must be identical.
+//!
+//! The `prop_*` tests draw generator shapes from a seeded RNG (the
+//! workspace's offline `rand` stand-in), so all cases are deterministic and
+//! failures reproduce by the printed seed.
 
 use futurerd_core::detector::RaceDetector;
 use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, Reachability};
@@ -18,7 +22,8 @@ use futurerd_dag::events::{CreateFutureEvent, GetFutureEvent, SpawnEvent, SyncEv
 use futurerd_dag::genprog::{generate_program, GenConfig, ProgramSpec};
 use futurerd_dag::{FunctionId, MemAddr, Observer, StrandId};
 use futurerd_runtime::spec::run_spec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Forwards every event to the algorithm under test and to the oracle, and
 /// checks that they agree on every (previous strand, current strand) pair.
@@ -105,7 +110,11 @@ fn check_reachability_against_oracle<R: Reachability>(spec: &ProgramSpec, subjec
 fn racy_granules(spec: &ProgramSpec, detector: RaceDetector<impl Reachability>) -> Vec<u64> {
     let (det, _) = run_spec(spec, detector);
     let report = det.into_report();
-    let mut granules: Vec<u64> = report.witnesses().iter().map(|r| r.addr.granule()).collect();
+    let mut granules: Vec<u64> = report
+        .witnesses()
+        .iter()
+        .map(|r| r.addr.granule())
+        .collect();
     // The witness list has one entry per racy granule by construction, but a
     // granule may race for several reasons; compare the full racy set.
     granules.sort_unstable();
@@ -163,7 +172,10 @@ fn multibags_plus_matches_oracle_on_deep_general_programs() {
 
 #[test]
 fn multibags_plus_never_needs_defensive_attachify() {
-    for (cfg, n) in [(GenConfig::structured(), 100u64), (GenConfig::general(), 200)] {
+    for (cfg, n) in [
+        (GenConfig::structured(), 100u64),
+        (GenConfig::general(), 200),
+    ] {
         for seed in 0..n {
             let spec = generate_program(&cfg, seed);
             let (obs, _) = run_spec(&spec, MultiBagsPlus::new());
@@ -198,32 +210,57 @@ fn race_reports_agree_between_multibags_plus_and_oracle_on_general_programs() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Arbitrary seeds and generator shapes for the structured regime.
-    #[test]
-    fn prop_multibags_matches_oracle(seed in any::<u64>(), depth in 2u32..7, actions in 2u32..10) {
-        let cfg = GenConfig { max_depth: depth, max_actions: actions, ..GenConfig::structured() };
+/// Arbitrary seeds and generator shapes for the structured regime.
+#[test]
+fn prop_multibags_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0001);
+    for _ in 0..64 {
+        let seed: u64 = rng.gen();
+        let depth = rng.gen_range(2u32..7);
+        let actions = rng.gen_range(2u32..10);
+        let cfg = GenConfig {
+            max_depth: depth,
+            max_actions: actions,
+            ..GenConfig::structured()
+        };
         let spec = generate_program(&cfg, seed);
         check_reachability_against_oracle(&spec, MultiBags::new());
     }
+}
 
-    /// Arbitrary seeds and generator shapes for the general regime.
-    #[test]
-    fn prop_multibags_plus_matches_oracle(seed in any::<u64>(), depth in 2u32..7, actions in 2u32..10) {
-        let cfg = GenConfig { max_depth: depth, max_actions: actions, ..GenConfig::general() };
+/// Arbitrary seeds and generator shapes for the general regime.
+#[test]
+fn prop_multibags_plus_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0002);
+    for _ in 0..64 {
+        let seed: u64 = rng.gen();
+        let depth = rng.gen_range(2u32..7);
+        let actions = rng.gen_range(2u32..10);
+        let cfg = GenConfig {
+            max_depth: depth,
+            max_actions: actions,
+            ..GenConfig::general()
+        };
         let spec = generate_program(&cfg, seed);
         check_reachability_against_oracle(&spec, MultiBagsPlus::new());
     }
+}
 
-    /// Race sets must agree regardless of generator shape.
-    #[test]
-    fn prop_race_sets_agree(seed in any::<u64>(), general in any::<bool>()) {
-        let cfg = if general { GenConfig::general() } else { GenConfig::structured() };
+/// Race sets must agree regardless of generator shape.
+#[test]
+fn prop_race_sets_agree() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0003);
+    for _ in 0..64 {
+        let seed: u64 = rng.gen();
+        let general: bool = rng.gen();
+        let cfg = if general {
+            GenConfig::general()
+        } else {
+            GenConfig::structured()
+        };
         let spec = generate_program(&cfg, seed);
         let subject = racy_granules(&spec, RaceDetector::general());
         let oracle = racy_granules(&spec, RaceDetector::new(GraphOracle::new()));
-        prop_assert_eq!(subject, oracle);
+        assert_eq!(subject, oracle, "seed {seed} general {general}");
     }
 }

@@ -367,7 +367,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_multi, "general generator never produced a multi-touch program");
+        assert!(
+            saw_multi,
+            "general generator never produced a multi-touch program"
+        );
     }
 
     #[test]

@@ -285,7 +285,9 @@ impl Dag {
         let mut problems = Vec::new();
         for s in self.strands() {
             if !self.contains_strand(s) {
-                problems.push(format!("strand {s} referenced by an edge but never registered"));
+                problems.push(format!(
+                    "strand {s} referenced by an edge but never registered"
+                ));
             }
             if self.predecessors(s).len() > 2 {
                 problems.push(format!("strand {s} has more than two incoming edges"));
@@ -296,7 +298,9 @@ impl Dag {
                 .filter(|&&(_, k)| k != EdgeKind::Get)
                 .count();
             if non_get_out > 2 {
-                problems.push(format!("strand {s} has more than two non-get outgoing edges"));
+                problems.push(format!(
+                    "strand {s} has more than two non-get outgoing edges"
+                ));
             }
         }
         problems
@@ -368,8 +372,14 @@ mod tests {
     fn adjacency_is_symmetric() {
         let d = diamond();
         for e in d.edges() {
-            assert!(d.successors(e.from).iter().any(|&(t, k)| t == e.to && k == e.kind));
-            assert!(d.predecessors(e.to).iter().any(|&(f, k)| f == e.from && k == e.kind));
+            assert!(d
+                .successors(e.from)
+                .iter()
+                .any(|&(t, k)| t == e.to && k == e.kind));
+            assert!(d
+                .predecessors(e.to)
+                .iter()
+                .any(|&(f, k)| f == e.from && k == e.kind));
         }
     }
 

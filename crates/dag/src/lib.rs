@@ -3,7 +3,7 @@
 //! This crate provides the shared vocabulary used throughout `futurerd-rs`:
 //!
 //! * [`ids`] — strand, function-instance and memory-address identifiers.
-//! * [`events`] — the [`Observer`](events::Observer) trait describing the
+//! * [`events`] — the [`Observer`] trait describing the
 //!   instrumentation event stream produced by a sequential depth-first eager
 //!   execution of a program that uses `spawn`/`sync`/`create_fut`/`get_fut`.
 //!   The race detectors in `futurerd-core` consume this stream; the executor
@@ -15,8 +15,8 @@
 //! * [`reachability`] — ground-truth reachability over an explicit dag
 //!   (transitive closure with bitsets) used as the specification in
 //!   differential and property-based tests.
-//! * [`record`] — an [`Observer`](events::Observer) that records the event
-//!   stream into an explicit [`Dag`](graph::Dag).
+//! * [`record`] — an [`Observer`] that records the event
+//!   stream into an explicit [`Dag`].
 //! * [`stats`] — work/span and per-construct statistics of a dag.
 //! * [`dot`] — Graphviz export.
 //! * [`genprog`] — a random-program generator (structured and general
@@ -34,13 +34,12 @@ pub mod events;
 pub mod genprog;
 pub mod graph;
 pub mod ids;
-pub mod record;
 pub mod reachability;
+pub mod record;
 pub mod stats;
 
 pub use events::{
-    CreateFutureEvent, GetFutureEvent, MultiObserver, NullObserver, Observer, SpawnEvent,
-    SyncEvent,
+    CreateFutureEvent, GetFutureEvent, MultiObserver, NullObserver, Observer, SpawnEvent, SyncEvent,
 };
 pub use graph::{Dag, EdgeKind};
 pub use ids::{FunctionId, MemAddr, StrandId};

@@ -210,7 +210,10 @@ mod tests {
         // 3 -get-> 4 where 4 is a getter strand in the first dag.
         let mut d = Dag::new();
         for i in 0..5 {
-            d.add_strand(StrandId(i), FunctionId(if (2..=3).contains(&i) { 1 } else { 0 }));
+            d.add_strand(
+                StrandId(i),
+                FunctionId(if (2..=3).contains(&i) { 1 } else { 0 }),
+            );
         }
         d.add_edge(StrandId(0), StrandId(1), EdgeKind::Continue);
         d.add_edge(StrandId(1), StrandId(2), EdgeKind::Create);
@@ -220,7 +223,9 @@ mod tests {
         let o = ReachabilityOracle::from_dag(&d);
         assert!(o.strictly_precedes(StrandId(0), StrandId(3)));
         assert!(o.strictly_precedes(StrandId(2), StrandId(4)));
-        assert!(o.parallel(StrandId(2), StrandId(1)) || o.strictly_precedes(StrandId(1), StrandId(2)));
+        assert!(
+            o.parallel(StrandId(2), StrandId(1)) || o.strictly_precedes(StrandId(1), StrandId(2))
+        );
         assert!(o.strictly_precedes(StrandId(1), StrandId(2)));
     }
 }

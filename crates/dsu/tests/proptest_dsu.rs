@@ -1,8 +1,14 @@
 //! Property-based tests for the disjoint-set forests: differential testing
 //! against a naive label-array implementation.
+//!
+//! The properties are exercised over randomized operation sequences drawn
+//! from a seeded generator (the workspace's offline `rand` stand-in), so
+//! every run covers the same cases deterministically — failures reproduce by
+//! seed without a shrinking framework.
 
 use futurerd_dsu::{DisjointSets, ElementId, TaggedDisjointSets};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A naive O(n) union-find used as the specification.
 #[derive(Clone)]
@@ -48,22 +54,24 @@ enum Op {
     CheckSame(usize, usize),
 }
 
-fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            2 => Just(Op::MakeSet),
-            3 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Union(a, b)),
-            3 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::CheckSame(a, b)),
-        ],
-        1..max_ops,
-    )
+/// Draws a random operation sequence: make-set with weight 2, union and
+/// same-set checks with weight 3 each (matching the original proptest
+/// strategy).
+fn gen_ops(rng: &mut StdRng, max_ops: usize) -> Vec<Op> {
+    let n_ops = rng.gen_range(1..max_ops);
+    (0..n_ops)
+        .map(|_| match rng.gen_range(0..8) {
+            0 | 1 => Op::MakeSet,
+            2..=4 => Op::Union(rng.gen_range(0..64), rng.gen_range(0..64)),
+            _ => Op::CheckSame(rng.gen_range(0..64), rng.gen_range(0..64)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn forest_matches_naive_model(ops in ops_strategy(200)) {
+#[test]
+fn forest_matches_naive_model() {
+    for seed in 0..256u64 {
+        let ops = gen_ops(&mut StdRng::seed_from_u64(seed), 200);
         let mut dsu = DisjointSets::new();
         let mut naive = NaiveSets::new();
         let mut ids: Vec<ElementId> = Vec::new();
@@ -73,7 +81,7 @@ proptest! {
                 Op::MakeSet => {
                     let id = dsu.make_set();
                     let nid = naive.make_set();
-                    prop_assert_eq!(id.index(), nid);
+                    assert_eq!(id.index(), nid, "seed {seed}");
                     ids.push(id);
                 }
                 Op::Union(a, b) if !ids.is_empty() => {
@@ -85,16 +93,23 @@ proptest! {
                 Op::CheckSame(a, b) if !ids.is_empty() => {
                     let a = a % ids.len();
                     let b = b % ids.len();
-                    prop_assert_eq!(dsu.same_set(ids[a], ids[b]), naive.same(a, b));
+                    assert_eq!(
+                        dsu.same_set(ids[a], ids[b]),
+                        naive.same(a, b),
+                        "seed {seed}"
+                    );
                 }
                 _ => {}
             }
-            prop_assert_eq!(dsu.num_sets(), naive.num_sets());
+            assert_eq!(dsu.num_sets(), naive.num_sets(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn tagged_forest_tag_is_winners(ops in ops_strategy(200)) {
+#[test]
+fn tagged_forest_tag_is_winners() {
+    for seed in 0..256u64 {
+        let ops = gen_ops(&mut StdRng::seed_from_u64(0x7a63ed ^ seed), 200);
         // Model: the tag of a set is the label of the "winner chain" root.
         let mut tagged: TaggedDisjointSets<usize> = TaggedDisjointSets::new();
         let mut naive = NaiveSets::new();
@@ -123,28 +138,47 @@ proptest! {
                 Op::CheckSame(a, b) if !ids.is_empty() => {
                     let a = a % ids.len();
                     let b = b % ids.len();
-                    prop_assert_eq!(tagged.same_set(ids[a], ids[b]), naive.same(a, b));
-                    prop_assert_eq!(*tagged.tag(ids[a]), naive_tag[naive.label[a]]);
-                    prop_assert_eq!(*tagged.tag(ids[b]), naive_tag[naive.label[b]]);
+                    assert_eq!(
+                        tagged.same_set(ids[a], ids[b]),
+                        naive.same(a, b),
+                        "seed {seed}"
+                    );
+                    assert_eq!(
+                        *tagged.tag(ids[a]),
+                        naive_tag[naive.label[a]],
+                        "seed {seed}"
+                    );
+                    assert_eq!(
+                        *tagged.tag(ids[b]),
+                        naive_tag[naive.label[b]],
+                        "seed {seed}"
+                    );
                 }
                 _ => {}
             }
         }
     }
+}
 
-    #[test]
-    fn find_is_idempotent(n in 1usize..200, unions in prop::collection::vec((0usize..200, 0usize..200), 0..300)) {
+#[test]
+fn find_is_idempotent() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xf1fd ^ seed);
+        let n = rng.gen_range(1usize..200);
+        let n_unions = rng.gen_range(0usize..300);
         let mut dsu = DisjointSets::new();
         let ids: Vec<_> = (0..n).map(|_| dsu.make_set()).collect();
-        for (a, b) in unions {
+        for _ in 0..n_unions {
+            let a = rng.gen_range(0usize..200);
+            let b = rng.gen_range(0usize..200);
             dsu.union(ids[a % n], ids[b % n]);
         }
         for &e in &ids {
             let r1 = dsu.find(e);
             let r2 = dsu.find(e);
-            prop_assert_eq!(r1, r2);
+            assert_eq!(r1, r2, "seed {seed}");
             // The representative of the representative is itself.
-            prop_assert_eq!(dsu.find(r1), r1);
+            assert_eq!(dsu.find(r1), r1, "seed {seed}");
         }
     }
 }

@@ -1,0 +1,487 @@
+//! # futurerd
+//!
+//! One-stop facade over the FutureRD reproduction (*Efficient Race Detection
+//! with Futures*, Utterback, Agrawal, Fineman, Lee — PPoPP 2019): write a
+//! task-parallel program with futures against a single entry point, run it
+//! under the paper's on-the-fly determinacy-race detector, and get back the
+//! program's value plus a [`RaceReport`].
+//!
+//! The underlying crates stay available for fine-grained use (`futurerd-core`
+//! for the detectors, `futurerd-runtime` for the executor and thread pool,
+//! `futurerd-dag` for the dag model); this crate is the stable surface that
+//! examples, integration tests, and downstream workloads program against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! // A program with a determinacy race: the main task reads a buffer
+//! // element before joining the future that writes it.
+//! let detection = futurerd::detect_structured(|cx| {
+//!     let mut buffer = futurerd::ShadowArray::new(cx, 4, 0u32);
+//!     let producer = cx.create_future(|cx| {
+//!         for i in 0..4 {
+//!             buffer.set(cx, i, 7);
+//!         }
+//!     });
+//!     let early = buffer.get(cx, 0); // races with the producer's writes
+//!     cx.get_future(producer);
+//!     early
+//! });
+//! assert_eq!(detection.race_count(), 1);
+//!
+//! // Joining first removes the race.
+//! let detection = futurerd::detect_structured(|cx| {
+//!     let mut buffer = futurerd::ShadowArray::new(cx, 4, 0u32);
+//!     let producer = cx.create_future(|cx| {
+//!         for i in 0..4 {
+//!             buffer.set(cx, i, 7);
+//!         }
+//!     });
+//!     cx.get_future(producer);
+//!     buffer.get(cx, 0)
+//! });
+//! assert!(detection.is_race_free());
+//! assert_eq!(detection.value, 7);
+//! ```
+//!
+//! ## Choosing the algorithm and analysis level
+//!
+//! [`detect_structured`] uses **MultiBags** (single-touch futures, the
+//! paper's Section 4 algorithm) and [`detect_general`] uses **MultiBags+**
+//! (multi-touch / escaping futures, Section 5). For anything else — the
+//! ground-truth oracle, the SP-Bags baseline, or the paper's partial
+//! measurement configurations — build a [`Config`]:
+//!
+//! ```
+//! use futurerd::{Algorithm, Analysis, Config};
+//!
+//! let detection = Config::new()
+//!     .algorithm(Algorithm::MultiBagsPlus)
+//!     .analysis(Analysis::Reachability) // maintain reachability, skip the access history
+//!     .run(|cx| {
+//!         cx.spawn(|_| {});
+//!         cx.sync();
+//!     });
+//! assert!(detection.report.is_none()); // no access history ⇒ no race report
+//! assert!(detection.reach_stats.unwrap().dsu_ops() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
+pub use futurerd_core::stats::{DetectorStats, ReachStats};
+pub use futurerd_core::{AccessKind, Race, RaceReport};
+pub use futurerd_dag::{FunctionId, MemAddr, NullObserver, Observer, StrandId};
+pub use futurerd_runtime::exec::{ExecutionSummary, FutureHandle};
+pub use futurerd_runtime::{ShadowArray, ShadowCell, ShadowMatrix};
+
+use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use futurerd_dag::events::{CreateFutureEvent, GetFutureEvent, SpawnEvent, SyncEvent};
+use futurerd_runtime::run_program;
+
+/// The execution context handed to program bodies run through this facade.
+///
+/// It is the sequential depth-first eager executor's context
+/// ([`futurerd_runtime::Cx`]) instantiated with the facade's dynamically
+/// configured observer, so every construct — [`spawn`](Cx::spawn),
+/// [`sync`](Cx::sync), [`create_future`](Cx::create_future),
+/// [`get_future`](Cx::get_future), [`touch_future`](Cx::touch_future) — and
+/// every instrumented memory wrapper works unchanged.
+pub type Cx = futurerd_runtime::Cx<AnyObserver>;
+
+/// Which reachability algorithm answers precedence queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// MultiBags (Section 4): structured — single-touch — futures, total
+    /// time `O(T1·α(m,n))`.
+    #[default]
+    MultiBags,
+    /// MultiBags+ (Section 5): general futures (multi-touch, escaping),
+    /// total time `O((T1+k²)·α(m,n))`.
+    MultiBagsPlus,
+    /// The classical SP-Bags baseline: fork-join (`spawn`/`sync`) programs
+    /// only. Programs that use futures may produce false positives.
+    SpBags,
+    /// The ground-truth graph oracle (explicit transitive closure): exact on
+    /// every program, but quadratic space — for tests and ablations.
+    GraphOracle,
+}
+
+/// How much of the detection pipeline runs — the four measurement
+/// configurations of the paper's Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Analysis {
+    /// Run the program with no detection state at all.
+    Baseline,
+    /// Maintain the reachability structure only.
+    Reachability,
+    /// Reachability plus memory-access instrumentation, but no access
+    /// history.
+    Instrumentation,
+    /// Full race detection: reachability + access history + race queries.
+    #[default]
+    Full,
+}
+
+/// Builder selecting the observer (analysis level) × reachability structure
+/// combination to run a program under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Config {
+    algorithm: Algorithm,
+    analysis: Analysis,
+}
+
+impl Config {
+    /// Full detection with MultiBags — the right default for structured
+    /// (single-touch) futures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full detection with MultiBags (alias of [`Config::new`]).
+    pub fn structured() -> Self {
+        Self::new()
+    }
+
+    /// Full detection with MultiBags+ — required for general futures
+    /// (multi-touch handles, handles escaping their creating task).
+    pub fn general() -> Self {
+        Self::new().algorithm(Algorithm::MultiBagsPlus)
+    }
+
+    /// Selects the reachability algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the analysis level.
+    pub fn analysis(mut self, analysis: Analysis) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    fn build_observer(self) -> AnyObserver {
+        use AnyObserver as O;
+        match (self.analysis, self.algorithm) {
+            (Analysis::Baseline, _) => O::Baseline(NullObserver),
+            (Analysis::Reachability, Algorithm::MultiBags) => {
+                O::ReachMb(ReachabilityOnly::new(MultiBags::new()))
+            }
+            (Analysis::Reachability, Algorithm::MultiBagsPlus) => {
+                O::ReachMbp(ReachabilityOnly::new(MultiBagsPlus::new()))
+            }
+            (Analysis::Reachability, Algorithm::SpBags) => {
+                O::ReachSp(ReachabilityOnly::new(SpBags::new()))
+            }
+            (Analysis::Reachability, Algorithm::GraphOracle) => {
+                O::ReachOracle(ReachabilityOnly::new(GraphOracle::new()))
+            }
+            (Analysis::Instrumentation, Algorithm::MultiBags) => {
+                O::InstrMb(InstrumentationOnly::new(MultiBags::new()))
+            }
+            (Analysis::Instrumentation, Algorithm::MultiBagsPlus) => {
+                O::InstrMbp(InstrumentationOnly::new(MultiBagsPlus::new()))
+            }
+            (Analysis::Instrumentation, Algorithm::SpBags) => {
+                O::InstrSp(InstrumentationOnly::new(SpBags::new()))
+            }
+            (Analysis::Instrumentation, Algorithm::GraphOracle) => {
+                O::InstrOracle(InstrumentationOnly::new(GraphOracle::new()))
+            }
+            (Analysis::Full, Algorithm::MultiBags) => {
+                O::FullMb(RaceDetector::new(MultiBags::new()))
+            }
+            (Analysis::Full, Algorithm::MultiBagsPlus) => {
+                O::FullMbp(RaceDetector::new(MultiBagsPlus::new()))
+            }
+            (Analysis::Full, Algorithm::SpBags) => O::FullSp(RaceDetector::new(SpBags::new())),
+            (Analysis::Full, Algorithm::GraphOracle) => {
+                O::FullOracle(RaceDetector::new(GraphOracle::new()))
+            }
+        }
+    }
+
+    /// Runs `body` on the sequential depth-first eager executor under the
+    /// configured observer and returns what was observed.
+    pub fn run<T>(self, body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
+        let (value, observer, summary) = run_program(self.build_observer(), body);
+        let Outcome {
+            report,
+            reach_stats,
+            detector_stats,
+        } = observer.into_outcome();
+        Detection {
+            value,
+            summary,
+            config: self,
+            report,
+            reach_stats,
+            detector_stats,
+        }
+    }
+}
+
+/// Runs `body` under full race detection with **MultiBags** — for programs
+/// whose futures are *structured* (each future handle consumed by exactly
+/// one `get_future`).
+///
+/// Shorthand for `Config::structured().run(body)`.
+pub fn detect_structured<T>(body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
+    Config::structured().run(body)
+}
+
+/// Runs `body` under full race detection with **MultiBags+** — required for
+/// *general* futures (multi-touch via [`Cx::touch_future`], or handles
+/// consumed far from their creating task).
+///
+/// Shorthand for `Config::general().run(body)`.
+pub fn detect_general<T>(body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
+    Config::general().run(body)
+}
+
+/// Everything a facade run produced: the program's value, execution
+/// counters, and whatever detection state the configuration maintained.
+#[derive(Debug)]
+pub struct Detection<T> {
+    /// The value returned by the program body.
+    pub value: T,
+    /// Execution counters (strands, futures, memory accesses, ...).
+    pub summary: ExecutionSummary,
+    /// The configuration that produced this detection.
+    pub config: Config,
+    /// The race report — present only under [`Analysis::Full`].
+    pub report: Option<RaceReport>,
+    /// Reachability work counters — absent under [`Analysis::Baseline`].
+    pub reach_stats: Option<ReachStats>,
+    /// Access-history counters — present only under [`Analysis::Full`].
+    pub detector_stats: Option<DetectorStats>,
+}
+
+impl<T> Detection<T> {
+    /// True if no race was found (vacuously true for configurations that do
+    /// not maintain an access history).
+    pub fn is_race_free(&self) -> bool {
+        self.report.as_ref().is_none_or(RaceReport::is_race_free)
+    }
+
+    /// Number of distinct racy granules found (0 when no access history was
+    /// maintained).
+    pub fn race_count(&self) -> usize {
+        self.report.as_ref().map_or(0, RaceReport::race_count)
+    }
+
+    /// The race report; panics if the configuration did not maintain one
+    /// (any [`Analysis`] other than [`Analysis::Full`]).
+    pub fn report(&self) -> &RaceReport {
+        self.report
+            .as_ref()
+            .expect("this configuration did not maintain an access history")
+    }
+}
+
+/// The facade's dynamically selected observer: one variant per
+/// analysis × algorithm combination (plus the baseline), so a runtime
+/// [`Config`] choice maps onto the statically monomorphized detectors of
+/// `futurerd-core`.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant names mirror Config (analysis × algorithm)
+pub enum AnyObserver {
+    Baseline(NullObserver),
+    ReachMb(ReachabilityOnly<MultiBags>),
+    ReachMbp(ReachabilityOnly<MultiBagsPlus>),
+    ReachSp(ReachabilityOnly<SpBags>),
+    ReachOracle(ReachabilityOnly<GraphOracle>),
+    InstrMb(InstrumentationOnly<MultiBags>),
+    InstrMbp(InstrumentationOnly<MultiBagsPlus>),
+    InstrSp(InstrumentationOnly<SpBags>),
+    InstrOracle(InstrumentationOnly<GraphOracle>),
+    FullMb(RaceDetector<MultiBags>),
+    FullMbp(RaceDetector<MultiBagsPlus>),
+    FullSp(RaceDetector<SpBags>),
+    FullOracle(RaceDetector<GraphOracle>),
+}
+
+struct Outcome {
+    report: Option<RaceReport>,
+    reach_stats: Option<ReachStats>,
+    detector_stats: Option<DetectorStats>,
+}
+
+impl AnyObserver {
+    fn into_outcome(self) -> Outcome {
+        let none = Outcome {
+            report: None,
+            reach_stats: None,
+            detector_stats: None,
+        };
+        macro_rules! reach_only {
+            ($obs:expr) => {
+                Outcome {
+                    reach_stats: Some($obs.stats()),
+                    ..none
+                }
+            };
+        }
+        macro_rules! full {
+            ($det:expr) => {{
+                let (report, reach_stats, detector_stats) = $det.into_parts();
+                Outcome {
+                    report: Some(report),
+                    reach_stats: Some(reach_stats),
+                    detector_stats: Some(detector_stats),
+                }
+            }};
+        }
+        match self {
+            AnyObserver::Baseline(_) => none,
+            AnyObserver::ReachMb(o) => reach_only!(o),
+            AnyObserver::ReachMbp(o) => reach_only!(o),
+            AnyObserver::ReachSp(o) => reach_only!(o),
+            AnyObserver::ReachOracle(o) => reach_only!(o),
+            AnyObserver::InstrMb(o) => reach_only!(o),
+            AnyObserver::InstrMbp(o) => reach_only!(o),
+            AnyObserver::InstrSp(o) => reach_only!(o),
+            AnyObserver::InstrOracle(o) => reach_only!(o),
+            AnyObserver::FullMb(d) => full!(d),
+            AnyObserver::FullMbp(d) => full!(d),
+            AnyObserver::FullSp(d) => full!(d),
+            AnyObserver::FullOracle(d) => full!(d),
+        }
+    }
+}
+
+macro_rules! each_observer {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyObserver::Baseline($inner) => $body,
+            AnyObserver::ReachMb($inner) => $body,
+            AnyObserver::ReachMbp($inner) => $body,
+            AnyObserver::ReachSp($inner) => $body,
+            AnyObserver::ReachOracle($inner) => $body,
+            AnyObserver::InstrMb($inner) => $body,
+            AnyObserver::InstrMbp($inner) => $body,
+            AnyObserver::InstrSp($inner) => $body,
+            AnyObserver::InstrOracle($inner) => $body,
+            AnyObserver::FullMb($inner) => $body,
+            AnyObserver::FullMbp($inner) => $body,
+            AnyObserver::FullSp($inner) => $body,
+            AnyObserver::FullOracle($inner) => $body,
+        }
+    };
+}
+
+impl Observer for AnyObserver {
+    fn on_program_start(&mut self, root: FunctionId, first: StrandId) {
+        each_observer!(self, o => o.on_program_start(root, first))
+    }
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        each_observer!(self, o => o.on_strand_start(strand, function))
+    }
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        each_observer!(self, o => o.on_spawn(ev))
+    }
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        each_observer!(self, o => o.on_create_future(ev))
+    }
+    fn on_return(&mut self, function: FunctionId, last: StrandId) {
+        each_observer!(self, o => o.on_return(function, last))
+    }
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        each_observer!(self, o => o.on_sync(ev))
+    }
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        each_observer!(self, o => o.on_get_future(ev))
+    }
+    fn on_read(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        each_observer!(self, o => o.on_read(strand, addr, size))
+    }
+    fn on_write(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        each_observer!(self, o => o.on_write(strand, addr, size))
+    }
+    fn on_program_end(&mut self, last: StrandId) {
+        each_observer!(self, o => o.on_program_end(last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racy_body(cx: &mut Cx) -> u32 {
+        let mut cell = ShadowCell::new(cx, 0u32);
+        cx.spawn(|cx| cell.set(cx, 1));
+        let v = cell.get(cx); // races with the child's write
+        cx.sync();
+        v
+    }
+
+    #[test]
+    fn structured_and_general_agree_on_a_simple_race() {
+        let a = detect_structured(racy_body);
+        let b = detect_general(racy_body);
+        assert_eq!(a.race_count(), 1);
+        assert_eq!(b.race_count(), 1);
+        assert!(!a.is_race_free());
+        assert_eq!(a.report().race_count(), 1);
+    }
+
+    #[test]
+    fn every_full_algorithm_finds_the_seeded_race() {
+        for algorithm in [
+            Algorithm::MultiBags,
+            Algorithm::MultiBagsPlus,
+            Algorithm::SpBags, // pure fork-join body, so SP-Bags is exact here
+            Algorithm::GraphOracle,
+        ] {
+            let d = Config::new().algorithm(algorithm).run(racy_body);
+            assert_eq!(d.race_count(), 1, "{algorithm:?}");
+            assert!(d.detector_stats.unwrap().read_checks > 0);
+        }
+    }
+
+    #[test]
+    fn baseline_maintains_no_state() {
+        let d = Config::new().analysis(Analysis::Baseline).run(racy_body);
+        assert!(d.report.is_none());
+        assert!(d.reach_stats.is_none());
+        assert!(d.detector_stats.is_none());
+        assert!(d.is_race_free()); // vacuously
+        assert_eq!(d.race_count(), 0);
+        assert_eq!(d.summary.spawns, 1);
+    }
+
+    #[test]
+    fn partial_analyses_expose_reachability_stats_only() {
+        for analysis in [Analysis::Reachability, Analysis::Instrumentation] {
+            let d = Config::general().analysis(analysis).run(racy_body);
+            assert!(d.report.is_none());
+            assert!(d.detector_stats.is_none());
+            assert!(d.reach_stats.unwrap().dsu_ops() > 0, "{analysis:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "did not maintain an access history")]
+    fn report_accessor_panics_without_access_history() {
+        let d = Config::new().analysis(Analysis::Baseline).run(|_| ());
+        let _ = d.report();
+    }
+
+    #[test]
+    fn general_futures_multi_touch_is_race_free_after_joins() {
+        let d = detect_general(|cx| {
+            let mut shared = cx.create_future(|cx| {
+                let cell = ShadowCell::new(cx, 21u64);
+                cell.get(cx)
+            });
+            let a = cx.touch_future(&mut shared);
+            let b = cx.touch_future(&mut shared);
+            a + b
+        });
+        assert!(d.is_race_free());
+        assert_eq!(d.value, 42);
+        assert_eq!(d.summary.gets, 2);
+    }
+}

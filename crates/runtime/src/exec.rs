@@ -275,11 +275,7 @@ impl<O: Observer> Cx<O> {
     }
 
     fn sync_impl(&mut self) {
-        loop {
-            let pc = match self.frames.last_mut().and_then(|f| f.pending.pop()) {
-                Some(pc) => pc,
-                None => break,
-            };
+        while let Some(pc) = self.frames.last_mut().and_then(|f| f.pending.pop()) {
             let parent = self.current_function;
             let pre_join = self.current_strand;
             let join = self.new_strand();

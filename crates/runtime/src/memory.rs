@@ -21,9 +21,7 @@ use futurerd_dag::{MemAddr, Observer};
 
 fn elem_stride<T>() -> u64 {
     let sz = std::mem::size_of::<T>() as u64;
-    sz.max(MemAddr::GRANULARITY)
-        .div_ceil(MemAddr::GRANULARITY)
-        * MemAddr::GRANULARITY
+    sz.max(MemAddr::GRANULARITY).div_ceil(MemAddr::GRANULARITY) * MemAddr::GRANULARITY
 }
 
 /// A one-dimensional instrumented array.

@@ -10,7 +10,7 @@
 //! Design:
 //!
 //! * each worker thread owns a LIFO deque of jobs and steals FIFO from other
-//!   workers or from a global injector queue ([`deque`]);
+//!   workers or from a global injector queue (`deque`);
 //! * [`ThreadPool::join`] runs two closures potentially in parallel using the
 //!   classic work-first strategy: the second closure is published for
 //!   stealing while the first runs on the current thread, and if nobody stole
@@ -24,7 +24,7 @@
 //! Worker-local jobs are published by reference (the closures live on the
 //! caller's stack) which requires `unsafe`; safety rests on the invariant
 //! that `join`/`install` never return before the published job has executed,
-//! enforced with latches ([`latch`]).
+//! enforced with latches (`latch`).
 
 mod deque;
 mod job;
@@ -76,14 +76,11 @@ impl ThreadPoolBuilder {
 
     /// Builds the pool, spawning the worker threads.
     pub fn build(self) -> ThreadPool {
-        let num_threads = self
-            .num_threads
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let num_threads = self.num_threads.filter(|&n| n > 0).unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         ThreadPool::with_config(
             num_threads,
             self.stack_size,
@@ -508,7 +505,8 @@ impl<'scope> Scope<'scope> {
         let f: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
         let f: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(f) };
         let latch = SendPtr(&self.latch as *const CountLatch);
-        let panic_store = SendPtr(&self.panic as *const Mutex<Option<Box<dyn std::any::Any + Send>>>);
+        let panic_store =
+            SendPtr(&self.panic as *const Mutex<Option<Box<dyn std::any::Any + Send>>>);
         let job = HeapJob::new(move || {
             let result = panic::catch_unwind(AssertUnwindSafe(f));
             // Safety: the Scope (and thus the latch and panic store) is kept
@@ -581,7 +579,11 @@ mod tests {
     fn join_uses_multiple_threads() {
         let pool = ThreadPool::new(4);
         let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
-        fn touch(seen: &Mutex<std::collections::HashSet<thread::ThreadId>>, depth: u32, pool: &ThreadPool) {
+        fn touch(
+            seen: &Mutex<std::collections::HashSet<thread::ThreadId>>,
+            depth: u32,
+            pool: &ThreadPool,
+        ) {
             seen.lock().insert(thread::current().id());
             if depth == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
@@ -673,7 +675,9 @@ mod tests {
     #[test]
     fn many_small_futures_complete() {
         let pool = ThreadPool::new(4);
-        let futures: Vec<_> = (0..256u64).map(|i| pool.spawn_future(move || i * i)).collect();
+        let futures: Vec<_> = (0..256u64)
+            .map(|i| pool.spawn_future(move || i * i))
+            .collect();
         let total: u64 = futures.into_iter().map(|f| f.join()).sum();
         assert_eq!(total, (0..256u64).map(|i| i * i).sum());
     }

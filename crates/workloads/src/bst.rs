@@ -74,9 +74,9 @@ pub fn serial(input: &BstInput) -> Vec<u64> {
 
 /// Checksum of a merged sequence.
 pub fn checksum(keys: &[u64]) -> u64 {
-    keys.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &k)| acc.wrapping_add(k.rotate_left((i % 63) as u32)))
+    keys.iter().enumerate().fold(0u64, |acc, (i, &k)| {
+        acc.wrapping_add(k.rotate_left((i % 63) as u32))
+    })
 }
 
 /// Sequentially (and instrumented) merges `a[ar]` and `b[br]` into
@@ -179,9 +179,7 @@ fn merge_rec<O: Observer>(
         let out_ref = &mut *out;
         let (arl, brl) = (ar_l.clone(), br_l.clone());
         let lp = &mut left_pipeline;
-        cx.create_future(move |cx| {
-            merge_rec(cx, a, b, out_ref, arl, brl, start, base, mode, lp)
-        })
+        cx.create_future(move |cx| merge_rec(cx, a, b, out_ref, arl, brl, start, base, mode, lp))
     };
     let mut right = {
         let out_ref = &mut *out;
@@ -236,7 +234,18 @@ pub fn structured<O: Observer>(cx: &mut Cx<O>, input: &BstInput, base: usize) ->
     let (a, b, mut out) = setup(cx, input);
     let (ar, br) = (0..a.len(), 0..b.len());
     let mut pipeline = Vec::new();
-    merge_rec(cx, &a, &b, &mut out, ar, br, 0, base, Mode::Structured, &mut pipeline);
+    merge_rec(
+        cx,
+        &a,
+        &b,
+        &mut out,
+        ar,
+        br,
+        0,
+        base,
+        Mode::Structured,
+        &mut pipeline,
+    );
     debug_assert!(pipeline.is_empty());
     checksum(out.raw())
 }
@@ -254,7 +263,18 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &BstInput, base: usize) -> u6
         let (arc, brc) = (ar.clone(), br.clone());
         cx.create_future(move |cx| {
             let mut inner = Vec::new();
-            merge_rec(cx, a_ref, b_ref, out_ref, arc, brc, 0, base, Mode::General, &mut inner);
+            merge_rec(
+                cx,
+                a_ref,
+                b_ref,
+                out_ref,
+                arc,
+                brc,
+                0,
+                base,
+                Mode::General,
+                &mut inner,
+            );
             p.append(&mut inner);
         })
     };
@@ -278,13 +298,7 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &BstInput, base: usize) -> u6
 
 /// Parallel (uninstrumented) merge on the work-stealing pool.
 pub fn parallel(pool: &ThreadPool, input: &BstInput, base: usize) -> u64 {
-    fn rec(
-        pool: &ThreadPool,
-        a: &[u64],
-        b: &[u64],
-        out: &mut [u64],
-        base: usize,
-    ) {
+    fn rec(pool: &ThreadPool, a: &[u64], b: &[u64], out: &mut [u64], base: usize) {
         if a.len() + b.len() <= base || a.is_empty() || b.is_empty() {
             let (mut i, mut j, mut o) = (0, 0, 0);
             while i < a.len() && j < b.len() {
@@ -366,16 +380,18 @@ mod tests {
     #[test]
     fn structured_variant_is_race_free() {
         let inp = BstInput::generate(120, 90, 3);
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp, 16));
+        let (_, det, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+            structured(cx, &inp, 16)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 
     #[test]
     fn general_variant_is_race_free() {
         let inp = BstInput::generate(120, 90, 3);
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 16));
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            general(cx, &inp, 16)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 
@@ -386,6 +402,9 @@ mod tests {
         let inp = input();
         let (_, _, s) = run_program(NullObserver, |cx| structured(cx, &inp, 8));
         let per_construct = s.accesses() as f64 / s.parallel_constructs() as f64;
-        assert!(per_construct < 200.0, "accesses per construct: {per_construct}");
+        assert!(
+            per_construct < 200.0,
+            "accesses per construct: {per_construct}"
+        );
     }
 }

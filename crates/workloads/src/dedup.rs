@@ -65,9 +65,9 @@ impl DedupInput {
 
 /// FNV-style chunk fingerprint.
 fn fingerprint(bytes: &[u8]) -> u64 {
-    bytes
-        .iter()
-        .fold(0xcbf29ce484222325u64, |h, &b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    bytes.iter().fold(0xcbf29ce484222325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// "Compression": run-length summary plus a mixing checksum — enough work to
@@ -79,7 +79,10 @@ fn compress(bytes: &[u8]) -> u64 {
         if w[0] == w[1] {
             run += 1;
         } else {
-            out = out.wrapping_mul(31).wrapping_add(run).wrapping_add(w[0] as u64);
+            out = out
+                .wrapping_mul(31)
+                .wrapping_add(run)
+                .wrapping_add(w[0] as u64);
             run = 1;
         }
     }
@@ -145,7 +148,9 @@ fn process_chunk<O: Observer>(
 fn fold_emitted<O: Observer>(cx: &mut Cx<O>, arrays: &ShadowArray<u64>, n: usize) -> u64 {
     let mut out = 0u64;
     for i in 0..n {
-        out = out.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(arrays.get(cx, i));
+        out = out
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(arrays.get(cx, i));
     }
     out
 }
@@ -264,11 +269,8 @@ mod tests {
     #[test]
     fn input_contains_duplicates() {
         let inp = input();
-        let fps: std::collections::HashSet<u64> = inp
-            .data
-            .chunks(inp.chunk_size)
-            .map(fingerprint)
-            .collect();
+        let fps: std::collections::HashSet<u64> =
+            inp.data.chunks(inp.chunk_size).map(fingerprint).collect();
         assert!(fps.len() < inp.num_chunks());
     }
 
@@ -289,16 +291,18 @@ mod tests {
     #[test]
     fn structured_is_race_free_under_multibags() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp));
+        let (_, det, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+            structured(cx, &inp)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 
     #[test]
     fn general_is_race_free_under_multibags_plus() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp));
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            general(cx, &inp)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 

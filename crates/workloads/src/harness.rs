@@ -181,12 +181,14 @@ pub fn run_workload<O: Observer>(
             (v, o, s)
         }
         (WorkloadKind::Bst, FutureMode::Structured) => {
-            let input = bst::BstInput::generate(params.bst_sizes.0, params.bst_sizes.1, params.seed);
+            let input =
+                bst::BstInput::generate(params.bst_sizes.0, params.bst_sizes.1, params.seed);
             let (v, o, s) = run_program(observer, |cx| bst::structured(cx, &input, params.base));
             (v, o, s)
         }
         (WorkloadKind::Bst, FutureMode::General) => {
-            let input = bst::BstInput::generate(params.bst_sizes.0, params.bst_sizes.1, params.seed);
+            let input =
+                bst::BstInput::generate(params.bst_sizes.0, params.bst_sizes.1, params.seed);
             let (v, o, s) = run_program(observer, |cx| bst::general(cx, &input, params.base));
             (v, o, s)
         }
@@ -213,13 +215,7 @@ pub fn run_workload<O: Observer>(
             (v, o, s)
         }
     };
-    (
-        obs,
-        WorkloadResult {
-            checksum,
-            summary,
-        },
-    )
+    (obs, WorkloadResult { checksum, summary })
 }
 
 /// The serial (uninstrumented) reference checksum for a workload/parameters
@@ -228,7 +224,9 @@ pub fn reference_checksum(kind: WorkloadKind, params: &WorkloadParams) -> u64 {
     match kind {
         WorkloadKind::Lcs => lcs::serial(&lcs::LcsInput::generate(params.n, params.seed)) as u64,
         WorkloadKind::Sw => sw::serial(&sw::SwInput::generate(params.n, params.seed)) as u64,
-        WorkloadKind::Mm => mm::checksum(&mm::serial(&mm::MmInput::generate(params.n, params.seed))),
+        WorkloadKind::Mm => {
+            mm::checksum(&mm::serial(&mm::MmInput::generate(params.n, params.seed)))
+        }
         WorkloadKind::Bst => bst::checksum(&bst::serial(&bst::BstInput::generate(
             params.bst_sizes.0,
             params.bst_sizes.1,
@@ -236,11 +234,18 @@ pub fn reference_checksum(kind: WorkloadKind, params: &WorkloadParams) -> u64 {
         ))),
         WorkloadKind::Heartwall => {
             let (frames, points, dim) = params.heartwall;
-            heartwall::serial(&heartwall::HeartwallInput::generate(frames, points, dim, params.seed))
+            heartwall::serial(&heartwall::HeartwallInput::generate(
+                frames,
+                points,
+                dim,
+                params.seed,
+            ))
         }
-        WorkloadKind::Dedup => {
-            dedup::serial(&dedup::DedupInput::generate(params.dedup.0, params.dedup.1, params.seed))
-        }
+        WorkloadKind::Dedup => dedup::serial(&dedup::DedupInput::generate(
+            params.dedup.0,
+            params.dedup.1,
+            params.seed,
+        )),
     }
 }
 
@@ -273,14 +278,22 @@ mod tests {
                 &params,
                 RaceDetector::<MultiBags>::structured(),
             );
-            assert!(det.report().is_race_free(), "{kind} structured: {}", det.report());
+            assert!(
+                det.report().is_race_free(),
+                "{kind} structured: {}",
+                det.report()
+            );
             let (det, _) = run_workload(
                 kind,
                 FutureMode::General,
                 &params,
                 RaceDetector::<MultiBagsPlus>::general(),
             );
-            assert!(det.report().is_race_free(), "{kind} general: {}", det.report());
+            assert!(
+                det.report().is_race_free(),
+                "{kind} general: {}",
+                det.report()
+            );
         }
     }
 

@@ -44,7 +44,11 @@ impl HeartwallInput {
     pub fn generate(frames: usize, points: usize, frame_dim: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let pixels = (0..frames)
-            .map(|_| (0..frame_dim * frame_dim).map(|_| rng.gen_range(0..256)).collect())
+            .map(|_| {
+                (0..frame_dim * frame_dim)
+                    .map(|_| rng.gen_range(0..256))
+                    .collect()
+            })
             .collect();
         Self {
             frames,
@@ -109,14 +113,21 @@ pub fn serial(input: &HeartwallInput) -> u64 {
             let (py, px) = *pos;
             let mut best = i64::MIN;
             let mut best_pos = *pos;
-            let (y0, x0) = (py.saturating_sub(input.window), px.saturating_sub(input.window));
-            let (y1, x1) = ((py + input.window).min(dim - 1), (px + input.window).min(dim - 1));
+            let (y0, x0) = (
+                py.saturating_sub(input.window),
+                px.saturating_sub(input.window),
+            );
+            let (y1, x1) = (
+                (py + input.window).min(dim - 1),
+                (px + input.window).min(dim - 1),
+            );
             for y in y0..=y1 {
                 for x in x0..=x1 {
                     let mut acc = 0i64;
                     for dy in 0..3usize {
                         for dx in 0..3usize {
-                            acc += frame[(y + dy).min(dim - 1) * dim + (x + dx).min(dim - 1)] as i64;
+                            acc +=
+                                frame[(y + dy).min(dim - 1) * dim + (x + dx).min(dim - 1)] as i64;
                         }
                     }
                     let dist = (y.abs_diff(py) + x.abs_diff(px)) as i64;
@@ -212,7 +223,8 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &HeartwallInput) -> u64 {
     let mut prev_frame: Vec<Option<FutureHandle<()>>> = (0..input.points).map(|_| None).collect();
     for f in 0..input.frames {
         let frame = load_frame(cx, input, f);
-        let mut this_frame: Vec<Option<FutureHandle<()>>> = (0..input.points).map(|_| None).collect();
+        let mut this_frame: Vec<Option<FutureHandle<()>>> =
+            (0..input.points).map(|_| None).collect();
         for p in 0..input.points {
             // Dependencies: previous frame's futures for p-1, p, p+1.
             let lo = p.saturating_sub(1);
@@ -234,7 +246,7 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &HeartwallInput) -> u64 {
                     px_ref.set(cx, p, nx as u32);
                 })
             };
-            for (q, dep) in (lo..=hi).zip(deps.into_iter()) {
+            for (q, dep) in (lo..=hi).zip(deps) {
                 if dep.is_some() {
                     prev_frame[q] = dep;
                 }
@@ -284,16 +296,18 @@ mod tests {
     #[test]
     fn structured_is_race_free_under_multibags() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp));
+        let (_, det, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+            structured(cx, &inp)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 
     #[test]
     fn general_is_race_free_under_multibags_plus() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp));
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            general(cx, &inp)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 

@@ -180,8 +180,16 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &LcsInput, base: usize) -> u3
             // Take the dependency handles out, touch them inside the new
             // tile's future, then put them back (they may be needed by the
             // next wavefront and by the final collection).
-            let mut up = if ti > 0 { futures[ti - 1][tj].take() } else { None };
-            let mut left = if tj > 0 { futures[ti][tj - 1].take() } else { None };
+            let mut up = if ti > 0 {
+                futures[ti - 1][tj].take()
+            } else {
+                None
+            };
+            let mut left = if tj > 0 {
+                futures[ti][tj - 1].take()
+            } else {
+                None
+            };
             let mut diag_dep = if ti > 0 && tj > 0 {
                 futures[ti - 1][tj - 1].take()
             } else {
@@ -285,10 +293,8 @@ pub fn parallel(pool: &ThreadPool, input: &LcsInput, base: usize) -> u32 {
             }
         }
         let snapshot = table.clone();
-        let mut results: Vec<(usize, usize, Vec<u32>)> = work
-            .iter()
-            .map(|&(ti, tj)| (ti, tj, Vec::new()))
-            .collect();
+        let mut results: Vec<(usize, usize, Vec<u32>)> =
+            work.iter().map(|&(ti, tj)| (ti, tj, Vec::new())).collect();
         pool.scope(|s| {
             for (ti, tj, out) in results.iter_mut() {
                 let snapshot = &snapshot;
@@ -371,16 +377,18 @@ mod tests {
     #[test]
     fn structured_variant_is_race_free_under_multibags() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp, 8));
+        let (_, det, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+            structured(cx, &inp, 8)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 
     #[test]
     fn general_variant_is_race_free_under_multibags_plus() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 8));
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            general(cx, &inp, 8)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 

@@ -28,6 +28,26 @@
 //!   multithreaded,
 //! * a "seeded race" variant used by tests to confirm the detectors flag
 //!   injected races.
+//!
+//! ## Quick start
+//!
+//! Run any workload through the uniform [`harness`] entry point; the result
+//! checksum is identical across variants and detector configurations:
+//!
+//! ```
+//! use futurerd_dag::NullObserver;
+//! use futurerd_workloads::{
+//!     reference_checksum, run_workload, FutureMode, WorkloadKind, WorkloadParams,
+//! };
+//!
+//! let params = WorkloadParams::tiny();
+//! let (_, result) = run_workload(WorkloadKind::Lcs, FutureMode::Structured, &params, NullObserver);
+//! assert_eq!(result.checksum, reference_checksum(WorkloadKind::Lcs, &params));
+//! assert!(result.summary.creates > 0); // futures were created
+//! ```
+//!
+//! To race detect a workload, pass a detector from `futurerd-core` (or use
+//! the `futurerd` facade) instead of the [`NullObserver`](futurerd_dag::NullObserver).
 
 #![warn(missing_docs)]
 

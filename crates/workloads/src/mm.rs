@@ -136,8 +136,9 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &MmInput, base: usize) -> u64
     let (mut c, a, b) = setup(cx, input);
     let tiles = n.div_ceil(base);
     // chain[ti][tj] holds the future of the most recent k-step for that tile.
-    let mut chain: Vec<Vec<Option<FutureHandle<()>>>> =
-        (0..tiles).map(|_| (0..tiles).map(|_| None).collect()).collect();
+    let mut chain: Vec<Vec<Option<FutureHandle<()>>>> = (0..tiles)
+        .map(|_| (0..tiles).map(|_| None).collect())
+        .collect();
     for tk in 0..tiles {
         for ti in 0..tiles {
             for tj in 0..tiles {
@@ -156,9 +157,9 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &MmInput, base: usize) -> u64
                 };
                 chain[ti][tj] = Some(handle);
                 // The previous link stays alive conceptually (multi-touch);
-                // it has already been consumed inside the new future so we
-                // can drop it here.
-                drop(prev);
+                // it has already been consumed inside the new future so it
+                // can be discarded here.
+                let _ = prev;
             }
         }
     }
@@ -242,11 +243,13 @@ mod tests {
     #[test]
     fn both_variants_are_race_free() {
         let inp = input();
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBags>::structured(), |cx| structured(cx, &inp, 4));
+        let (_, det, _) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
+            structured(cx, &inp, 4)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 4));
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            general(cx, &inp, 4)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 

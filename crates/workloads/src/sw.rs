@@ -187,8 +187,9 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &SwInput, base: usize) -> i64
     let a = ShadowArray::from_vec(cx, input.a.clone());
     let b = ShadowArray::from_vec(cx, input.b.clone());
     let (ti_max, tj_max) = (n.div_ceil(base), m.div_ceil(base));
-    let mut futures: Vec<Vec<Option<FutureHandle<i64>>>> =
-        (0..ti_max).map(|_| (0..tj_max).map(|_| None).collect()).collect();
+    let mut futures: Vec<Vec<Option<FutureHandle<i64>>>> = (0..ti_max)
+        .map(|_| (0..tj_max).map(|_| None).collect())
+        .collect();
 
     for diag in 0..(ti_max + tj_max - 1) {
         for ti in 0..ti_max {
@@ -202,9 +203,21 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &SwInput, base: usize) -> i64
             // it and to its left; touching the immediate up/left/diagonal
             // neighbours is sufficient for correctness of the dependence dag
             // (their own dependencies are transitive).
-            let mut up = if ti > 0 { futures[ti - 1][tj].take() } else { None };
-            let mut left = if tj > 0 { futures[ti][tj - 1].take() } else { None };
-            let mut dg = if ti > 0 && tj > 0 { futures[ti - 1][tj - 1].take() } else { None };
+            let mut up = if ti > 0 {
+                futures[ti - 1][tj].take()
+            } else {
+                None
+            };
+            let mut left = if tj > 0 {
+                futures[ti][tj - 1].take()
+            } else {
+                None
+            };
+            let mut dg = if ti > 0 && tj > 0 {
+                futures[ti - 1][tj - 1].take()
+            } else {
+                None
+            };
             let h_ref = &mut h;
             let (a_ref, b_ref) = (&a, &b);
             let handle = {
@@ -235,7 +248,9 @@ pub fn general<O: Observer>(cx: &mut Cx<O>, input: &SwInput, base: usize) -> i64
             futures[ti][tj] = Some(handle);
         }
     }
-    let mut last = futures[ti_max - 1][tj_max - 1].take().expect("final tile exists");
+    let mut last = futures[ti_max - 1][tj_max - 1]
+        .take()
+        .expect("final tile exists");
     cx.touch_future(&mut last)
 }
 
@@ -284,8 +299,9 @@ mod tests {
             structured(cx, &inp, 7)
         });
         assert!(det.report().is_race_free(), "{}", det.report());
-        let (_, det, _) =
-            run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| general(cx, &inp, 7));
+        let (_, det, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
+            general(cx, &inp, 7)
+        });
         assert!(det.report().is_race_free(), "{}", det.report());
     }
 

@@ -39,7 +39,10 @@ fn main() {
         run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
             dedup::general(cx, &input)
         });
-    assert_eq!(checksum, reference, "pipeline result must match the serial reference");
+    assert_eq!(
+        checksum, reference,
+        "pipeline result must match the serial reference"
+    );
     println!(
         "race detection: {} strands, {} futures, {} get_fut operations, {} attached sets in R",
         summary.strands,

@@ -1,20 +1,16 @@
 //! Quickstart: write a small task-parallel program with futures, race detect
-//! it, then fix the race.
+//! it through the `futurerd` facade, then fix the race.
 //!
 //! ```text
-//! cargo run --release -p futurerd-workloads --example quickstart
+//! cargo run --release --example quickstart
 //! ```
-
-use futurerd_core::detector::RaceDetector;
-use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
-use futurerd_runtime::{run_program, ShadowArray};
 
 fn main() {
     // A pipeline-ish program with a bug: the future fills a buffer while the
     // main task reads it *before* joining the future.
-    println!("== buggy version (reads the buffer before get_fut) ==");
-    let (_, detector, summary) = run_program(RaceDetector::<MultiBags>::structured(), |cx| {
-        let mut buffer = ShadowArray::new(cx, 8, 0u64);
+    println!("== buggy version (reads the buffer before get_future) ==");
+    let detection = futurerd::detect_structured(|cx| {
+        let mut buffer = futurerd::ShadowArray::new(cx, 8, 0u64);
         let producer = cx.create_future(|cx| {
             for i in 0..8 {
                 buffer.set(cx, i, (i as u64 + 1) * 10);
@@ -28,15 +24,17 @@ fn main() {
     });
     println!(
         "executed {} strands, {} futures, {} memory accesses",
-        summary.strands,
-        summary.creates,
-        summary.accesses()
+        detection.summary.strands,
+        detection.summary.creates,
+        detection.summary.accesses()
     );
-    println!("{}", detector.report());
+    println!("{}", detection.report());
 
-    println!("== fixed version (get_fut before reading) ==");
-    let (_, detector, _) = run_program(RaceDetector::<MultiBagsPlus>::general(), |cx| {
-        let mut buffer = ShadowArray::new(cx, 8, 0u64);
+    // The same program with the join moved before the read: race-free, this
+    // time checked with MultiBags+ (general futures).
+    println!("== fixed version (get_future before reading) ==");
+    let detection = futurerd::detect_general(|cx| {
+        let mut buffer = futurerd::ShadowArray::new(cx, 8, 0u64);
         let producer = cx.create_future(|cx| {
             for i in 0..8 {
                 buffer.set(cx, i, (i as u64 + 1) * 10);
@@ -45,6 +43,6 @@ fn main() {
         cx.get_future(producer);
         (0..8).map(|i| buffer.get(cx, i)).sum::<u64>()
     });
-    println!("{}", detector.report());
-    assert!(detector.report().is_race_free());
+    println!("{}", detection.report());
+    assert!(detection.is_race_free());
 }

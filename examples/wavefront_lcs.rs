@@ -51,5 +51,7 @@ fn main() {
             summary.creates,
         );
     }
-    println!("MultiBags stays near the baseline; MultiBags+ pays its k² price as futures multiply.");
+    println!(
+        "MultiBags stays near the baseline; MultiBags+ pays its k² price as futures multiply."
+    );
 }

@@ -19,13 +19,32 @@ fn all_workloads_give_identical_results_under_every_configuration() {
         for mode in [FutureMode::Structured, FutureMode::General] {
             let (_, r) = run_workload(kind, mode, &params, NullObserver);
             assert_eq!(r.checksum, expected, "{kind} {mode} baseline");
-            let (_, r) = run_workload(kind, mode, &params, ReachabilityOnly::<MultiBagsPlus>::general());
+            let (_, r) = run_workload(
+                kind,
+                mode,
+                &params,
+                ReachabilityOnly::<MultiBagsPlus>::general(),
+            );
             assert_eq!(r.checksum, expected, "{kind} {mode} reachability");
-            let (_, r) = run_workload(kind, mode, &params, InstrumentationOnly::<MultiBagsPlus>::general());
+            let (_, r) = run_workload(
+                kind,
+                mode,
+                &params,
+                InstrumentationOnly::<MultiBagsPlus>::general(),
+            );
             assert_eq!(r.checksum, expected, "{kind} {mode} instrumentation");
-            let (det, r) = run_workload(kind, mode, &params, RaceDetector::<MultiBagsPlus>::general());
+            let (det, r) = run_workload(
+                kind,
+                mode,
+                &params,
+                RaceDetector::<MultiBagsPlus>::general(),
+            );
             assert_eq!(r.checksum, expected, "{kind} {mode} full");
-            assert!(det.report().is_race_free(), "{kind} {mode}: {}", det.report());
+            assert!(
+                det.report().is_race_free(),
+                "{kind} {mode}: {}",
+                det.report()
+            );
         }
     }
 }
@@ -60,8 +79,7 @@ fn recorded_workload_dags_have_futures_and_parallelism() {
     // Record the dag of the general-futures lcs and check its shape: it has
     // create/get edges (non-SP), and parallelism > 1.
     let input = lcs::LcsInput::generate(32, 1);
-    let (_, recorder, summary) =
-        run_program(DagRecorder::new(), |cx| lcs::general(cx, &input, 8));
+    let (_, recorder, summary) = run_program(DagRecorder::new(), |cx| lcs::general(cx, &input, 8));
     let dag = recorder.dag();
     assert_eq!(dag.num_strands() as u64, summary.strands);
     let stats = dag_stats(dag);
@@ -142,5 +160,5 @@ fn detection_statistics_are_consistent_with_execution_counters() {
     // The reachability structure answered at least one query per write that
     // found a previous accessor, and created O(k) attached sets.
     assert!(reach.queries > 0);
-    assert!(reach.attached_sets as u64 <= 4 * result.summary.gets + 4);
+    assert!(reach.attached_sets <= 4 * result.summary.gets + 4);
 }

@@ -53,8 +53,8 @@ fn figure2_style_multibags_bag_states() {
                     assert!(!cx.observer_mut().strand_precedes_current(d_strand.unwrap()));
                     (e_val, d)
                 });
-                let c_val_and_d = cx.get_future(c);
-                c_val_and_d
+
+                cx.get_future(c)
             };
             // After consuming C, C's strands are in S bags again, but D is
             // still outstanding and stays in a P bag.
@@ -155,7 +155,10 @@ fn figure5_style_multibags_plus_attached_sets() {
     // the number of strands.
     assert!(summary.gets >= 3);
     let attached = mbp.num_attached_sets() as u64;
-    assert!(attached <= 4 * summary.gets + 4, "attached sets: {attached}");
+    assert!(
+        attached <= 4 * summary.gets + 4,
+        "attached sets: {attached}"
+    );
     assert!(attached <= summary.strands);
     assert_eq!(mbp.stats().unexpected_attachifies, 0);
 }

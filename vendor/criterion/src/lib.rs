@@ -1,0 +1,416 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a small but *real* benchmark harness behind criterion's API: it warms up,
+//! auto-calibrates an iteration count per sample, collects `sample_size`
+//! wall-clock samples, and reports mean / min / max per benchmark. It is not
+//! a statistical replacement for criterion (no outlier classification, no
+//! regression analysis) but produces stable, comparable numbers for the
+//! paper-reproduction figures.
+//!
+//! Extras on top of the criterion surface:
+//!
+//! * Set `FUTURERD_BENCH_JSON=<path>` to also append results as JSON lines
+//!   (one object per benchmark), used to check in benchmark baselines.
+//! * Pass a substring as the first CLI argument (criterion-style filtering):
+//!   only benchmark ids containing it are run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter
+/// rendering, displayed as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// One timed sample set for a benchmark.
+#[derive(Debug, Clone)]
+struct Measurement {
+    id: String,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the wall-clock budget for the timed samples of one benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.render());
+        if !self.criterion.matches_filter(&full_id) {
+            return self;
+        }
+        let measurement = run_benchmark(
+            &full_id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self.criterion.record(measurement);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, name.into());
+        if !self.criterion.matches_filter(&full_id) {
+            return self;
+        }
+        let measurement = run_benchmark(
+            &full_id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self.criterion.record(measurement);
+        self
+    }
+
+    /// Finishes the group. (Results are printed as they are measured.)
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> Measurement {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // remembering the observed time per iteration for calibration.
+    let mut per_iter = Duration::from_nanos(1);
+    let warm_up_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = per_iter.max(b.elapsed / 1);
+        if warm_up_start.elapsed() >= warm_up_time {
+            break;
+        }
+    }
+
+    // Calibrate: fit `sample_size` samples into the measurement budget.
+    let budget_per_sample = measurement_time / sample_size as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, u64::MAX as u128) as u64;
+
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        min = min.min(per);
+        max = max.max(per);
+        total += per;
+    }
+    let mean = total / sample_size as u32;
+    println!(
+        "{id:<60} mean {:>12} min {:>12} max {:>12} ({sample_size} samples x {iters} iters)",
+        format_duration(mean),
+        format_duration(min),
+        format_duration(max),
+    );
+    Measurement {
+        id: id.to_string(),
+        mean,
+        min,
+        max,
+        samples: sample_size,
+        iters_per_sample: iters,
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The benchmark driver: collects settings, runs groups, reports results.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag CLI argument acts as a substring filter, mirroring
+        // criterion's behaviour under `cargo bench -- <filter>`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        if self.matches_filter(&id) {
+            let m = run_benchmark(
+                &id,
+                10,
+                Duration::from_millis(500),
+                Duration::from_secs(1),
+                &mut f,
+            );
+            self.record(m);
+        }
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn record(&mut self, m: Measurement) {
+        self.results.push(m);
+    }
+
+    /// Writes results as JSON lines to `FUTURERD_BENCH_JSON` if set. Called
+    /// automatically by [`criterion_main!`]; harmless to call twice.
+    pub fn final_summary(&mut self) {
+        let Ok(path) = std::env::var("FUTURERD_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let mut file = match OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("criterion shim: cannot open {path}: {e}");
+                return;
+            }
+        };
+        for m in self.results.drain(..) {
+            let line = format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                json_escape(&m.id),
+                m.mean.as_nanos(),
+                m.min.as_nanos(),
+                m.max.as_nanos(),
+                m.samples,
+                m.iters_per_sample,
+            );
+            if let Err(e) = file.write_all(line.as_bytes()) {
+                eprintln!("criterion shim: write to {path} failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_and_records_results() {
+        let mut c = Criterion {
+            filter: None,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(2)
+                .warm_up_time(Duration::from_micros(10))
+                .measurement_time(Duration::from_micros(100));
+            g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "unit/sum/10");
+        assert!(c.results[0].mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(1)
+            .warm_up_time(Duration::from_micros(1))
+            .measurement_time(Duration::from_micros(10));
+        g.bench_function("other", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) derive
+//! macros.
+//!
+//! The build environment has no access to crates.io. The workspace's data
+//! types carry `#[derive(Serialize, Deserialize)]` so that wiring in the real
+//! `serde` (for JSON event-trace export, benchmark result serialization, ...)
+//! is a manifest-only change later; until then these derives expand to
+//! nothing. No code in the workspace currently calls serialization functions,
+//! so the empty expansion is sound — if a future change does, the build
+//! breaks loudly at the call site rather than silently misbehaving.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`. Accepts (and ignores) `#[serde]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`. Accepts (and ignores) `#[serde]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
