@@ -1,0 +1,420 @@
+//! `futurerd-trace` — record, replay and differentially check execution
+//! traces of the benchmark workloads.
+//!
+//! ```text
+//! # Record a workload's execution into a trace file:
+//! cargo run --release -p futurerd-bench --bin futurerd-trace -- \
+//!     record --workload lcs --mode structured --out lcs.trace
+//!
+//! # Replay a trace file through one or all detectors (no re-execution):
+//! cargo run --release -p futurerd-bench --bin futurerd-trace -- \
+//!     replay --input lcs.trace --algorithm all
+//!
+//! # Record + replay + cross-check against in-process detection:
+//! cargo run --release -p futurerd-bench --bin futurerd-trace -- \
+//!     diff --workload bst --mode general
+//! ```
+//!
+//! `diff` exits non-zero if any replayed verdict differs from the verdict of
+//! running the same detector in-process, or if any sound algorithm
+//! disagrees with the ground-truth oracle. SP-Bags aborts on futures by
+//! design, so for the futures-based workloads it is reported as
+//! not-runnable (identically in-process and on replay) rather than run.
+
+use futurerd_core::detector::RaceDetector;
+use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_core::RaceReport;
+use futurerd_dag::trace::Trace;
+use futurerd_runtime::trace::TraceRecorder;
+use futurerd_workloads::{lcs, run_workload, FutureMode, WorkloadKind, WorkloadParams};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: futurerd-trace <record|replay|diff> [options]\n\
+         \n\
+         record --workload <{names}> --mode <structured|general> --out <path>\n\
+        \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
+         replay --input <path> [--algorithm <multibags|multibags+|spbags|oracle|all>]\n\
+         diff   --workload <name> --mode <mode> [--size <tiny|default>] [--seed <u64>] [--racy]\n\
+         \n\
+         --racy uses the workload's seeded-race variant (lcs only): the\n\
+         recorded trace then carries a real determinacy race to detect.",
+        names = WorkloadKind::ALL.map(|k| k.name()).join("|")
+    );
+    std::process::exit(2);
+}
+
+fn parse_workload(name: &str) -> WorkloadKind {
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}'");
+            usage()
+        })
+}
+
+fn parse_mode(name: &str) -> FutureMode {
+    match name {
+        "structured" => FutureMode::Structured,
+        "general" => FutureMode::General,
+        other => {
+            eprintln!("unknown mode '{other}'");
+            usage()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Options {
+    workload: Option<WorkloadKind>,
+    mode: FutureMode,
+    out: Option<String>,
+    input: Option<String>,
+    algorithm: Option<String>,
+    params: WorkloadParams,
+    racy: bool,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        workload: None,
+        mode: FutureMode::Structured,
+        out: None,
+        input: None,
+        algorithm: None,
+        params: WorkloadParams::tiny(),
+        racy: false,
+    };
+    let mut size_default = false;
+    let mut seed = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" => opts.workload = Some(parse_workload(&value())),
+            "--mode" => opts.mode = parse_mode(&value()),
+            "--out" => opts.out = Some(value()),
+            "--input" => opts.input = Some(value()),
+            "--algorithm" => opts.algorithm = Some(value()),
+            "--size" => match value().as_str() {
+                "tiny" => size_default = false,
+                "default" => size_default = true,
+                other => {
+                    eprintln!("unknown size '{other}'");
+                    usage()
+                }
+            },
+            "--seed" => {
+                seed = Some(value().parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an unsigned integer");
+                    usage()
+                }))
+            }
+            "--racy" => opts.racy = true,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    if size_default {
+        opts.params = WorkloadParams::default();
+    }
+    if let Some(seed) = seed {
+        opts.params.seed = seed;
+    }
+    opts
+}
+
+/// Runs `workload`/`mode` under an arbitrary observer — either the regular
+/// harness variant or (with `--racy`) the seeded-race variant.
+fn run_observed<O: futurerd_dag::Observer>(
+    workload: WorkloadKind,
+    mode: FutureMode,
+    params: &WorkloadParams,
+    racy: bool,
+    observer: O,
+) -> (O, u64) {
+    if racy {
+        if workload != WorkloadKind::Lcs {
+            eprintln!("--racy is only available for the lcs workload");
+            usage()
+        }
+        let input = lcs::LcsInput::generate(params.n, params.seed);
+        let (value, observer, _) = futurerd_runtime::run_program(observer, |cx| {
+            lcs::structured_with_race(cx, &input, params.base)
+        });
+        (observer, value as u64)
+    } else {
+        let (observer, result) = run_workload(workload, mode, params, observer);
+        (observer, result.checksum)
+    }
+}
+
+/// Records `workload`/`mode` under a [`TraceRecorder`] and returns the trace
+/// plus the run's checksum and wall-clock time.
+fn record_trace(
+    workload: WorkloadKind,
+    mode: FutureMode,
+    params: &WorkloadParams,
+    racy: bool,
+) -> (Trace, u64, std::time::Duration) {
+    let start = Instant::now();
+    let (recorder, checksum) = run_observed(workload, mode, params, racy, TraceRecorder::new());
+    let elapsed = start.elapsed();
+    (recorder.into_trace(), checksum, elapsed)
+}
+
+/// Runs `workload`/`mode` in-process under the full detector for
+/// `algorithm`. SP-Bags is only attempted on futures-free executions.
+fn detect_in_process(
+    workload: WorkloadKind,
+    mode: FutureMode,
+    params: &WorkloadParams,
+    racy: bool,
+    algorithm: ReplayAlgorithm,
+) -> RaceReport {
+    match algorithm {
+        ReplayAlgorithm::MultiBags => run_observed(
+            workload,
+            mode,
+            params,
+            racy,
+            RaceDetector::<MultiBags>::structured(),
+        )
+        .0
+        .into_report(),
+        ReplayAlgorithm::MultiBagsPlus => run_observed(
+            workload,
+            mode,
+            params,
+            racy,
+            RaceDetector::<MultiBagsPlus>::general(),
+        )
+        .0
+        .into_report(),
+        ReplayAlgorithm::SpBags => run_observed(
+            workload,
+            mode,
+            params,
+            racy,
+            RaceDetector::new(SpBags::new()),
+        )
+        .0
+        .into_report(),
+        ReplayAlgorithm::GraphOracle => run_observed(
+            workload,
+            mode,
+            params,
+            racy,
+            RaceDetector::new(GraphOracle::new()),
+        )
+        .0
+        .into_report(),
+    }
+}
+
+fn verdict_line(algorithm: ReplayAlgorithm, report: &RaceReport, elapsed: std::time::Duration) {
+    println!(
+        "  {:<11} {:>4} racy granules, {:>6} observations   ({:.2?})",
+        algorithm.name(),
+        report.race_count(),
+        report.total_observations(),
+        elapsed
+    );
+}
+
+fn cmd_record(opts: &Options) -> ExitCode {
+    let Some(workload) = opts.workload else {
+        eprintln!("record needs --workload");
+        usage()
+    };
+    let Some(out) = &opts.out else {
+        eprintln!("record needs --out");
+        usage()
+    };
+    let (trace, checksum, elapsed) = record_trace(workload, opts.mode, &opts.params, opts.racy);
+    let counts = match trace.validate() {
+        Ok(counts) => counts,
+        Err(e) => {
+            eprintln!("recorded trace failed validation (bug): {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = trace.save(out) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "recorded {workload} ({mode}) in {elapsed:.2?}: {events} events, {counts}",
+        mode = opts.mode,
+        events = trace.len(),
+    );
+    println!("checksum {checksum:#x}; wrote {bytes} bytes to {out}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(opts: &Options) -> ExitCode {
+    let Some(input) = &opts.input else {
+        eprintln!("replay needs --input");
+        usage()
+    };
+    let trace = match Trace::load(input) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("cannot load {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let counts = match trace.validate() {
+        Ok(counts) => counts,
+        Err(e) => {
+            eprintln!("{input} is not a canonical serial-DF trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{input}: {events} events, {counts}", events = trace.len());
+    let (algorithms, explicit): (Vec<ReplayAlgorithm>, bool) = match opts.algorithm.as_deref() {
+        None | Some("all") => (ReplayAlgorithm::ALL.to_vec(), false),
+        Some(name) => match ReplayAlgorithm::parse(name) {
+            Some(algorithm) => (vec![algorithm], true),
+            None => {
+                eprintln!("unknown algorithm '{name}'");
+                usage()
+            }
+        },
+    };
+    for algorithm in algorithms {
+        if !algorithm.runnable_for(&trace) {
+            if explicit {
+                // The user asked for this specific detector and it cannot
+                // run: that is a failure, not a skip.
+                eprintln!(
+                    "{}: not runnable, the trace uses futures (SP-Bags aborts by design)",
+                    algorithm.name()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "  {:<11} not runnable: the trace uses futures (SP-Bags aborts by design)",
+                algorithm.name()
+            );
+            continue;
+        }
+        let start = Instant::now();
+        let report = replay_detect_unchecked(&trace, algorithm);
+        verdict_line(algorithm, &report, start.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(opts: &Options) -> ExitCode {
+    let Some(workload) = opts.workload else {
+        eprintln!("diff needs --workload");
+        usage()
+    };
+    let (trace, _, record_time) = record_trace(workload, opts.mode, &opts.params, opts.racy);
+    if let Err(e) = trace.validate() {
+        eprintln!("recorded trace failed validation (bug): {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{workload} ({mode}): recorded {events} events in {record_time:.2?}",
+        mode = opts.mode,
+        events = trace.len(),
+    );
+    let mut failures = 0u32;
+    let mut oracle_report = None;
+    let mut sound_reports: Vec<(ReplayAlgorithm, RaceReport)> = Vec::new();
+    for algorithm in ReplayAlgorithm::ALL {
+        if !algorithm.runnable_for(&trace) {
+            println!(
+                "  {:<11} not runnable on futures (identically in-process and on replay)",
+                algorithm.name()
+            );
+            continue;
+        }
+        let start = Instant::now();
+        let replayed = replay_detect_unchecked(&trace, algorithm);
+        let replay_time = start.elapsed();
+        let direct = detect_in_process(workload, opts.mode, &opts.params, opts.racy, algorithm);
+        let matches = replayed.race_count() == direct.race_count()
+            && replayed.total_observations() == direct.total_observations()
+            && replayed.witnesses() == direct.witnesses();
+        verdict_line(algorithm, &replayed, replay_time);
+        if matches {
+            println!("              replay == in-process ✓");
+        } else {
+            println!(
+                "              MISMATCH: in-process found {} racy granules / {} observations",
+                direct.race_count(),
+                direct.total_observations()
+            );
+            failures += 1;
+        }
+        if algorithm == ReplayAlgorithm::GraphOracle {
+            oracle_report = Some(replayed);
+        } else if algorithm.sound_for(&trace) {
+            sound_reports.push((algorithm, replayed));
+        }
+    }
+    // The oracle replays last; compare the sound algorithms against it once
+    // its verdict is in (replaying it eagerly up front would pay the most
+    // expensive detector twice). Counts alone cannot distinguish equal-sized
+    // but different racy-granule sets, so also check every oracle witness.
+    if let Some(oracle) = oracle_report {
+        for (algorithm, report) in sound_reports {
+            if report.race_count() != oracle.race_count() {
+                println!(
+                    "  {:<11} MISMATCH vs oracle: {} racy granules, oracle found {}",
+                    algorithm.name(),
+                    report.race_count(),
+                    oracle.race_count()
+                );
+                failures += 1;
+                continue;
+            }
+            for witness in oracle.witnesses() {
+                if !report.is_racy(witness.addr) {
+                    println!(
+                        "  {:<11} MISMATCH vs oracle: missed the race on {} ({witness})",
+                        algorithm.name(),
+                        witness.addr
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("all verdicts agree");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} verdict mismatch(es)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage()
+    };
+    let opts = parse_options(rest);
+    match command.as_str() {
+        "record" => cmd_record(&opts),
+        "replay" => cmd_replay(&opts),
+        "diff" => cmd_diff(&opts),
+        _ => usage(),
+    }
+}

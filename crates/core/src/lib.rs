@@ -27,7 +27,10 @@
 //! The [`detector`] module glues the two together into observers that plug
 //! into the sequential executor, one per measurement configuration used in
 //! the paper's evaluation (baseline / reachability / instrumentation /
-//! full).
+//! full). The [`replay`] module feeds a recorded
+//! [`Trace`](futurerd_dag::trace::Trace) through those same observers, so a
+//! program recorded once can be detected on offline, repeatedly, by every
+//! algorithm.
 //!
 //! ## Quick start
 //!
@@ -56,10 +59,12 @@ pub mod bitset;
 pub mod detector;
 pub mod races;
 pub mod reachability;
+pub mod replay;
 pub mod shadow;
 pub mod stats;
 
 pub use detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
 pub use races::{AccessKind, Race, RaceReport};
 pub use reachability::{GraphOracle, MultiBags, MultiBagsPlus, Reachability, SpBags};
+pub use replay::{differential, replay_all, replay_detect, ReplayAlgorithm};
 pub use stats::ReachStats;

@@ -1,0 +1,343 @@
+//! Offline detection: replay a recorded [`Trace`] through the detectors.
+//!
+//! Recording decouples *running* a program from *detecting* on it: a trace
+//! captured once (see `futurerd-runtime::trace`) can be replayed through
+//! every reachability algorithm, repeatedly, without re-executing the
+//! workload. Because the detectors are plain [`Observer`]s, replay is just
+//! feeding the stored events back in order — but the detectors' amortized
+//! bounds and correctness assume the canonical serial-DF event discipline,
+//! so every entry point here validates the trace first.
+//!
+//! [`differential`] is the cross-checking driver: it replays one trace
+//! through every algorithm that is *sound* for that trace (SP-Bags only
+//! handles fork-join streams; MultiBags requires single-touch futures) and
+//! reports any verdict that disagrees with the ground-truth graph oracle.
+
+use crate::detector::RaceDetector;
+use crate::races::RaceReport;
+use crate::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use futurerd_dag::trace::{Trace, TraceError};
+use futurerd_dag::Observer;
+
+/// The reachability algorithms a trace can be replayed through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayAlgorithm {
+    /// MultiBags (Section 4) — sound for structured (single-touch) futures.
+    MultiBags,
+    /// MultiBags+ (Section 5) — sound for general futures.
+    MultiBagsPlus,
+    /// The SP-Bags baseline — sound for pure fork-join streams only.
+    SpBags,
+    /// The ground-truth transitive-closure oracle — sound for everything,
+    /// quadratic space.
+    GraphOracle,
+}
+
+impl ReplayAlgorithm {
+    /// Every algorithm, in comparison order.
+    pub const ALL: [ReplayAlgorithm; 4] = [
+        ReplayAlgorithm::MultiBags,
+        ReplayAlgorithm::MultiBagsPlus,
+        ReplayAlgorithm::SpBags,
+        ReplayAlgorithm::GraphOracle,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayAlgorithm::MultiBags => "multibags",
+            ReplayAlgorithm::MultiBagsPlus => "multibags+",
+            ReplayAlgorithm::SpBags => "spbags",
+            ReplayAlgorithm::GraphOracle => "oracle",
+        }
+    }
+
+    /// Parses a CLI-style name (as produced by [`ReplayAlgorithm::name`]).
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "multibags" | "mb" => ReplayAlgorithm::MultiBags,
+            "multibags+" | "mbp" | "multibagsplus" => ReplayAlgorithm::MultiBagsPlus,
+            "spbags" | "sp" => ReplayAlgorithm::SpBags,
+            "oracle" | "graph" => ReplayAlgorithm::GraphOracle,
+            _ => return None,
+        })
+    }
+
+    /// True if the algorithm's race verdict is trustworthy for this trace.
+    /// Unsound-but-runnable combinations (MultiBags on a multi-touch trace)
+    /// still replay, but may report false positives, so [`differential`]
+    /// excludes them from agreement checks.
+    pub fn sound_for(self, trace: &Trace) -> bool {
+        match self {
+            ReplayAlgorithm::MultiBags => trace.is_single_touch(),
+            ReplayAlgorithm::MultiBagsPlus | ReplayAlgorithm::GraphOracle => true,
+            ReplayAlgorithm::SpBags => !trace.has_futures(),
+        }
+    }
+
+    /// True if the algorithm can consume this trace at all. SP-Bags aborts
+    /// on future constructs (it has no transition for them); everything else
+    /// accepts any canonical stream.
+    pub fn runnable_for(self, trace: &Trace) -> bool {
+        match self {
+            ReplayAlgorithm::SpBags => !trace.has_futures(),
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Replays a validated trace through an arbitrary observer and returns it.
+///
+/// This is the low-level hook: it lets a trace drive anything that consumes
+/// the event stream (a detector, a dag recorder, statistics collectors).
+pub fn replay_observer<O: Observer>(trace: &Trace, observer: O) -> Result<O, TraceError> {
+    trace.validate()?;
+    Ok(trace.replay(observer))
+}
+
+/// Replays a validated trace through a full race detector using `algorithm`
+/// and returns the race report.
+pub fn replay_detect(trace: &Trace, algorithm: ReplayAlgorithm) -> Result<RaceReport, TraceError> {
+    trace.validate()?;
+    Ok(replay_detect_unchecked(trace, algorithm))
+}
+
+/// As [`replay_detect`], but skips validation — for callers that already
+/// validated (e.g. a loop over all algorithms).
+pub fn replay_detect_unchecked(trace: &Trace, algorithm: ReplayAlgorithm) -> RaceReport {
+    match algorithm {
+        ReplayAlgorithm::MultiBags => trace
+            .replay(RaceDetector::<MultiBags>::structured())
+            .into_report(),
+        ReplayAlgorithm::MultiBagsPlus => trace
+            .replay(RaceDetector::<MultiBagsPlus>::general())
+            .into_report(),
+        ReplayAlgorithm::SpBags => trace.replay(RaceDetector::new(SpBags::new())).into_report(),
+        ReplayAlgorithm::GraphOracle => trace
+            .replay(RaceDetector::new(GraphOracle::new()))
+            .into_report(),
+    }
+}
+
+/// One algorithm's verdict on a replayed trace.
+#[derive(Debug)]
+pub struct ReplayVerdict {
+    /// The algorithm that produced the report.
+    pub algorithm: ReplayAlgorithm,
+    /// Whether the algorithm is sound for this trace (false ⇒ the verdict
+    /// may contain false positives and is excluded from agreement checks).
+    pub sound: bool,
+    /// The race report.
+    pub report: RaceReport,
+}
+
+/// Replays one trace through every algorithm that can consume it (see
+/// [`ReplayAlgorithm::runnable_for`]) and returns the verdicts.
+pub fn replay_all(trace: &Trace) -> Result<Vec<ReplayVerdict>, TraceError> {
+    trace.validate()?;
+    Ok(ReplayAlgorithm::ALL
+        .iter()
+        .filter(|algorithm| algorithm.runnable_for(trace))
+        .map(|&algorithm| ReplayVerdict {
+            algorithm,
+            sound: algorithm.sound_for(trace),
+            report: replay_detect_unchecked(trace, algorithm),
+        })
+        .collect())
+}
+
+/// The outcome of the differential replay driver.
+#[derive(Debug)]
+pub struct DifferentialOutcome {
+    /// Per-algorithm verdicts (all four, soundness flagged).
+    pub verdicts: Vec<ReplayVerdict>,
+    /// Human-readable descriptions of every disagreement between a sound
+    /// algorithm and the ground-truth oracle.
+    pub disagreements: Vec<String>,
+}
+
+impl DifferentialOutcome {
+    /// True if every sound algorithm agreed with the oracle.
+    pub fn agreed(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+
+    /// The oracle's distinct-racy-granule count.
+    pub fn oracle_race_count(&self) -> usize {
+        self.verdicts
+            .iter()
+            .find(|v| v.algorithm == ReplayAlgorithm::GraphOracle)
+            .map(|v| v.report.race_count())
+            .expect("oracle always runs")
+    }
+}
+
+/// Replays one trace through all detectors and cross-checks the verdicts:
+/// every algorithm that is sound for the trace must agree with the
+/// ground-truth graph oracle on the set of racy granules.
+pub fn differential(trace: &Trace) -> Result<DifferentialOutcome, TraceError> {
+    let verdicts = replay_all(trace)?;
+    let oracle = &verdicts
+        .iter()
+        .find(|v| v.algorithm == ReplayAlgorithm::GraphOracle)
+        .expect("oracle is in ALL")
+        .report;
+    let mut disagreements = Vec::new();
+    for verdict in &verdicts {
+        if !verdict.sound || verdict.algorithm == ReplayAlgorithm::GraphOracle {
+            continue;
+        }
+        if verdict.report.race_count() != oracle.race_count() {
+            disagreements.push(format!(
+                "{}: {} racy granules, oracle found {}",
+                verdict.algorithm,
+                verdict.report.race_count(),
+                oracle.race_count()
+            ));
+            continue;
+        }
+        for witness in oracle.witnesses() {
+            if !verdict.report.is_racy(witness.addr) {
+                disagreements.push(format!(
+                    "{}: missed the race on {} (oracle witness: {})",
+                    verdict.algorithm, witness.addr, witness
+                ));
+            }
+        }
+    }
+    Ok(DifferentialOutcome {
+        verdicts,
+        disagreements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_dag::events::{ForkInfo, SpawnEvent, SyncEvent};
+    use futurerd_dag::trace::TraceEvent;
+    use futurerd_dag::{FunctionId, MemAddr, StrandId};
+
+    /// The canonical fork-join trace with one read/write race.
+    fn racy_fork_join_trace() -> Trace {
+        let root = FunctionId(0);
+        let child = FunctionId(1);
+        let x = MemAddr(0x1000);
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: root,
+        });
+        t.push(TraceEvent::Spawn(SpawnEvent {
+            parent: root,
+            child,
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: child,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: child,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Sync(SyncEvent {
+            parent: root,
+            child,
+            pre_join_strand: StrandId(2),
+            join_strand: StrandId(3),
+            child_last_strand: StrandId(1),
+            fork: ForkInfo {
+                pre_fork_strand: StrandId(0),
+                child_first_strand: StrandId(1),
+                cont_strand: StrandId(2),
+            },
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(3),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(3),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: root,
+            last: StrandId(3),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        t
+    }
+
+    #[test]
+    fn every_algorithm_finds_the_replayed_race() {
+        let trace = racy_fork_join_trace();
+        for algorithm in ReplayAlgorithm::ALL {
+            let report = replay_detect(&trace, algorithm).expect("valid trace");
+            assert_eq!(report.race_count(), 1, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn differential_agrees_on_fork_join() {
+        let outcome = differential(&racy_fork_join_trace()).expect("valid trace");
+        assert!(outcome.agreed(), "{:?}", outcome.disagreements);
+        assert_eq!(outcome.oracle_race_count(), 1);
+        // A pure fork-join trace is sound for all four algorithms.
+        assert!(outcome.verdicts.iter().all(|v| v.sound));
+    }
+
+    #[test]
+    fn replay_rejects_invalid_traces() {
+        let mut trace = racy_fork_join_trace();
+        trace.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        assert!(replay_detect(&trace, ReplayAlgorithm::GraphOracle).is_err());
+        assert!(replay_all(&trace).is_err());
+        assert!(differential(&trace).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for algorithm in ReplayAlgorithm::ALL {
+            assert_eq!(ReplayAlgorithm::parse(algorithm.name()), Some(algorithm));
+        }
+        assert_eq!(ReplayAlgorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn replay_observer_drives_arbitrary_observers() {
+        let trace = racy_fork_join_trace();
+        let recorder =
+            replay_observer(&trace, futurerd_dag::DagRecorder::new()).expect("valid trace");
+        assert_eq!(recorder.dag().num_strands(), 4);
+        assert_eq!(recorder.reads, 2);
+        assert_eq!(recorder.writes, 1);
+    }
+}

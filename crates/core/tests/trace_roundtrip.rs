@@ -1,0 +1,140 @@
+//! Property tests for the trace record/replay pipeline: for seeded random
+//! programs (structured and general futures), recording an execution,
+//! serializing the trace, deserializing it, and replaying it through a
+//! detector must yield race reports identical to detecting directly
+//! in-process — for every reachability algorithm.
+
+use futurerd_core::detector::RaceDetector;
+use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use futurerd_core::replay::{differential, replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_core::RaceReport;
+use futurerd_dag::genprog::{generate_program, GenConfig, ProgramSpec};
+use futurerd_dag::trace::Trace;
+use futurerd_runtime::spec::run_spec;
+use futurerd_runtime::trace::record_spec;
+
+const SEEDS: u64 = 60;
+
+/// Runs `spec` directly in-process under the given algorithm's full
+/// detector.
+fn detect_direct(spec: &ProgramSpec, algorithm: ReplayAlgorithm) -> RaceReport {
+    match algorithm {
+        ReplayAlgorithm::MultiBags => run_spec(spec, RaceDetector::<MultiBags>::structured())
+            .0
+            .into_report(),
+        ReplayAlgorithm::MultiBagsPlus => run_spec(spec, RaceDetector::<MultiBagsPlus>::general())
+            .0
+            .into_report(),
+        ReplayAlgorithm::SpBags => run_spec(spec, RaceDetector::new(SpBags::new()))
+            .0
+            .into_report(),
+        ReplayAlgorithm::GraphOracle => run_spec(spec, RaceDetector::new(GraphOracle::new()))
+            .0
+            .into_report(),
+    }
+}
+
+/// Record → serialize → deserialize → validate → replay, returning the
+/// round-tripped trace.
+fn round_trip(spec: &ProgramSpec) -> Trace {
+    let (trace, summary) = record_spec(spec);
+    let bytes = trace.to_bytes();
+    let decoded = Trace::from_bytes(&bytes).expect("decoding an encoded trace");
+    assert_eq!(decoded, trace, "codec round trip changed the trace");
+    let counts = decoded.validate().expect("recorded traces are canonical");
+    assert_eq!(counts.strands, summary.strands);
+    assert_eq!(counts.gets, summary.gets);
+    assert_eq!(counts.accesses(), summary.accesses());
+    decoded
+}
+
+fn assert_reports_identical(
+    direct: &RaceReport,
+    replayed: &RaceReport,
+    context: &std::fmt::Arguments<'_>,
+) {
+    assert_eq!(
+        direct.race_count(),
+        replayed.race_count(),
+        "race counts diverged: {context}"
+    );
+    assert_eq!(
+        direct.total_observations(),
+        replayed.total_observations(),
+        "observation totals diverged: {context}"
+    );
+    assert_eq!(
+        direct.witnesses(),
+        replayed.witnesses(),
+        "witness races diverged: {context}"
+    );
+}
+
+fn check_config(config: &GenConfig, tag: &str) {
+    for seed in 0..SEEDS {
+        let spec = generate_program(config, seed);
+        let trace = round_trip(&spec);
+        for algorithm in ReplayAlgorithm::ALL {
+            // SP-Bags aborts on future constructs, in-process and on replay
+            // alike; the comparison only makes sense where it runs.
+            if !algorithm.runnable_for(&trace) {
+                continue;
+            }
+            let direct = detect_direct(&spec, algorithm);
+            let replayed = replay_detect_unchecked(&trace, algorithm);
+            assert_reports_identical(
+                &direct,
+                &replayed,
+                &format_args!("{tag} seed {seed}, {algorithm}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn structured_programs_round_trip_for_all_detectors() {
+    check_config(&GenConfig::structured(), "structured");
+}
+
+#[test]
+fn general_programs_round_trip_for_all_detectors() {
+    check_config(&GenConfig::general(), "general");
+}
+
+#[test]
+fn differential_driver_agrees_on_random_programs() {
+    for (config, tag) in [
+        (GenConfig::structured(), "structured"),
+        (GenConfig::general(), "general"),
+    ] {
+        for seed in 0..SEEDS {
+            let spec = generate_program(&config, seed);
+            let (trace, _) = record_spec(&spec);
+            let outcome = differential(&trace).expect("recorded traces are canonical");
+            assert!(
+                outcome.agreed(),
+                "{tag} seed {seed}: {:?}",
+                outcome.disagreements
+            );
+            // Structured generator output must be single-touch, so MultiBags
+            // stays a sound (and checked) participant.
+            if *tag.as_bytes() == *b"structured" {
+                assert!(trace.is_single_touch(), "{tag} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multibags_soundness_flag_tracks_multi_touch_traces() {
+    // Find a general-futures program that actually multi-touches and check
+    // the soundness flag flips for MultiBags while MultiBags+ stays sound.
+    let config = GenConfig::general();
+    let multi = (0..200)
+        .map(|seed| record_spec(&generate_program(&config, seed)).0)
+        .find(|trace| !trace.is_single_touch())
+        .expect("general generator eventually multi-touches");
+    assert!(!ReplayAlgorithm::MultiBags.sound_for(&multi));
+    assert!(ReplayAlgorithm::MultiBagsPlus.sound_for(&multi));
+    assert!(!ReplayAlgorithm::SpBags.sound_for(&multi));
+}

@@ -21,6 +21,10 @@
 //! * [`dot`] — Graphviz export.
 //! * [`genprog`] — a random-program generator (structured and general
 //!   futures) used for property-based differential testing of the detectors.
+//! * [`trace`] — a persistent, serializable form of the event stream
+//!   ([`Trace`] / [`TraceEvent`]) with a compact binary codec and a
+//!   canonical serial-DF ordering validator; recorded once, a trace can be
+//!   replayed through any observer (see `futurerd-core::replay`).
 //!
 //! The model follows Section 2 of the paper: a program execution is a dag of
 //! *strands* (maximal instruction sequences without parallel control)
@@ -37,6 +41,7 @@ pub mod ids;
 pub mod reachability;
 pub mod record;
 pub mod stats;
+pub mod trace;
 
 pub use events::{
     CreateFutureEvent, GetFutureEvent, MultiObserver, NullObserver, Observer, SpawnEvent, SyncEvent,
@@ -45,3 +50,4 @@ pub use graph::{Dag, EdgeKind};
 pub use ids::{FunctionId, MemAddr, StrandId};
 pub use reachability::ReachabilityOracle;
 pub use record::DagRecorder;
+pub use trace::{Trace, TraceCounts, TraceError, TraceEvent};

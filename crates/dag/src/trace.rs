@@ -1,0 +1,1258 @@
+//! A persistent, serializable form of the execution event stream.
+//!
+//! The [`Observer`] callbacks of [`crate::events`] only exist for the
+//! duration of one execution; a [`Trace`] reifies them as a vector of
+//! [`TraceEvent`]s that can be written to disk, read back, and *replayed*
+//! through any observer — in particular through the race detectors of
+//! `futurerd-core`. Recording once and replaying many times decouples
+//! *running* a program from *detecting* on it: the same trace can be fed to
+//! MultiBags, MultiBags+, SP-Bags and the graph oracle, offline, repeatedly,
+//! and (eventually) sharded across machines.
+//!
+//! ## The canonical serial-DF ordering invariant
+//!
+//! A valid trace is exactly the event sequence the sequential depth-first
+//! eager executor (`futurerd-runtime::exec`) would emit for some program:
+//!
+//! * the stream starts with `ProgramStart` for function `f0`/strand `s0` and
+//!   ends with `ProgramEnd`;
+//! * every construct allocates its function and strand ids *densely, in
+//!   event order* (a `Spawn` at a point where `n` strands exist names
+//!   `s(n)` as the child's first strand and `s(n+1)` as the continuation);
+//! * a spawned or created child runs eagerly to completion (its `Return`
+//!   appears) before the parent's continuation strand starts;
+//! * every memory access is attributed to the currently executing strand;
+//! * `Sync` joins pending spawned children innermost-first, and every
+//!   function's children are joined before its `Return` (the implicit sync).
+//!
+//! [`Trace::validate`] checks all of this and returns the stream's
+//! [`TraceCounts`]. The detectors assume this discipline (their amortized
+//! bounds depend on it), so replay entry points validate before detecting.
+//!
+//! ## On-disk format
+//!
+//! A compact binary encoding: the magic bytes `FRDTRACE`, a little-endian
+//! `u32` format version, and the event count followed by the events, each an
+//! opcode byte plus LEB128 varint fields. Memory accesses — which dominate
+//! real traces — cost a handful of bytes each. The event types also carry
+//! `serde` derives (via the vendored shim) so that swapping in the real
+//! `serde` for JSON export stays a manifest-only change.
+
+use crate::events::{CreateFutureEvent, ForkInfo, GetFutureEvent, Observer, SpawnEvent, SyncEvent};
+use crate::ids::{FunctionId, MemAddr, StrandId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying a trace file.
+pub const TRACE_MAGIC: [u8; 8] = *b"FRDTRACE";
+/// Current format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One event of the serialized execution stream — the persistent counterpart
+/// of one [`Observer`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The program begins; `root` is the top-level function, `first` its
+    /// first strand.
+    ProgramStart {
+        /// The root function instance.
+        root: FunctionId,
+        /// The root's first strand.
+        first: StrandId,
+    },
+    /// `strand`, belonging to `function`, begins executing.
+    StrandStart {
+        /// The strand that starts.
+        strand: StrandId,
+        /// The function it belongs to.
+        function: FunctionId,
+    },
+    /// A `spawn` construct.
+    Spawn(SpawnEvent),
+    /// A `create_fut` construct.
+    CreateFuture(CreateFutureEvent),
+    /// `function` returned; `last` is its final strand.
+    Return {
+        /// The returning function instance.
+        function: FunctionId,
+        /// Its final strand.
+        last: StrandId,
+    },
+    /// One binary `sync` join.
+    Sync(SyncEvent),
+    /// A `get_fut` operation.
+    GetFuture(GetFutureEvent),
+    /// `strand` read `size` bytes at `addr`.
+    Read {
+        /// The reading strand.
+        strand: StrandId,
+        /// Base address of the access.
+        addr: MemAddr,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// `strand` wrote `size` bytes at `addr`.
+    Write {
+        /// The writing strand.
+        strand: StrandId,
+        /// Base address of the access.
+        addr: MemAddr,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// The program finished; `last` is the root's final strand.
+    ProgramEnd {
+        /// The final strand of the root function.
+        last: StrandId,
+    },
+}
+
+/// Errors produced while encoding, decoding or validating a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O error.
+    Io(io::Error),
+    /// The input does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The input's format version is not supported.
+    UnsupportedVersion(u32),
+    /// The input ended in the middle of an event.
+    Truncated,
+    /// The input continues past the declared event count (corrupt or
+    /// concatenated file).
+    TrailingData,
+    /// The trace is well-formed but the selected consumer cannot process it
+    /// (e.g. SP-Bags on a stream that contains future constructs).
+    Unsupported {
+        /// Why the consumer rejects this trace.
+        message: String,
+    },
+    /// An unknown event opcode.
+    BadOpcode(u8),
+    /// A varint field does not fit the expected integer width.
+    FieldOverflow,
+    /// The stream violates the canonical serial-DF ordering invariant.
+    Invariant {
+        /// Index of the offending event.
+        index: usize,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a futurerd trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (expected {TRACE_VERSION})"
+                )
+            }
+            TraceError::Truncated => write!(f, "trace truncated mid-event"),
+            TraceError::TrailingData => {
+                write!(f, "trace continues past its declared event count")
+            }
+            TraceError::Unsupported { message } => {
+                write!(f, "trace not supported by this consumer: {message}")
+            }
+            TraceError::BadOpcode(op) => write!(f, "unknown event opcode {op:#x}"),
+            TraceError::FieldOverflow => write!(f, "varint field exceeds its integer width"),
+            TraceError::Invariant { index, message } => {
+                write!(
+                    f,
+                    "serial-DF invariant violated at event {index}: {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Per-construct totals of a validated trace; the persistent analogue of
+/// `futurerd-runtime`'s `ExecutionSummary`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCounts {
+    /// Function instances (root + spawned + futures).
+    pub functions: u64,
+    /// Strands allocated.
+    pub strands: u64,
+    /// `spawn` constructs.
+    pub spawns: u64,
+    /// `create_fut` constructs.
+    pub creates: u64,
+    /// Binary sync joins.
+    pub syncs: u64,
+    /// `get_fut` operations (the paper's `k`).
+    pub gets: u64,
+    /// Read events.
+    pub reads: u64,
+    /// Write events.
+    pub writes: u64,
+}
+
+impl TraceCounts {
+    /// Total memory-access events.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total parallelism-creating constructs (the paper's `n`).
+    pub fn parallel_constructs(&self) -> u64 {
+        self.spawns + self.creates
+    }
+}
+
+impl std::fmt::Display for TraceCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} functions, {} strands, {} spawns, {} creates, {} syncs, {} gets, {} reads, {} writes",
+            self.functions,
+            self.strands,
+            self.spawns,
+            self.creates,
+            self.syncs,
+            self.gets,
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+/// A recorded execution event stream in canonical serial-DF order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event. Recorders use this; the canonical ordering is *not*
+    /// checked here (call [`Trace::validate`] on the finished stream).
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True if the trace contains any `create_fut` construct.
+    pub fn has_futures(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CreateFuture(_)))
+    }
+
+    /// True if no future is consumed more than once — the *structured*
+    /// futures regime MultiBags requires.
+    pub fn is_single_touch(&self) -> bool {
+        self.events.iter().all(|e| match e {
+            TraceEvent::GetFuture(ev) => ev.prior_touches == 0,
+            _ => true,
+        })
+    }
+
+    /// Replays the trace through `observer`, invoking the callback matching
+    /// each event in order, and returns the observer.
+    pub fn replay<O: Observer>(&self, mut observer: O) -> O {
+        self.replay_into(&mut observer);
+        observer
+    }
+
+    /// Replays the trace through a borrowed observer.
+    pub fn replay_into<O: Observer + ?Sized>(&self, observer: &mut O) {
+        for event in &self.events {
+            match event {
+                TraceEvent::ProgramStart { root, first } => {
+                    observer.on_program_start(*root, *first)
+                }
+                TraceEvent::StrandStart { strand, function } => {
+                    observer.on_strand_start(*strand, *function)
+                }
+                TraceEvent::Spawn(ev) => observer.on_spawn(ev),
+                TraceEvent::CreateFuture(ev) => observer.on_create_future(ev),
+                TraceEvent::Return { function, last } => observer.on_return(*function, *last),
+                TraceEvent::Sync(ev) => observer.on_sync(ev),
+                TraceEvent::GetFuture(ev) => observer.on_get_future(ev),
+                TraceEvent::Read { strand, addr, size } => {
+                    observer.on_read(*strand, *addr, *size as usize)
+                }
+                TraceEvent::Write { strand, addr, size } => {
+                    observer.on_write(*strand, *addr, *size as usize)
+                }
+                TraceEvent::ProgramEnd { last } => observer.on_program_end(*last),
+            }
+        }
+    }
+
+    /// Serializes the trace to `writer` in the binary format.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), TraceError> {
+        writer.write_all(&TRACE_MAGIC)?;
+        writer.write_all(&TRACE_VERSION.to_le_bytes())?;
+        write_varint(writer, self.events.len() as u64)?;
+        for event in &self.events {
+            encode_event(writer, event)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace from `reader`.
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        read_exact_or_truncated(reader, &mut magic)?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut version = [0u8; 4];
+        read_exact_or_truncated(reader, &mut version)?;
+        let version = u32::from_le_bytes(version);
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let count = read_varint(reader)?;
+        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            events.push(decode_event(reader)?);
+        }
+        // A trace is the whole input: bytes past the declared event count
+        // mean corruption (torn write, concatenation), not extra events.
+        let mut probe = [0u8; 1];
+        match reader.read(&mut probe) {
+            Ok(0) => Ok(Self { events }),
+            Ok(_) => Err(TraceError::TrailingData),
+            Err(e) => Err(TraceError::Io(e)),
+        }
+    }
+
+    /// Serializes the trace to an in-memory buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Deserializes a trace from an in-memory buffer.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, TraceError> {
+        Self::read_from(&mut bytes)
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut file)?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Reads a trace from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let mut file = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut file)
+    }
+
+    /// Checks the canonical serial-DF ordering invariant (see the module
+    /// docs) and returns the per-construct totals.
+    pub fn validate(&self) -> Result<TraceCounts, TraceError> {
+        Validator::default().run(&self.events)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+const OP_PROGRAM_START: u8 = 0;
+const OP_STRAND_START: u8 = 1;
+const OP_SPAWN: u8 = 2;
+const OP_CREATE_FUTURE: u8 = 3;
+const OP_RETURN: u8 = 4;
+const OP_SYNC: u8 = 5;
+const OP_GET_FUTURE: u8 = 6;
+const OP_READ: u8 = 7;
+const OP_WRITE: u8 = 8;
+const OP_PROGRAM_END: u8 = 9;
+
+fn write_varint<W: Write>(w: &mut W, mut value: u64) -> Result<(), TraceError> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        read_exact_or_truncated(r, &mut byte)?;
+        let byte = byte[0];
+        if shift >= 63 && byte > 1 {
+            return Err(TraceError::FieldOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::FieldOverflow);
+        }
+    }
+}
+
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, TraceError> {
+    u32::try_from(read_varint(r)?).map_err(|_| TraceError::FieldOverflow)
+}
+
+fn encode_event<W: Write>(w: &mut W, event: &TraceEvent) -> Result<(), TraceError> {
+    match event {
+        TraceEvent::ProgramStart { root, first } => {
+            w.write_all(&[OP_PROGRAM_START])?;
+            write_varint(w, root.0.into())?;
+            write_varint(w, first.0.into())?;
+        }
+        TraceEvent::StrandStart { strand, function } => {
+            w.write_all(&[OP_STRAND_START])?;
+            write_varint(w, strand.0.into())?;
+            write_varint(w, function.0.into())?;
+        }
+        TraceEvent::Spawn(ev) => {
+            w.write_all(&[OP_SPAWN])?;
+            for field in [
+                ev.parent.0,
+                ev.child.0,
+                ev.fork_strand.0,
+                ev.cont_strand.0,
+                ev.child_first_strand.0,
+            ] {
+                write_varint(w, field.into())?;
+            }
+        }
+        TraceEvent::CreateFuture(ev) => {
+            w.write_all(&[OP_CREATE_FUTURE])?;
+            for field in [
+                ev.parent.0,
+                ev.child.0,
+                ev.creator_strand.0,
+                ev.cont_strand.0,
+                ev.child_first_strand.0,
+            ] {
+                write_varint(w, field.into())?;
+            }
+        }
+        TraceEvent::Return { function, last } => {
+            w.write_all(&[OP_RETURN])?;
+            write_varint(w, function.0.into())?;
+            write_varint(w, last.0.into())?;
+        }
+        TraceEvent::Sync(ev) => {
+            w.write_all(&[OP_SYNC])?;
+            for field in [
+                ev.parent.0,
+                ev.child.0,
+                ev.pre_join_strand.0,
+                ev.join_strand.0,
+                ev.child_last_strand.0,
+                ev.fork.pre_fork_strand.0,
+                ev.fork.child_first_strand.0,
+                ev.fork.cont_strand.0,
+            ] {
+                write_varint(w, field.into())?;
+            }
+        }
+        TraceEvent::GetFuture(ev) => {
+            w.write_all(&[OP_GET_FUTURE])?;
+            for field in [
+                ev.parent.0,
+                ev.future.0,
+                ev.pre_get_strand.0,
+                ev.getter_strand.0,
+                ev.future_last_strand.0,
+                ev.prior_touches,
+            ] {
+                write_varint(w, field.into())?;
+            }
+        }
+        TraceEvent::Read { strand, addr, size } => {
+            w.write_all(&[OP_READ])?;
+            write_varint(w, strand.0.into())?;
+            write_varint(w, addr.0)?;
+            write_varint(w, (*size).into())?;
+        }
+        TraceEvent::Write { strand, addr, size } => {
+            w.write_all(&[OP_WRITE])?;
+            write_varint(w, strand.0.into())?;
+            write_varint(w, addr.0)?;
+            write_varint(w, (*size).into())?;
+        }
+        TraceEvent::ProgramEnd { last } => {
+            w.write_all(&[OP_PROGRAM_END])?;
+            write_varint(w, last.0.into())?;
+        }
+    }
+    Ok(())
+}
+
+fn decode_event<R: Read>(r: &mut R) -> Result<TraceEvent, TraceError> {
+    let mut op = [0u8; 1];
+    read_exact_or_truncated(r, &mut op)?;
+    Ok(match op[0] {
+        OP_PROGRAM_START => TraceEvent::ProgramStart {
+            root: FunctionId(read_u32(r)?),
+            first: StrandId(read_u32(r)?),
+        },
+        OP_STRAND_START => TraceEvent::StrandStart {
+            strand: StrandId(read_u32(r)?),
+            function: FunctionId(read_u32(r)?),
+        },
+        OP_SPAWN => TraceEvent::Spawn(SpawnEvent {
+            parent: FunctionId(read_u32(r)?),
+            child: FunctionId(read_u32(r)?),
+            fork_strand: StrandId(read_u32(r)?),
+            cont_strand: StrandId(read_u32(r)?),
+            child_first_strand: StrandId(read_u32(r)?),
+        }),
+        OP_CREATE_FUTURE => TraceEvent::CreateFuture(CreateFutureEvent {
+            parent: FunctionId(read_u32(r)?),
+            child: FunctionId(read_u32(r)?),
+            creator_strand: StrandId(read_u32(r)?),
+            cont_strand: StrandId(read_u32(r)?),
+            child_first_strand: StrandId(read_u32(r)?),
+        }),
+        OP_RETURN => TraceEvent::Return {
+            function: FunctionId(read_u32(r)?),
+            last: StrandId(read_u32(r)?),
+        },
+        OP_SYNC => TraceEvent::Sync(SyncEvent {
+            parent: FunctionId(read_u32(r)?),
+            child: FunctionId(read_u32(r)?),
+            pre_join_strand: StrandId(read_u32(r)?),
+            join_strand: StrandId(read_u32(r)?),
+            child_last_strand: StrandId(read_u32(r)?),
+            fork: ForkInfo {
+                pre_fork_strand: StrandId(read_u32(r)?),
+                child_first_strand: StrandId(read_u32(r)?),
+                cont_strand: StrandId(read_u32(r)?),
+            },
+        }),
+        OP_GET_FUTURE => TraceEvent::GetFuture(GetFutureEvent {
+            parent: FunctionId(read_u32(r)?),
+            future: FunctionId(read_u32(r)?),
+            pre_get_strand: StrandId(read_u32(r)?),
+            getter_strand: StrandId(read_u32(r)?),
+            future_last_strand: StrandId(read_u32(r)?),
+            prior_touches: read_u32(r)?,
+        }),
+        OP_READ => TraceEvent::Read {
+            strand: StrandId(read_u32(r)?),
+            addr: MemAddr(read_varint(r)?),
+            size: read_u32(r)?,
+        },
+        OP_WRITE => TraceEvent::Write {
+            strand: StrandId(read_u32(r)?),
+            addr: MemAddr(read_varint(r)?),
+            size: read_u32(r)?,
+        },
+        OP_PROGRAM_END => TraceEvent::ProgramEnd {
+            last: StrandId(read_u32(r)?),
+        },
+        other => return Err(TraceError::BadOpcode(other)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Serial-DF invariant validation
+// ---------------------------------------------------------------------------
+
+/// What the validator expects the next event to be when the stream is
+/// between constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// Any construct/access of the currently executing strand.
+    Executing,
+    /// `StrandStart(strand, function)` that pushes a new frame.
+    EnterFrame(StrandId, FunctionId),
+    /// `StrandStart(strand, function)` that resumes the current frame.
+    Resume(StrandId, FunctionId),
+    /// `ProgramEnd { last }`.
+    End(StrandId),
+    /// Nothing: the stream is complete.
+    Done,
+}
+
+/// How a suspended caller resumes once the eagerly executed child returns.
+#[derive(Debug)]
+enum Suspension {
+    Spawned {
+        parent: FunctionId,
+        cont: StrandId,
+        fork: ForkInfo,
+    },
+    Created {
+        parent: FunctionId,
+        cont: StrandId,
+    },
+}
+
+#[derive(Debug)]
+struct PendingJoin {
+    child: FunctionId,
+    fork: ForkInfo,
+    child_last: StrandId,
+}
+
+#[derive(Debug)]
+struct VFrame {
+    pending: Vec<PendingJoin>,
+}
+
+#[derive(Debug)]
+struct FutureState {
+    last: StrandId,
+    touches: u32,
+}
+
+#[derive(Debug)]
+struct Validator {
+    next_strand: u32,
+    next_function: u32,
+    expect: Expect,
+    current: Option<(FunctionId, StrandId)>,
+    frames: Vec<VFrame>,
+    suspensions: Vec<Suspension>,
+    futures: HashMap<FunctionId, FutureState>,
+    counts: TraceCounts,
+}
+
+impl Default for Validator {
+    fn default() -> Self {
+        Self {
+            next_strand: 0,
+            next_function: 0,
+            expect: Expect::Executing,
+            current: None,
+            frames: Vec::new(),
+            suspensions: Vec::new(),
+            futures: HashMap::new(),
+            counts: TraceCounts::default(),
+        }
+    }
+}
+
+impl Validator {
+    fn run(mut self, events: &[TraceEvent]) -> Result<TraceCounts, TraceError> {
+        for (index, event) in events.iter().enumerate() {
+            self.step(index, event)
+                .map_err(|message| TraceError::Invariant { index, message })?;
+        }
+        if self.expect != Expect::Done {
+            return Err(TraceError::Invariant {
+                index: events.len(),
+                message: "stream ended before ProgramEnd".to_string(),
+            });
+        }
+        Ok(self.counts)
+    }
+
+    fn current(&self) -> Result<(FunctionId, StrandId), String> {
+        self.current
+            .ok_or_else(|| "no strand executing".to_string())
+    }
+
+    fn require_executing(&self, what: &str) -> Result<(), String> {
+        if self.expect != Expect::Executing {
+            return Err(format!("{what} while expecting {:?}", self.expect));
+        }
+        Ok(())
+    }
+
+    fn alloc_strand(&mut self) -> StrandId {
+        let id = StrandId(self.next_strand);
+        self.next_strand += 1;
+        self.counts.strands += 1;
+        id
+    }
+
+    fn alloc_function(&mut self) -> FunctionId {
+        let id = FunctionId(self.next_function);
+        self.next_function += 1;
+        self.counts.functions += 1;
+        id
+    }
+
+    fn check_child_allocation(
+        &mut self,
+        parent: FunctionId,
+        fork_strand: StrandId,
+        child: FunctionId,
+        child_first: StrandId,
+        cont: StrandId,
+        what: &str,
+    ) -> Result<(), String> {
+        let (cur_fn, cur_strand) = self.current()?;
+        if parent != cur_fn {
+            return Err(format!("{what} parent {parent} but {cur_fn} is executing"));
+        }
+        if fork_strand != cur_strand {
+            return Err(format!(
+                "{what} from strand {fork_strand} but {cur_strand} is executing"
+            ));
+        }
+        let expected_child = self.alloc_function();
+        let expected_first = self.alloc_strand();
+        let expected_cont = self.alloc_strand();
+        if child != expected_child {
+            return Err(format!("{what} child {child}, expected {expected_child}"));
+        }
+        if child_first != expected_first {
+            return Err(format!(
+                "{what} child first strand {child_first}, expected {expected_first}"
+            ));
+        }
+        if cont != expected_cont {
+            return Err(format!(
+                "{what} continuation {cont}, expected {expected_cont}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, index: usize, event: &TraceEvent) -> Result<(), String> {
+        if self.expect == Expect::Done {
+            return Err("event after ProgramEnd".to_string());
+        }
+        match event {
+            TraceEvent::ProgramStart { root, first } => {
+                if index != 0 {
+                    return Err("ProgramStart not the first event".to_string());
+                }
+                let expected_root = self.alloc_function();
+                let expected_first = self.alloc_strand();
+                if *root != expected_root || *first != expected_first {
+                    return Err(format!(
+                        "program must start at {expected_root}/{expected_first}, got {root}/{first}"
+                    ));
+                }
+                self.expect = Expect::EnterFrame(*first, *root);
+            }
+            TraceEvent::StrandStart { strand, function } => match self.expect {
+                Expect::EnterFrame(s, f) => {
+                    if (*strand, *function) != (s, f) {
+                        return Err(format!(
+                            "expected child strand start {s}/{f}, got {strand}/{function}"
+                        ));
+                    }
+                    self.frames.push(VFrame {
+                        pending: Vec::new(),
+                    });
+                    self.current = Some((f, s));
+                    self.expect = Expect::Executing;
+                }
+                Expect::Resume(s, f) => {
+                    if (*strand, *function) != (s, f) {
+                        return Err(format!(
+                            "expected resumption {s}/{f}, got {strand}/{function}"
+                        ));
+                    }
+                    self.current = Some((f, s));
+                    self.expect = Expect::Executing;
+                }
+                _ => return Err(format!("unexpected StrandStart({strand}, {function})")),
+            },
+            TraceEvent::Spawn(ev) => {
+                self.require_executing("Spawn")?;
+                self.check_child_allocation(
+                    ev.parent,
+                    ev.fork_strand,
+                    ev.child,
+                    ev.child_first_strand,
+                    ev.cont_strand,
+                    "Spawn",
+                )?;
+                self.counts.spawns += 1;
+                self.suspensions.push(Suspension::Spawned {
+                    parent: ev.parent,
+                    cont: ev.cont_strand,
+                    fork: ForkInfo {
+                        pre_fork_strand: ev.fork_strand,
+                        child_first_strand: ev.child_first_strand,
+                        cont_strand: ev.cont_strand,
+                    },
+                });
+                self.expect = Expect::EnterFrame(ev.child_first_strand, ev.child);
+            }
+            TraceEvent::CreateFuture(ev) => {
+                self.require_executing("CreateFuture")?;
+                self.check_child_allocation(
+                    ev.parent,
+                    ev.creator_strand,
+                    ev.child,
+                    ev.child_first_strand,
+                    ev.cont_strand,
+                    "CreateFuture",
+                )?;
+                self.counts.creates += 1;
+                self.suspensions.push(Suspension::Created {
+                    parent: ev.parent,
+                    cont: ev.cont_strand,
+                });
+                self.expect = Expect::EnterFrame(ev.child_first_strand, ev.child);
+            }
+            TraceEvent::Return { function, last } => {
+                self.require_executing("Return")?;
+                let (cur_fn, cur_strand) = self.current()?;
+                if *function != cur_fn || *last != cur_strand {
+                    return Err(format!(
+                        "Return({function}, {last}) but {cur_fn} is executing strand {cur_strand}"
+                    ));
+                }
+                let frame = self.frames.pop().expect("frame stack tracks current");
+                if !frame.pending.is_empty() {
+                    return Err(format!(
+                        "{function} returned with {} unjoined spawned children (missing implicit sync)",
+                        frame.pending.len()
+                    ));
+                }
+                match self.suspensions.pop() {
+                    Some(Suspension::Spawned { parent, cont, fork }) => {
+                        self.frames
+                            .last_mut()
+                            .expect("spawned child has a parent frame")
+                            .pending
+                            .push(PendingJoin {
+                                child: *function,
+                                fork,
+                                child_last: *last,
+                            });
+                        self.expect = Expect::Resume(cont, parent);
+                    }
+                    Some(Suspension::Created { parent, cont }) => {
+                        self.futures.insert(
+                            *function,
+                            FutureState {
+                                last: *last,
+                                touches: 0,
+                            },
+                        );
+                        self.expect = Expect::Resume(cont, parent);
+                    }
+                    None => {
+                        // The root returned.
+                        self.expect = Expect::End(*last);
+                    }
+                }
+                self.current = None;
+            }
+            TraceEvent::Sync(ev) => {
+                self.require_executing("Sync")?;
+                let (cur_fn, cur_strand) = self.current()?;
+                if ev.parent != cur_fn || ev.pre_join_strand != cur_strand {
+                    return Err(format!(
+                        "Sync in {} from strand {} but {cur_fn}/{cur_strand} is executing",
+                        ev.parent, ev.pre_join_strand
+                    ));
+                }
+                let expected_join = self.alloc_strand();
+                if ev.join_strand != expected_join {
+                    return Err(format!(
+                        "Sync join strand {}, expected {expected_join}",
+                        ev.join_strand
+                    ));
+                }
+                let frame = self.frames.last_mut().expect("frame stack tracks current");
+                let Some(pending) = frame.pending.pop() else {
+                    return Err("Sync with no spawned child pending".to_string());
+                };
+                if pending.child != ev.child
+                    || pending.child_last != ev.child_last_strand
+                    || pending.fork != ev.fork
+                {
+                    return Err(format!(
+                        "Sync joins {} (last {}), but innermost pending child is {} (last {})",
+                        ev.child, ev.child_last_strand, pending.child, pending.child_last
+                    ));
+                }
+                self.counts.syncs += 1;
+                self.expect = Expect::Resume(ev.join_strand, ev.parent);
+            }
+            TraceEvent::GetFuture(ev) => {
+                self.require_executing("GetFuture")?;
+                let (cur_fn, cur_strand) = self.current()?;
+                if ev.parent != cur_fn || ev.pre_get_strand != cur_strand {
+                    return Err(format!(
+                        "GetFuture in {} from strand {} but {cur_fn}/{cur_strand} is executing",
+                        ev.parent, ev.pre_get_strand
+                    ));
+                }
+                let expected_getter = self.alloc_strand();
+                if ev.getter_strand != expected_getter {
+                    return Err(format!(
+                        "GetFuture getter strand {}, expected {expected_getter}",
+                        ev.getter_strand
+                    ));
+                }
+                let Some(fut) = self.futures.get_mut(&ev.future) else {
+                    return Err(format!("GetFuture of {} which is not a future", ev.future));
+                };
+                if fut.last != ev.future_last_strand {
+                    return Err(format!(
+                        "GetFuture of {} claims last strand {}, recorded {}",
+                        ev.future, ev.future_last_strand, fut.last
+                    ));
+                }
+                if fut.touches != ev.prior_touches {
+                    return Err(format!(
+                        "GetFuture of {} claims {} prior touches, observed {}",
+                        ev.future, ev.prior_touches, fut.touches
+                    ));
+                }
+                fut.touches += 1;
+                self.counts.gets += 1;
+                self.expect = Expect::Resume(ev.getter_strand, ev.parent);
+            }
+            TraceEvent::Read { strand, .. } => {
+                self.require_executing("Read")?;
+                let (_, cur_strand) = self.current()?;
+                if *strand != cur_strand {
+                    return Err(format!(
+                        "Read attributed to {strand} while {cur_strand} is executing"
+                    ));
+                }
+                self.counts.reads += 1;
+            }
+            TraceEvent::Write { strand, .. } => {
+                self.require_executing("Write")?;
+                let (_, cur_strand) = self.current()?;
+                if *strand != cur_strand {
+                    return Err(format!(
+                        "Write attributed to {strand} while {cur_strand} is executing"
+                    ));
+                }
+                self.counts.writes += 1;
+            }
+            TraceEvent::ProgramEnd { last } => {
+                let Expect::End(expected) = self.expect else {
+                    return Err("ProgramEnd before the root returned".to_string());
+                };
+                if *last != expected {
+                    return Err(format!("ProgramEnd names {last}, root ended on {expected}"));
+                }
+                self.expect = Expect::Done;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical trace of: root spawns a child, both access memory,
+    /// root syncs.
+    fn fork_join_trace() -> Trace {
+        let root = FunctionId(0);
+        let child = FunctionId(1);
+        let fork = ForkInfo {
+            pre_fork_strand: StrandId(0),
+            child_first_strand: StrandId(1),
+            cont_strand: StrandId(2),
+        };
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: root,
+        });
+        t.push(TraceEvent::Spawn(SpawnEvent {
+            parent: root,
+            child,
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: child,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: child,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t.push(TraceEvent::Sync(SyncEvent {
+            parent: root,
+            child,
+            pre_join_strand: StrandId(2),
+            join_strand: StrandId(3),
+            child_last_strand: StrandId(1),
+            fork,
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(3),
+            function: root,
+        });
+        t.push(TraceEvent::Return {
+            function: root,
+            last: StrandId(3),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        t
+    }
+
+    #[test]
+    fn fork_join_trace_validates_with_expected_counts() {
+        let counts = fork_join_trace().validate().expect("valid trace");
+        assert_eq!(counts.functions, 2);
+        assert_eq!(counts.strands, 4);
+        assert_eq!(counts.spawns, 1);
+        assert_eq!(counts.syncs, 1);
+        assert_eq!(counts.reads, 1);
+        assert_eq!(counts.writes, 1);
+        assert_eq!(counts.accesses(), 2);
+        assert_eq!(counts.parallel_constructs(), 1);
+    }
+
+    #[test]
+    fn codec_round_trips_bytes() {
+        let t = fork_join_trace();
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(&bytes).expect("decodes");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic() {
+        let mut bytes = fork_join_trace().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_future_version() {
+        let mut bytes = fork_join_trace().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_trailing_bytes() {
+        let mut bytes = fork_join_trace().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::TrailingData)
+        ));
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_anywhere() {
+        let bytes = fork_join_trace().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Trace::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_callback_stream() {
+        #[derive(Default)]
+        struct Counter {
+            spawns: usize,
+            reads: usize,
+            writes: usize,
+            ends: usize,
+        }
+        impl Observer for Counter {
+            fn on_spawn(&mut self, _ev: &SpawnEvent) {
+                self.spawns += 1;
+            }
+            fn on_read(&mut self, _s: StrandId, _a: MemAddr, _n: usize) {
+                self.reads += 1;
+            }
+            fn on_write(&mut self, _s: StrandId, _a: MemAddr, _n: usize) {
+                self.writes += 1;
+            }
+            fn on_program_end(&mut self, _s: StrandId) {
+                self.ends += 1;
+            }
+        }
+        let c = fork_join_trace().replay(Counter::default());
+        assert_eq!((c.spawns, c.reads, c.writes, c.ends), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn validator_rejects_misattributed_access() {
+        let mut t = fork_join_trace();
+        // Rewrite the child's write to claim the continuation strand.
+        let events = t.events.clone();
+        t.events.clear();
+        for ev in events {
+            t.push(match ev {
+                TraceEvent::Write { addr, size, .. } => TraceEvent::Write {
+                    strand: StrandId(2),
+                    addr,
+                    size,
+                },
+                other => other,
+            });
+        }
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::Invariant { index: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn validator_rejects_out_of_order_allocation() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root: FunctionId(0),
+            first: StrandId(5),
+        });
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validator_rejects_missing_program_end() {
+        let mut t = fork_join_trace();
+        t.events.pop();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validator_rejects_return_with_unjoined_children() {
+        let t = fork_join_trace();
+        // Drop the Sync and its join StrandStart: root now returns with a
+        // pending (never joined) spawned child.
+        let mut bad = Trace::new();
+        for ev in t.events() {
+            match ev {
+                TraceEvent::Sync(_) => {}
+                TraceEvent::StrandStart {
+                    strand: StrandId(3),
+                    ..
+                } => {}
+                TraceEvent::Return {
+                    function: FunctionId(0),
+                    ..
+                } => bad.push(TraceEvent::Return {
+                    function: FunctionId(0),
+                    last: StrandId(2),
+                }),
+                TraceEvent::ProgramEnd { .. } => {
+                    bad.push(TraceEvent::ProgramEnd { last: StrandId(2) })
+                }
+                other => bad.push(*other),
+            }
+        }
+        let err = bad.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("unjoined"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn single_touch_and_future_queries() {
+        let t = fork_join_trace();
+        assert!(!t.has_futures());
+        assert!(t.is_single_touch());
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            let back = read_varint(&mut &buf[..]).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let t = fork_join_trace();
+        let path =
+            std::env::temp_dir().join(format!("futurerd-trace-test-{}.bin", std::process::id()));
+        t.save(&path).expect("save");
+        let back = Trace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+}

@@ -65,15 +65,44 @@
 //! assert!(detection.report.is_none()); // no access history ⇒ no race report
 //! assert!(detection.reach_stats.unwrap().dsu_ops() > 0);
 //! ```
+//!
+//! ## Record once, detect many times
+//!
+//! [`record`] captures an execution as a persistent [`Trace`] without any
+//! detection state; [`Config::replay`] feeds a trace back through any
+//! detector. Traces serialize ([`Trace::save`] / [`Trace::load`]), so
+//! detection can happen offline, repeatedly, across algorithms — see the
+//! `futurerd-trace` CLI in `futurerd-bench` for the command-line version of
+//! this workflow:
+//!
+//! ```
+//! let recorded = futurerd::record(|cx| {
+//!     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+//!     cx.spawn(|cx| cell.set(cx, 1));
+//!     let racy = cell.get(cx);
+//!     cx.sync();
+//!     racy
+//! });
+//! let bytes = recorded.trace.to_bytes(); // or recorded.trace.save(path)
+//!
+//! let trace = futurerd::Trace::from_bytes(&bytes).unwrap();
+//! let structured = futurerd::Config::structured().replay(&trace).unwrap();
+//! let general = futurerd::Config::general().replay(&trace).unwrap();
+//! assert_eq!(structured.race_count(), 1);
+//! assert_eq!(general.race_count(), 1);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
+pub use futurerd_core::replay;
 pub use futurerd_core::stats::{DetectorStats, ReachStats};
 pub use futurerd_core::{AccessKind, Race, RaceReport};
+pub use futurerd_dag::trace::{Trace, TraceCounts, TraceError, TraceEvent};
 pub use futurerd_dag::{FunctionId, MemAddr, NullObserver, Observer, StrandId};
 pub use futurerd_runtime::exec::{ExecutionSummary, FutureHandle};
+pub use futurerd_runtime::trace::TraceRecorder;
 pub use futurerd_runtime::{ShadowArray, ShadowCell, ShadowMatrix};
 
 use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
@@ -205,6 +234,22 @@ impl Config {
 
     /// Runs `body` on the sequential depth-first eager executor under the
     /// configured observer and returns what was observed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use futurerd::{Algorithm, Analysis, Config};
+    ///
+    /// let detection = Config::new()
+    ///     .algorithm(Algorithm::GraphOracle) // ground truth
+    ///     .analysis(Analysis::Full)
+    ///     .run(|cx| {
+    ///         cx.spawn(|_| {});
+    ///         cx.sync();
+    ///     });
+    /// assert!(detection.is_race_free());
+    /// assert_eq!(detection.summary.spawns, 1);
+    /// ```
     pub fn run<T>(self, body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
         let (value, observer, summary) = run_program(self.build_observer(), body);
         let Outcome {
@@ -221,6 +266,66 @@ impl Config {
             detector_stats,
         }
     }
+
+    /// Replays a recorded [`Trace`] through the configured observer instead
+    /// of executing a program — offline detection on a trace captured by
+    /// [`record`] (or loaded from disk with [`Trace::load`]).
+    ///
+    /// The trace is validated against the canonical serial-DF ordering
+    /// invariant first; the detectors' correctness depends on it. The
+    /// returned [`Detection`] carries no program value, and its summary's
+    /// `bytes_allocated` is zero (traces do not record allocations).
+    ///
+    /// [`Algorithm::SpBags`] has no transition for future constructs, so
+    /// replaying a futures-bearing trace under it returns
+    /// [`TraceError::Unsupported`] instead of running.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use futurerd::Config;
+    ///
+    /// let recorded = futurerd::record(|cx| {
+    ///     let mut cell = futurerd::ShadowCell::new(cx, 7u32);
+    ///     let fut = cx.create_future(|cx| cell.get(cx));
+    ///     cx.get_future(fut)
+    /// });
+    /// let detection = Config::general().replay(&recorded.trace).unwrap();
+    /// assert!(detection.is_race_free());
+    /// assert_eq!(detection.summary.gets, recorded.summary.gets);
+    /// ```
+    pub fn replay(self, trace: &Trace) -> Result<Detection<()>, TraceError> {
+        let counts = trace.validate()?;
+        if self.algorithm == Algorithm::SpBags && trace.has_futures() {
+            return Err(TraceError::Unsupported {
+                message: "SP-Bags cannot consume traces that contain futures".to_string(),
+            });
+        }
+        let observer = trace.replay(self.build_observer());
+        let Outcome {
+            report,
+            reach_stats,
+            detector_stats,
+        } = observer.into_outcome();
+        Ok(Detection {
+            value: (),
+            summary: ExecutionSummary {
+                functions: counts.functions,
+                strands: counts.strands,
+                spawns: counts.spawns,
+                creates: counts.creates,
+                syncs: counts.syncs,
+                gets: counts.gets,
+                reads: counts.reads,
+                writes: counts.writes,
+                bytes_allocated: 0,
+            },
+            config: self,
+            report,
+            reach_stats,
+            detector_stats,
+        })
+    }
 }
 
 /// Runs `body` under full race detection with **MultiBags** — for programs
@@ -228,6 +333,19 @@ impl Config {
 /// one `get_future`).
 ///
 /// Shorthand for `Config::structured().run(body)`.
+///
+/// # Example
+///
+/// ```
+/// let detection = futurerd::detect_structured(|cx| {
+///     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+///     cx.spawn(|cx| cell.set(cx, 1));
+///     let racy = cell.get(cx); // logically parallel with the child's write
+///     cx.sync();
+///     racy
+/// });
+/// assert_eq!(detection.race_count(), 1);
+/// ```
 pub fn detect_structured<T>(body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
     Config::structured().run(body)
 }
@@ -237,8 +355,75 @@ pub fn detect_structured<T>(body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
 /// consumed far from their creating task).
 ///
 /// Shorthand for `Config::general().run(body)`.
+///
+/// # Example
+///
+/// ```
+/// let detection = futurerd::detect_general(|cx| {
+///     let mut shared = cx.create_future(|_| 21u64);
+///     // Touching a future twice is a *general* (multi-touch) pattern.
+///     cx.touch_future(&mut shared) + cx.touch_future(&mut shared)
+/// });
+/// assert!(detection.is_race_free());
+/// assert_eq!(detection.value, 42);
+/// assert_eq!(detection.summary.gets, 2);
+/// ```
 pub fn detect_general<T>(body: impl FnOnce(&mut Cx) -> T) -> Detection<T> {
     Config::general().run(body)
+}
+
+/// The output of [`record`]: the program's value, its execution counters,
+/// and the captured [`Trace`].
+#[derive(Debug)]
+pub struct Recorded<T> {
+    /// The value returned by the program body.
+    pub value: T,
+    /// Execution counters (strands, futures, memory accesses, ...).
+    pub summary: ExecutionSummary,
+    /// The recorded event stream, in canonical serial-DF order.
+    pub trace: Trace,
+}
+
+/// Runs `body` once while recording its execution event stream, without any
+/// detection state. The returned [`Trace`] can be replayed through every
+/// detector with [`Config::replay`] (or saved with [`Trace::save`] and
+/// detected on later, offline) — record once, detect many times.
+///
+/// # Example
+///
+/// ```
+/// use futurerd::{Algorithm, Config};
+///
+/// // Record the (racy) execution once...
+/// let recorded = futurerd::record(|cx| {
+///     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+///     cx.spawn(|cx| cell.set(cx, 1));
+///     let racy = cell.get(cx);
+///     cx.sync();
+///     racy
+/// });
+/// assert_eq!(recorded.summary.spawns, 1);
+///
+/// // ...then detect on the trace as many times as needed, with any
+/// // algorithm, without re-running the program.
+/// for algorithm in [Algorithm::MultiBags, Algorithm::MultiBagsPlus, Algorithm::GraphOracle] {
+///     let detection = Config::new()
+///         .algorithm(algorithm)
+///         .replay(&recorded.trace)
+///         .expect("recorded traces replay cleanly");
+///     assert_eq!(detection.race_count(), 1);
+/// }
+/// ```
+pub fn record<T>(body: impl FnOnce(&mut Cx) -> T) -> Recorded<T> {
+    let (value, observer, summary) = run_program(AnyObserver::Recorder(TraceRecorder::new()), body);
+    let AnyObserver::Recorder(recorder) = observer else {
+        unreachable!("the observer variant does not change during a run")
+    };
+    Recorded {
+        value,
+        summary,
+        trace: recorder.into_trace(),
+    }
 }
 
 /// Everything a facade run produced: the program's value, execution
@@ -289,6 +474,8 @@ impl<T> Detection<T> {
 #[allow(missing_docs)] // variant names mirror Config (analysis × algorithm)
 pub enum AnyObserver {
     Baseline(NullObserver),
+    /// Trace capture instead of detection; used by [`record`].
+    Recorder(TraceRecorder),
     ReachMb(ReachabilityOnly<MultiBags>),
     ReachMbp(ReachabilityOnly<MultiBagsPlus>),
     ReachSp(ReachabilityOnly<SpBags>),
@@ -336,6 +523,7 @@ impl AnyObserver {
         }
         match self {
             AnyObserver::Baseline(_) => none,
+            AnyObserver::Recorder(_) => none,
             AnyObserver::ReachMb(o) => reach_only!(o),
             AnyObserver::ReachMbp(o) => reach_only!(o),
             AnyObserver::ReachSp(o) => reach_only!(o),
@@ -356,6 +544,7 @@ macro_rules! each_observer {
     ($self:expr, $inner:ident => $body:expr) => {
         match $self {
             AnyObserver::Baseline($inner) => $body,
+            AnyObserver::Recorder($inner) => $body,
             AnyObserver::ReachMb($inner) => $body,
             AnyObserver::ReachMbp($inner) => $body,
             AnyObserver::ReachSp($inner) => $body,
@@ -467,6 +656,67 @@ mod tests {
     fn report_accessor_panics_without_access_history() {
         let d = Config::new().analysis(Analysis::Baseline).run(|_| ());
         let _ = d.report();
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically_to_direct_detection() {
+        let direct = detect_structured(racy_body);
+        let recorded = record(racy_body);
+        assert_eq!(recorded.value, direct.value);
+        assert_eq!(recorded.summary, direct.summary);
+        let trace = Trace::from_bytes(&recorded.trace.to_bytes()).expect("codec round trip");
+        for algorithm in [
+            Algorithm::MultiBags,
+            Algorithm::MultiBagsPlus,
+            Algorithm::SpBags,
+            Algorithm::GraphOracle,
+        ] {
+            let replayed = Config::new()
+                .algorithm(algorithm)
+                .replay(&trace)
+                .expect("recorded traces are canonical");
+            assert_eq!(replayed.race_count(), direct.race_count(), "{algorithm:?}");
+            assert_eq!(
+                replayed.report().witnesses(),
+                direct.report().witnesses(),
+                "{algorithm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_supports_partial_analyses() {
+        let recorded = record(racy_body);
+        let d = Config::general()
+            .analysis(Analysis::Reachability)
+            .replay(&recorded.trace)
+            .unwrap();
+        assert!(d.report.is_none());
+        assert!(d.reach_stats.unwrap().dsu_ops() > 0);
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_traces() {
+        let mut recorded = record(racy_body);
+        recorded
+            .trace
+            .push(TraceEvent::ProgramEnd { last: StrandId(0) });
+        assert!(Config::new().replay(&recorded.trace).is_err());
+    }
+
+    #[test]
+    fn replay_refuses_spbags_on_futures_traces() {
+        let recorded = record(|cx| {
+            let fut = cx.create_future(|_| 1u32);
+            cx.get_future(fut)
+        });
+        let err = Config::new()
+            .algorithm(Algorithm::SpBags)
+            .replay(&recorded.trace)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Unsupported { .. }), "{err}");
+        // The same trace replays fine on a fork-join-capable algorithm.
+        assert!(Config::general().replay(&recorded.trace).is_ok());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Integration test for the full trace pipeline through the facade:
+//! record → serialize → deserialize → replay, cross-checked against direct
+//! in-process detection, on real workloads and on facade-level programs.
+
+use futurerd::{Algorithm, Config, Cx, ShadowArray, ShadowCell, Trace};
+use futurerd_workloads::{run_workload, FutureMode, WorkloadKind, WorkloadParams};
+
+/// All algorithms that accept futures-bearing streams.
+const FUTURE_SAFE: [Algorithm; 3] = [
+    Algorithm::MultiBags,
+    Algorithm::MultiBagsPlus,
+    Algorithm::GraphOracle,
+];
+
+fn racy_pipeline(cx: &mut Cx) -> u64 {
+    let mut buffer = ShadowArray::new(cx, 4, 0u32);
+    let producer = cx.create_future(|cx| {
+        for i in 0..4 {
+            buffer.set(cx, i, i as u32 + 1);
+        }
+    });
+    let early = buffer.get(cx, 0);
+    cx.get_future(producer);
+    u64::from(early + buffer.get(cx, 3))
+}
+
+fn race_free_fork_join(cx: &mut Cx) -> u32 {
+    let mut cell = ShadowCell::new(cx, 0u32);
+    cx.spawn(|cx| cell.set(cx, 40));
+    cx.sync();
+    cell.get(cx) + 2
+}
+
+#[test]
+fn facade_record_replay_agrees_with_direct_detection() {
+    for (body, expected_races) in [
+        (racy_pipeline as fn(&mut Cx) -> u64, 1usize),
+        (|cx: &mut Cx| race_free_fork_join(cx) as u64, 0usize),
+    ] {
+        let recorded = futurerd::record(body);
+        let trace = Trace::from_bytes(&recorded.trace.to_bytes()).expect("codec round trip");
+        for algorithm in FUTURE_SAFE {
+            let direct = Config::new().algorithm(algorithm).run(body);
+            let replayed = Config::new()
+                .algorithm(algorithm)
+                .replay(&trace)
+                .expect("canonical trace");
+            assert_eq!(direct.race_count(), expected_races, "{algorithm:?}");
+            assert_eq!(replayed.race_count(), expected_races, "{algorithm:?}");
+            assert_eq!(
+                replayed.report().witnesses(),
+                direct.report().witnesses(),
+                "{algorithm:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_traces_replay_identically_across_algorithms() {
+    let params = WorkloadParams::tiny();
+    for (kind, mode) in [
+        (WorkloadKind::Lcs, FutureMode::Structured),
+        (WorkloadKind::Dedup, FutureMode::General),
+    ] {
+        let (recorder, _) = run_workload(kind, mode, &params, futurerd::TraceRecorder::new());
+        let trace = recorder.into_trace();
+        let counts = trace.validate().expect("workload traces are canonical");
+        assert!(counts.creates > 0, "{kind}: workloads use futures");
+        for algorithm in FUTURE_SAFE {
+            let detection = Config::new()
+                .algorithm(algorithm)
+                .replay(&trace)
+                .expect("canonical trace");
+            assert!(detection.is_race_free(), "{kind} {mode} {algorithm:?}");
+            assert_eq!(detection.summary.creates, counts.creates);
+        }
+    }
+}
+
+#[test]
+fn trace_files_survive_disk_round_trips() {
+    let recorded = futurerd::record(racy_pipeline);
+    let path = std::env::temp_dir().join(format!(
+        "futurerd-trace-pipeline-{}.trace",
+        std::process::id()
+    ));
+    recorded.trace.save(&path).expect("save");
+    let loaded = Trace::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, recorded.trace);
+    let detection = Config::general().replay(&loaded).expect("canonical trace");
+    assert_eq!(detection.race_count(), 1);
+}
