@@ -1,0 +1,115 @@
+//! Parallel detection engine costs: sequential replay-detect vs the
+//! two-pass sharded engine at P ∈ {1, 2, 4, 8} workers.
+//!
+//! The workload is a large seeded genprog trace (one structured, one
+//! general), the same shape the determinism property tests assert
+//! byte-identical reports on. Three kinds of measurements per
+//! algorithm:
+//!
+//! * `seq`        — classic single-pass `replay_detect`;
+//! * `freeze`     — pass 1 alone (build the frozen `ReachIndex`, no
+//!   detection): the sequential fraction every parallel run pays;
+//! * `par/P<n>`   — the full two-pass engine with `n` workers.
+//!
+//! On a multi-core host `par/P4` should beat `seq` (detection dominates and
+//! shards perfectly); on a single-core host it degenerates to the freeze
+//! overhead plus sequential detection, which keeps the regression signal
+//! honest either way. Scale the trace with `FUTURERD_SCALE`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd_core::parallel::{par_replay_detect, ReachIndex};
+use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_dag::genprog::{generate_program, GenConfig};
+use futurerd_dag::trace::Trace;
+use futurerd_runtime::trace::record_spec;
+use std::time::Duration;
+
+fn big_trace(general: bool, seed: u64) -> Trace {
+    let scale = std::env::var("FUTURERD_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let cfg = if general {
+        // Access-dense general futures (~90 accesses per get): the regime
+        // real workloads live in, where detection — not the k² closure
+        // freeze — dominates and sharding pays off.
+        GenConfig {
+            max_depth: 9 + scale.ilog2(),
+            max_actions: 14,
+            num_locations: 96 * scale,
+            max_accesses: 12,
+            general_futures: true,
+            w_compute: 10,
+            w_get: 2,
+            w_create: 2,
+            w_spawn: 3,
+            w_sync: 1,
+        }
+    } else {
+        GenConfig {
+            max_depth: 7 + scale.ilog2(),
+            max_actions: 10,
+            num_locations: 64 * scale,
+            max_accesses: 6,
+            ..GenConfig::structured()
+        }
+    };
+    let (trace, _) = record_spec(&generate_program(&cfg, seed));
+    trace
+}
+
+fn fig_par_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_par_detect");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    // Seeds picked so both traces are large (≥ ~24k events) at scale 1.
+    let cells = [
+        (ReplayAlgorithm::MultiBags, false, 0xf19u64),
+        (ReplayAlgorithm::MultiBagsPlus, true, 0x2au64),
+    ];
+    for (algorithm, general, seed) in cells {
+        let trace = big_trace(general, seed);
+        eprintln!(
+            "fig_par_detect: {} trace, {} events",
+            algorithm.name(),
+            trace.len()
+        );
+        group.bench_with_input(
+            BenchmarkId::new(algorithm.name(), "seq"),
+            &algorithm,
+            |b, &algorithm| b.iter(|| replay_detect_unchecked(&trace, algorithm).race_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(algorithm.name(), "freeze"),
+            &algorithm,
+            |b, &algorithm| {
+                b.iter(|| {
+                    ReachIndex::freeze(&trace, algorithm)
+                        .expect("canonical trace")
+                        .expect("freezable algorithm")
+                        .num_attached_sets()
+                })
+            },
+        );
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), format!("par/P{threads}")),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        par_replay_detect(&trace, algorithm, threads)
+                            .expect("canonical trace")
+                            .race_count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_par_detect);
+criterion_main!(benches);

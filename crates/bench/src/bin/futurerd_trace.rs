@@ -22,10 +22,13 @@
 //! not-runnable (identically in-process and on replay) rather than run.
 
 use futurerd_core::detector::RaceDetector;
-use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
-use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_core::parallel::par_replay_detect;
+use futurerd_core::reachability::{
+    GraphOracle, MultiBags, MultiBagsPlus, SpBags, SpBagsConservative,
+};
+use futurerd_core::replay::{replay_detect_unchecked, ApproximationError, ReplayAlgorithm};
 use futurerd_core::RaceReport;
-use futurerd_dag::trace::Trace;
+use futurerd_dag::trace::{Trace, TRACE_VERSION, TRACE_VERSION_V1};
 use futurerd_runtime::trace::TraceRecorder;
 use futurerd_workloads::{lcs, run_workload, FutureMode, WorkloadKind, WorkloadParams};
 use std::process::ExitCode;
@@ -37,11 +40,15 @@ fn usage() -> ! {
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
-         replay --input <path> [--algorithm <multibags|multibags+|spbags|oracle|all>]\n\
+         replay --input <path> [--algorithm <multibags|multibags+|spbags|spbags-cons|oracle|all>]\n\
+        \x20       [--threads <n>]\n\
          diff   --workload <name> --mode <mode> [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
-         recorded trace then carries a real determinacy race to detect.",
+         recorded trace then carries a real determinacy race to detect.\n\
+         --threads runs detection through the sharded parallel engine\n\
+         (MultiBags / MultiBags+; the report is identical at any thread\n\
+         count).",
         names = WorkloadKind::ALL.map(|k| k.name()).join("|")
     );
     std::process::exit(2);
@@ -77,6 +84,7 @@ struct Options {
     algorithm: Option<String>,
     params: WorkloadParams,
     racy: bool,
+    threads: usize,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -88,6 +96,7 @@ fn parse_options(args: &[String]) -> Options {
         algorithm: None,
         params: WorkloadParams::tiny(),
         racy: false,
+        threads: 1,
     };
     let mut size_default = false;
     let mut seed = None;
@@ -120,6 +129,16 @@ fn parse_options(args: &[String]) -> Options {
                 }))
             }
             "--racy" => opts.racy = true,
+            "--threads" => {
+                opts.threads = value()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        usage()
+                    })
+            }
             other => {
                 eprintln!("unknown flag '{other}'");
                 usage()
@@ -211,6 +230,15 @@ fn detect_in_process(
         )
         .0
         .into_report(),
+        ReplayAlgorithm::SpBagsConservative => run_observed(
+            workload,
+            mode,
+            params,
+            racy,
+            RaceDetector::new(SpBagsConservative::new()),
+        )
+        .0
+        .into_report(),
         ReplayAlgorithm::GraphOracle => run_observed(
             workload,
             mode,
@@ -261,6 +289,17 @@ fn cmd_record(opts: &Options) -> ExitCode {
         events = trace.len(),
     );
     println!("checksum {checksum:#x}; wrote {bytes} bytes to {out}");
+    // Report what the delta codec bought over the absolute-field v1 format.
+    let v1_bytes = trace
+        .to_bytes_versioned(TRACE_VERSION_V1)
+        .map(|b| b.len() as u64)
+        .unwrap_or(0);
+    if v1_bytes > 0 {
+        let change = 100.0 * (bytes as f64 / v1_bytes as f64 - 1.0);
+        println!(
+            "codec v{TRACE_VERSION} (delta accesses): {bytes} bytes vs {v1_bytes} in v{TRACE_VERSION_V1} ({change:+.1}% size change)"
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -312,8 +351,30 @@ fn cmd_replay(opts: &Options) -> ExitCode {
             continue;
         }
         let start = Instant::now();
-        let report = replay_detect_unchecked(&trace, algorithm);
+        let sharded = opts.threads > 1 && algorithm.freezable();
+        let report = if sharded {
+            match par_replay_detect(&trace, algorithm, opts.threads) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("parallel replay failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            replay_detect_unchecked(&trace, algorithm)
+        };
         verdict_line(algorithm, &report, start.elapsed());
+        if sharded {
+            println!(
+                "              (sharded parallel engine, P={})",
+                opts.threads
+            );
+        } else if opts.threads > 1 {
+            println!("              (no frozen reachability form: replayed sequentially)");
+        }
+        if report.is_approximate() {
+            println!("              (approximate verdict: fork-join baseline on a futures trace)");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -336,6 +397,7 @@ fn cmd_diff(opts: &Options) -> ExitCode {
     let mut failures = 0u32;
     let mut oracle_report = None;
     let mut sound_reports: Vec<(ReplayAlgorithm, RaceReport)> = Vec::new();
+    let mut approximate_reports: Vec<(ReplayAlgorithm, RaceReport)> = Vec::new();
     for algorithm in ReplayAlgorithm::ALL {
         if !algorithm.runnable_for(&trace) {
             println!(
@@ -366,12 +428,28 @@ fn cmd_diff(opts: &Options) -> ExitCode {
             oracle_report = Some(replayed);
         } else if algorithm.sound_for(&trace) {
             sound_reports.push((algorithm, replayed));
+        } else {
+            approximate_reports.push((algorithm, replayed));
         }
     }
     // The oracle replays last; compare the sound algorithms against it once
     // its verdict is in (replaying it eagerly up front would pay the most
     // expensive detector twice). Counts alone cannot distinguish equal-sized
     // but different racy-granule sets, so also check every oracle witness.
+    if let Some(oracle) = &oracle_report {
+        // Approximate baselines (conservative SP-Bags on futures, MultiBags
+        // on multi-touch traces) are not held to agreement — quantify their
+        // error instead, the number the paper's algorithms exist to remove.
+        for (algorithm, report) in &approximate_reports {
+            let error = ApproximationError::measure(*algorithm, report, oracle);
+            println!(
+                "  {:<11} approximate vs oracle: {} racy granule(s) missed, {} spurious (by design, not a failure)",
+                algorithm.name(),
+                error.missed,
+                error.spurious,
+            );
+        }
+    }
     if let Some(oracle) = oracle_report {
         for (algorithm, report) in sound_reports {
             if report.race_count() != oracle.race_count() {

@@ -30,7 +30,10 @@
 //! full). The [`replay`] module feeds a recorded
 //! [`Trace`](futurerd_dag::trace::Trace) through those same observers, so a
 //! program recorded once can be detected on offline, repeatedly, by every
-//! algorithm.
+//! algorithm. The [`parallel`] module shards that offline detection across
+//! threads: reachability is frozen into an immutable index in one pass and
+//! the granule space is partitioned across workers in a second, with a
+//! deterministic merge making the result identical to sequential replay.
 //!
 //! ## Quick start
 //!
@@ -57,6 +60,7 @@
 
 pub mod bitset;
 pub mod detector;
+pub mod parallel;
 pub mod races;
 pub mod reachability;
 pub mod replay;
@@ -64,7 +68,10 @@ pub mod shadow;
 pub mod stats;
 
 pub use detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
+pub use parallel::{par_replay_detect, DetectExecutor, ReachIndex, ShadowPartition};
 pub use races::{AccessKind, Race, RaceReport};
-pub use reachability::{GraphOracle, MultiBags, MultiBagsPlus, Reachability, SpBags};
+pub use reachability::{
+    GraphOracle, MultiBags, MultiBagsPlus, Reachability, SpBags, SpBagsConservative,
+};
 pub use replay::{differential, replay_all, replay_detect, ReplayAlgorithm};
 pub use stats::ReachStats;

@@ -1,0 +1,1141 @@
+//! Pass 1 of the parallel detection engine: replay the trace through the
+//! reachability algorithm once and *freeze* the result into an immutable,
+//! shareable index.
+//!
+//! The on-the-fly structures of [`crate::reachability`] answer "is strand
+//! `u` sequentially before the *currently executing* strand?" — a query
+//! whose answer depends on when it is asked. To shard detection, workers
+//! need the same answer *for any point of the trace*, read-only. The freeze
+//! replays the reachability updates once and records, instead of the live
+//! sets, their **timelines**:
+//!
+//! * every bag (disjoint set) of MultiBags / the `DSP` of MultiBags+ is a
+//!   node of a *merge forest*: a set object is created, may be relabelled
+//!   `S → P` once (at the `Return` of the function owning it), and is merged
+//!   into another set at most once (at the `Sync`/`GetFuture` that joins
+//!   it). A strand's bag at trace position `t` is found by walking its merge
+//!   chain while the merge position precedes `t`; its tag is `S` iff the
+//!   final set's relabel position does not precede `t`. Positions along a
+//!   merge chain strictly increase, so the walk is well defined — and it is
+//!   the *recorded* update sequence that is replayed, so the frozen answers
+//!   match the live algorithm exactly even on traces where MultiBags is
+//!   unsound (multi-touch futures), where its unions diverge from true dag
+//!   reachability;
+//! * the `DNSP` sets of MultiBags+ get the same merge-forest treatment,
+//!   with their tag timeline (`Unattached{attPred}` → attachified →
+//!   `attSucc` assignments) recorded per set;
+//! * the reachability dag `R` over attached sets is frozen as an
+//!   **earliest-connection closure**: arcs arrive in trace order, so the
+//!   first time a pair becomes connected is the earliest position at which
+//!   any path exists, and `reaches(a, b)` *at position t* is one hash-map
+//!   probe (`earliest(a→b) < t`) — the "attached-bag closure bits" of the
+//!   frozen index.
+//!
+//! All query paths are `&self` with no interior mutability, so one
+//! [`ReachIndex`] is shared by every detection worker.
+
+use crate::replay::ReplayAlgorithm;
+use futurerd_dag::events::{CreateFutureEvent, GetFutureEvent, SpawnEvent, SyncEvent};
+use futurerd_dag::trace::Trace;
+use futurerd_dag::{FunctionId, MemAddr, Observer, StrandId};
+
+/// A position in the trace: the index of an event in the stream. Every
+/// timeline comparison is strict (`<`): an update at position `p` is visible
+/// to queries issued by events at positions `> p`.
+pub(crate) type Pos = u32;
+
+const NO_SET: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Frozen bags (MultiBags and the DSP of MultiBags+)
+// ---------------------------------------------------------------------------
+
+/// One set object of the bag merge forest.
+#[derive(Debug, Clone, Default)]
+struct BagSet {
+    /// `S → P` relabel position (the owning function's `Return`), if any.
+    relabel: Option<Pos>,
+    /// The set this one was merged into, and when.
+    merged: Option<(Pos, u32)>,
+}
+
+/// The frozen form of a [`crate::reachability::MultiBags`] run (also used
+/// for the `DSP` component of MultiBags+): final bag assignments per strand
+/// plus each bag's tag/merge timeline.
+#[derive(Debug, Default)]
+pub struct FrozenBags {
+    /// Birth set of each strand (the set it was placed in when it started).
+    set_of_strand: Vec<u32>,
+    sets: Vec<BagSet>,
+}
+
+impl FrozenBags {
+    /// True iff `u` was in an S-bag just before the event at `pos` — exactly
+    /// what `MultiBags::in_s_bag(u)` answered at that point of the replay.
+    pub fn in_s_bag_at(&self, u: StrandId, pos: Pos) -> bool {
+        let mut set = self.set_of_strand[u.index()];
+        debug_assert_ne!(set, NO_SET, "strand {u} had not started at {pos}");
+        loop {
+            let s = &self.sets[set as usize];
+            match s.merged {
+                Some((p, target)) if p < pos => set = target,
+                _ => return s.relabel.is_none_or(|p| p >= pos),
+            }
+        }
+    }
+
+    /// As [`FrozenBags::in_s_bag_at`], resuming the merge-chain walk from a
+    /// per-strand cursor. Valid only for non-decreasing `pos` per cursor
+    /// (the chain position a strand resolved to can never move backwards),
+    /// which makes the whole walk amortized O(1) per query for workers
+    /// scanning the trace in order.
+    fn in_s_bag_at_cached(&self, cursor: &mut Vec<Cursor>, u: StrandId, pos: Pos) -> bool {
+        let set = resolve_cached(
+            &self.sets,
+            |s| s.merged,
+            cursor,
+            self.set_of_strand[u.index()],
+            u,
+            pos,
+        );
+        self.sets[set as usize].relabel.is_none_or(|p| p >= pos)
+    }
+
+    /// Number of set objects in the merge forest.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// Per-strand memo of a merge-forest walk: `set` is the resolved set for
+/// every query position `≤ expiry`; later positions resume the walk from
+/// `set`.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    set: u32,
+    expiry: Pos,
+}
+
+const FRESH: Cursor = Cursor {
+    set: NO_SET,
+    expiry: 0,
+};
+
+/// Walks a merge forest from a cached per-strand position. `merged_of`
+/// projects a set to its merge edge, `birth` is the strand's birth set for
+/// the first query.
+#[inline]
+fn resolve_cached<S>(
+    sets: &[S],
+    merged_of: impl Fn(&S) -> Option<(Pos, u32)>,
+    cursor: &mut Vec<Cursor>,
+    birth: u32,
+    u: StrandId,
+    pos: Pos,
+) -> u32 {
+    if cursor.len() <= u.index() {
+        cursor.resize(u.index() + 1, FRESH);
+    }
+    let entry = &mut cursor[u.index()];
+    let mut set = if entry.set == NO_SET {
+        debug_assert_ne!(birth, NO_SET, "strand {u} had not started at {pos}");
+        birth
+    } else if pos <= entry.expiry {
+        return entry.set;
+    } else {
+        entry.set
+    };
+    loop {
+        match merged_of(&sets[set as usize]) {
+            Some((p, target)) if p < pos => set = target,
+            Some((p, _)) => {
+                *entry = Cursor { set, expiry: p };
+                return set;
+            }
+            None => {
+                *entry = Cursor { set, expiry: NEVER };
+                return set;
+            }
+        }
+    }
+}
+
+/// Builds a [`FrozenBags`] by mirroring the MultiBags update rules while
+/// recording their timeline. `union_on_get = false` gives the `DSP` variant
+/// used inside MultiBags+ (no union at `get_fut`).
+#[derive(Debug)]
+struct BagsBuilder {
+    union_on_get: bool,
+    frozen: FrozenBags,
+    /// Live root of each set chain (with path halving); mirrors the live
+    /// disjoint-set state during the freezing replay.
+    live: Vec<u32>,
+    /// First strand of each function — a known member of its bag.
+    first_strand: Vec<Option<StrandId>>,
+}
+
+impl BagsBuilder {
+    fn new(union_on_get: bool) -> Self {
+        Self {
+            union_on_get,
+            frozen: FrozenBags::default(),
+            live: Vec::new(),
+            first_strand: Vec::new(),
+        }
+    }
+
+    fn live_root(&mut self, mut set: u32) -> u32 {
+        // Path halving over the live pointers: the frozen merge edges stay
+        // intact, only the resolution shortcut is compressed.
+        while self.live[set as usize] != set {
+            let parent = self.live[set as usize];
+            let grandparent = self.live[parent as usize];
+            self.live[set as usize] = grandparent;
+            set = grandparent;
+        }
+        set
+    }
+
+    fn set_of_function(&mut self, function: FunctionId) -> u32 {
+        let member = self
+            .first_strand
+            .get(function.index())
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("function {function} has not started executing"));
+        let birth = self.frozen.set_of_strand[member.index()];
+        self.live_root(birth)
+    }
+
+    fn strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        if self.frozen.set_of_strand.len() <= strand.index() {
+            self.frozen.set_of_strand.resize(strand.index() + 1, NO_SET);
+        }
+        if self.first_strand.len() <= function.index() {
+            self.first_strand.resize(function.index() + 1, None);
+        }
+        match self.first_strand[function.index()] {
+            None => {
+                // First strand of the function: a fresh S-set (this is S_F).
+                let id = self.frozen.sets.len() as u32;
+                self.frozen.sets.push(BagSet::default());
+                self.live.push(id);
+                self.frozen.set_of_strand[strand.index()] = id;
+                self.first_strand[function.index()] = Some(strand);
+            }
+            Some(_) => {
+                // Subsequent strand: joins whatever set currently holds the
+                // function's first strand (the live algorithm unions the new
+                // singleton into it, which keeps that set's tag).
+                let root = self.set_of_function(function);
+                self.frozen.set_of_strand[strand.index()] = root;
+            }
+        }
+    }
+
+    fn function_return(&mut self, function: FunctionId, pos: Pos) {
+        // P_F = S_F: relabel the live set holding the function's bag.
+        let root = self.set_of_function(function);
+        let set = &mut self.frozen.sets[root as usize];
+        if set.relabel.is_none() {
+            set.relabel = Some(pos);
+        }
+    }
+
+    fn join_child(&mut self, parent: FunctionId, child: FunctionId, pos: Pos) {
+        // S_parent = Union(S_parent, P_child), keeping the parent's tag.
+        let winner = self.set_of_function(parent);
+        let victim = self.set_of_function(child);
+        if winner == victim {
+            return;
+        }
+        self.frozen.sets[victim as usize].merged = Some((pos, winner));
+        self.live[victim as usize] = winner;
+    }
+
+    fn sync(&mut self, ev: &SyncEvent, pos: Pos) {
+        self.join_child(ev.parent, ev.child, pos);
+    }
+
+    fn get_future(&mut self, ev: &GetFutureEvent, pos: Pos) {
+        if self.union_on_get {
+            self.join_child(ev.parent, ev.future, pos);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen DNSP + timed closure of R (MultiBags+)
+// ---------------------------------------------------------------------------
+
+/// How a `DNSP` set started life.
+#[derive(Debug, Clone, Copy)]
+enum NspBirth {
+    /// Created attached, as `R` node `rnode`.
+    Attached { rnode: u32 },
+    /// Created unattached with the given attached predecessor (immutable for
+    /// the set's whole lifetime).
+    Unattached { att_pred: u32 },
+}
+
+/// One set object of the `DNSP` merge forest, with its tag timeline.
+#[derive(Debug, Clone)]
+struct NspSet {
+    birth: NspBirth,
+    /// `Attachify` position and the `R` node created for it (unattached
+    /// births only; at most once).
+    attached: Option<(Pos, u32)>,
+    /// `attSucc` assignments (position, `R` node), in trace order.
+    att_succ: Vec<(Pos, u32)>,
+    /// The set this one was merged into, and when.
+    merged: Option<(Pos, u32)>,
+}
+
+/// Sentinel for "no path" in the timed closure rows.
+const NEVER: Pos = Pos::MAX;
+
+/// The `R` dag over attached sets with an earliest-connection transitive
+/// closure: `earliest[a→b]` is the position of the arc insertion that first
+/// connected `a` to `b`. Arcs arrive in trace order during the freezing
+/// replay, so a single incremental pass computes it; afterwards a
+/// reachability-at-position query is one array probe.
+///
+/// Rows are dense `Pos` vectors (lazily grown, [`NEVER`] = unreachable) —
+/// the timed analogue of `RGraph`'s closure bit vectors, paying 32 bits per
+/// pair instead of one to carry the connection position.
+#[derive(Debug, Default)]
+struct TimedClosure {
+    /// `earliest[b][a]` = earliest position with a non-empty path `a → b`.
+    /// Stored pred-side so the dominant arc shape (into a freshly created
+    /// node) stamps one contiguous row instead of scattering across rows.
+    earliest_pred: Vec<Vec<Pos>>,
+    /// `pred[b]` / `succ[a]`: the closure as dup-free adjacency lists — each
+    /// pair is pushed exactly once, when it is first stamped, so ancestor /
+    /// descendant enumeration is proportional to the sets' actual sizes.
+    pred_list: Vec<Vec<u32>>,
+    succ_list: Vec<Vec<u32>>,
+    entries: usize,
+}
+
+impl TimedClosure {
+    fn add_node(&mut self) -> u32 {
+        let id = self.earliest_pred.len() as u32;
+        self.earliest_pred.push(Vec::new());
+        self.pred_list.push(Vec::new());
+        self.succ_list.push(Vec::new());
+        id
+    }
+
+    #[inline]
+    fn earliest(&self, from: u32, to: u32) -> Pos {
+        self.earliest_pred[to as usize]
+            .get(from as usize)
+            .copied()
+            .unwrap_or(NEVER)
+    }
+
+    fn add_arc(&mut self, from: u32, to: u32, pos: Pos) {
+        debug_assert_ne!(from, to, "R is acyclic");
+        if self.earliest(from, to) != NEVER {
+            return; // already implied: no new connections
+        }
+        let mut ancestors = std::mem::take(&mut self.pred_list[from as usize]);
+        ancestors.push(from);
+        // Almost every arc points at a freshly created node (`to` has no
+        // successors yet), so the descendant set is usually just `to`.
+        let mut descendants = std::mem::take(&mut self.succ_list[to as usize]);
+        descendants.push(to);
+        let row_len = ancestors.iter().max().copied().expect("contains `from`") as usize + 1;
+        for &d in &descendants {
+            let row = &mut self.earliest_pred[d as usize];
+            if row.len() < row_len {
+                row.resize(row_len, NEVER);
+            }
+            for &a in &ancestors {
+                debug_assert_ne!(a, d, "arc {from}->{to} would create a cycle in R");
+                if row[a as usize] == NEVER {
+                    row[a as usize] = pos;
+                    self.entries += 1;
+                    self.pred_list[d as usize].push(a);
+                    self.succ_list[a as usize].push(d);
+                }
+            }
+        }
+        // Put the borrowed lists back (dropping the appended self entries).
+        ancestors.pop();
+        descendants.pop();
+        // The loops above may have pushed new entries while the lists were
+        // taken; merge rather than overwrite.
+        let from_new = std::mem::replace(&mut self.pred_list[from as usize], ancestors);
+        self.pred_list[from as usize].extend(from_new);
+        let to_new = std::mem::replace(&mut self.succ_list[to as usize], descendants);
+        self.succ_list[to as usize].extend(to_new);
+    }
+
+    /// True iff a non-empty path `from → to` existed before position `pos`.
+    fn reaches_at(&self, from: u32, to: u32, pos: Pos) -> bool {
+        self.earliest(from, to) < pos
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.earliest_pred.len()
+    }
+
+    fn closure_entries(&self) -> usize {
+        self.entries
+    }
+}
+
+/// The frozen `DNSP` + `R` of a MultiBags+ run.
+#[derive(Debug, Default)]
+pub struct FrozenNsp {
+    set_of_strand: Vec<u32>,
+    sets: Vec<NspSet>,
+    r: TimedClosure,
+}
+
+impl FrozenNsp {
+    /// The set holding `strand` just before the event at `pos`.
+    fn set_at(&self, strand: StrandId, pos: Pos) -> &NspSet {
+        let mut set = self.set_of_strand[strand.index()];
+        debug_assert_ne!(set, NO_SET, "strand {strand} not registered in DNSP");
+        loop {
+            let s = &self.sets[set as usize];
+            match s.merged {
+                Some((p, target)) if p < pos => set = target,
+                _ => return s,
+            }
+        }
+    }
+
+    /// The `R` node of `strand`'s set if it was attached at `pos`.
+    fn attached_node_at(set: &NspSet, pos: Pos) -> Option<u32> {
+        match set.birth {
+            NspBirth::Attached { rnode } => Some(rnode),
+            NspBirth::Unattached { .. } => match set.attached {
+                Some((p, rnode)) if p < pos => Some(rnode),
+                _ => None,
+            },
+        }
+    }
+
+    /// The attached-predecessor proxy (query destination side, Figure 3).
+    fn att_pred_proxy_at(&self, strand: StrandId, pos: Pos) -> u32 {
+        let set = self.set_at(strand, pos);
+        Self::pred_of_set(set, pos)
+    }
+
+    /// The attached-successor proxy (query source side), if assigned yet.
+    fn att_succ_proxy_at(&self, strand: StrandId, pos: Pos) -> Option<u32> {
+        let set = self.set_at(strand, pos);
+        Self::succ_of_set(set, pos)
+    }
+
+    fn pred_of_set(set: &NspSet, pos: Pos) -> u32 {
+        Self::attached_node_at(set, pos).unwrap_or(match set.birth {
+            NspBirth::Unattached { att_pred } => att_pred,
+            NspBirth::Attached { rnode } => rnode,
+        })
+    }
+
+    fn succ_of_set(set: &NspSet, pos: Pos) -> Option<u32> {
+        if let Some(rnode) = Self::attached_node_at(set, pos) {
+            return Some(rnode);
+        }
+        set.att_succ
+            .iter()
+            .rev()
+            .find(|&&(p, _)| p < pos)
+            .map(|&(_, rnode)| rnode)
+    }
+
+    /// Cursor-cached variants of the proxy lookups (monotone `pos` only).
+    fn att_pred_proxy_at_cached(
+        &self,
+        cursor: &mut Vec<Cursor>,
+        strand: StrandId,
+        pos: Pos,
+    ) -> u32 {
+        let idx = resolve_cached(
+            &self.sets,
+            |s| s.merged,
+            cursor,
+            self.set_of_strand[strand.index()],
+            strand,
+            pos,
+        );
+        Self::pred_of_set(&self.sets[idx as usize], pos)
+    }
+
+    fn att_succ_proxy_at_cached(
+        &self,
+        cursor: &mut Vec<Cursor>,
+        strand: StrandId,
+        pos: Pos,
+    ) -> Option<u32> {
+        let idx = resolve_cached(
+            &self.sets,
+            |s| s.merged,
+            cursor,
+            self.set_of_strand[strand.index()],
+            strand,
+            pos,
+        );
+        Self::succ_of_set(&self.sets[idx as usize], pos)
+    }
+
+    /// Number of attached sets (`R` nodes) in the frozen index.
+    pub fn num_attached_sets(&self) -> usize {
+        self.r.num_nodes()
+    }
+}
+
+/// Mirrors the MultiBags+ `DNSP`/`R` update rules (Figure 4) while recording
+/// their timeline.
+#[derive(Debug, Default)]
+struct NspBuilder {
+    frozen: FrozenNsp,
+    /// Live root of each set chain (path halving), as in [`BagsBuilder`].
+    live: Vec<u32>,
+}
+
+impl NspBuilder {
+    fn live_root(&mut self, mut set: u32) -> u32 {
+        while self.live[set as usize] != set {
+            let parent = self.live[set as usize];
+            let grandparent = self.live[parent as usize];
+            self.live[set as usize] = grandparent;
+            set = grandparent;
+        }
+        set
+    }
+
+    fn set_of(&mut self, strand: StrandId) -> u32 {
+        let birth = self.frozen.set_of_strand[strand.index()];
+        debug_assert_ne!(birth, NO_SET, "strand {strand} not registered in DNSP");
+        self.live_root(birth)
+    }
+
+    fn register(&mut self, strand: StrandId, set: u32) {
+        if self.frozen.set_of_strand.len() <= strand.index() {
+            self.frozen.set_of_strand.resize(strand.index() + 1, NO_SET);
+        }
+        debug_assert_eq!(
+            self.frozen.set_of_strand[strand.index()],
+            NO_SET,
+            "strand {strand} registered twice in DNSP"
+        );
+        self.frozen.set_of_strand[strand.index()] = set;
+    }
+
+    fn new_set(&mut self, birth: NspBirth) -> u32 {
+        let id = self.frozen.sets.len() as u32;
+        self.frozen.sets.push(NspSet {
+            birth,
+            attached: None,
+            att_succ: Vec::new(),
+            merged: None,
+        });
+        self.live.push(id);
+        id
+    }
+
+    fn make_attached(&mut self, strand: StrandId) -> u32 {
+        let rnode = self.frozen.r.add_node();
+        let set = self.new_set(NspBirth::Attached { rnode });
+        self.register(strand, set);
+        rnode
+    }
+
+    fn make_unattached(&mut self, strand: StrandId, att_pred: u32) {
+        let set = self.new_set(NspBirth::Unattached { att_pred });
+        self.register(strand, set);
+    }
+
+    fn is_attached(&mut self, strand: StrandId, pos: Pos) -> bool {
+        let root = self.set_of(strand);
+        FrozenNsp::attached_node_at(&self.frozen.sets[root as usize], pos + 1).is_some()
+    }
+
+    /// Live attached-predecessor proxy (during the freezing replay every
+    /// lookup is "as of now", i.e. after all updates so far).
+    fn att_pred_proxy(&mut self, strand: StrandId, pos: Pos) -> u32 {
+        let root = self.set_of(strand);
+        let set = &self.frozen.sets[root as usize];
+        FrozenNsp::attached_node_at(set, pos + 1).unwrap_or(match set.birth {
+            NspBirth::Unattached { att_pred } => att_pred,
+            NspBirth::Attached { rnode } => rnode,
+        })
+    }
+
+    /// `Attachify(u)` (Figure 4, lines 18–22).
+    fn attachify(&mut self, strand: StrandId, pos: Pos) -> u32 {
+        let root = self.set_of(strand);
+        let set = &self.frozen.sets[root as usize];
+        if let Some(rnode) = FrozenNsp::attached_node_at(set, pos + 1) {
+            return rnode;
+        }
+        let NspBirth::Unattached { att_pred } = set.birth else {
+            unreachable!("attached births always resolve above")
+        };
+        let rnode = self.frozen.r.add_node();
+        self.frozen.r.add_arc(att_pred, rnode, pos);
+        self.frozen.sets[root as usize].attached = Some((pos, rnode));
+        rnode
+    }
+
+    fn union_into(&mut self, winner: StrandId, victim: StrandId, pos: Pos) {
+        let w = self.set_of(winner);
+        let v = self.set_of(victim);
+        if w == v {
+            return;
+        }
+        self.frozen.sets[v as usize].merged = Some((pos, w));
+        self.live[v as usize] = w;
+    }
+
+    /// Registers join strand `j` directly into the set containing `host`.
+    fn make_strand_in_set_of(&mut self, j: StrandId, host: StrandId) {
+        let root = self.set_of(host);
+        self.register(j, root);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public frozen index
+// ---------------------------------------------------------------------------
+
+/// The frozen reachability index: an immutable, `Sync` structure answering
+/// "did strand `u` sequentially precede strand `v` at trace position `pos`?"
+/// with exactly the answer the live algorithm gave during sequential replay.
+///
+/// Built by [`ReachIndex::freeze`] (pass 1 of the parallel engine) and then
+/// shared read-only by every detection worker of pass 2. Only the paper's
+/// two algorithms can be frozen — MultiBags (final bag timelines) and
+/// MultiBags+ (bag timelines + `DNSP` set timelines + the attached-bag
+/// closure); SP-Bags and the graph oracle have no frozen form and
+/// [`par_replay_detect`](crate::parallel::par_replay_detect) falls back to
+/// sequential replay for them.
+#[derive(Debug)]
+pub struct ReachIndex {
+    algorithm: ReplayAlgorithm,
+    inner: IndexInner,
+}
+
+#[derive(Debug)]
+enum IndexInner {
+    MultiBags(FrozenBags),
+    MultiBagsPlus { dsp: FrozenBags, nsp: FrozenNsp },
+}
+
+/// Worker-private memo for [`ReachIndex::precedes_at_cached`]: per-strand
+/// merge-chain positions for the bag forest (and, for MultiBags+, the
+/// `DNSP` forest). See [`ReachIndex::cursor`].
+#[derive(Debug)]
+pub struct IndexCursor {
+    bags: Vec<Cursor>,
+    nsp: Vec<Cursor>,
+    #[allow(dead_code)] // written only under debug_assertions
+    last_pos: Pos,
+}
+
+impl ReachIndex {
+    /// Replays `trace` once through the reachability algorithm only (no
+    /// shadow memory) and freezes the result. Validates the trace first.
+    ///
+    /// Returns `None` for algorithms without a frozen form (SP-Bags and the
+    /// graph oracle).
+    pub fn freeze(
+        trace: &Trace,
+        algorithm: ReplayAlgorithm,
+    ) -> Result<Option<ReachIndex>, futurerd_dag::trace::TraceError> {
+        trace.validate()?;
+        Ok(freeze_with_accesses(trace, algorithm).map(|(index, _)| index))
+    }
+
+    /// The algorithm this index was frozen from.
+    pub fn algorithm(&self) -> ReplayAlgorithm {
+        self.algorithm
+    }
+
+    /// True iff `u` preceded `v` at trace position `pos` according to the
+    /// frozen algorithm — the exact answer `precedes_current(u)` gave when
+    /// the event at `pos` (an access by `v`) was replayed sequentially.
+    pub fn precedes_at(&self, u: StrandId, v: StrandId, pos: u32) -> bool {
+        match &self.inner {
+            // MultiBags answers from the bag tag alone (Figure 1): the
+            // current strand is not consulted.
+            IndexInner::MultiBags(bags) => bags.in_s_bag_at(u, pos),
+            IndexInner::MultiBagsPlus { dsp, nsp } => {
+                if u == v {
+                    return true;
+                }
+                // Figure 3: SP bags first, then the proxies against R.
+                if dsp.in_s_bag_at(u, pos) {
+                    return true;
+                }
+                let sv = nsp.att_pred_proxy_at(v, pos);
+                let Some(su) = nsp.att_succ_proxy_at(u, pos) else {
+                    return false;
+                };
+                nsp.r.reaches_at(su, sv, pos)
+            }
+        }
+    }
+
+    /// Creates a fresh query cursor for this index. A cursor memoizes the
+    /// per-strand merge-chain walks, making queries amortized O(1) — but it
+    /// requires the positions passed to
+    /// [`precedes_at_cached`](ReachIndex::precedes_at_cached) to be
+    /// non-decreasing over the cursor's lifetime (detection workers scan
+    /// their shard in trace order, which guarantees it).
+    pub fn cursor(&self) -> IndexCursor {
+        IndexCursor {
+            bags: Vec::new(),
+            nsp: Vec::new(),
+            last_pos: 0,
+        }
+    }
+
+    /// As [`precedes_at`](ReachIndex::precedes_at), with the chain walks
+    /// resumed from `cursor`. Positions must be non-decreasing per cursor.
+    pub fn precedes_at_cached(
+        &self,
+        cursor: &mut IndexCursor,
+        u: StrandId,
+        v: StrandId,
+        pos: u32,
+    ) -> bool {
+        debug_assert!(
+            pos >= cursor.last_pos,
+            "cursor positions must not go backwards"
+        );
+        #[cfg(debug_assertions)]
+        {
+            cursor.last_pos = pos;
+        }
+        match &self.inner {
+            IndexInner::MultiBags(bags) => bags.in_s_bag_at_cached(&mut cursor.bags, u, pos),
+            IndexInner::MultiBagsPlus { dsp, nsp } => {
+                if u == v {
+                    return true;
+                }
+                if dsp.in_s_bag_at_cached(&mut cursor.bags, u, pos) {
+                    return true;
+                }
+                let sv = nsp.att_pred_proxy_at_cached(&mut cursor.nsp, v, pos);
+                let Some(su) = nsp.att_succ_proxy_at_cached(&mut cursor.nsp, u, pos) else {
+                    return false;
+                };
+                nsp.r.reaches_at(su, sv, pos)
+            }
+        }
+    }
+
+    /// Number of attached sets (`R` nodes) in the frozen index (0 for
+    /// MultiBags).
+    pub fn num_attached_sets(&self) -> usize {
+        match &self.inner {
+            IndexInner::MultiBags(_) => 0,
+            IndexInner::MultiBagsPlus { nsp, .. } => nsp.num_attached_sets(),
+        }
+    }
+
+    /// Number of entries in the frozen attached-bag closure (0 for
+    /// MultiBags).
+    pub fn closure_entries(&self) -> usize {
+        match &self.inner {
+            IndexInner::MultiBags(_) => 0,
+            IndexInner::MultiBagsPlus { nsp, .. } => nsp.r.closure_entries(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The freezing replay observer
+// ---------------------------------------------------------------------------
+
+/// One granule-level access extracted during the freezing replay: pass 2
+/// shards these by granule range, so workers touch only their own slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GranuleAccess {
+    pub granule: u64,
+    pub pos: Pos,
+    pub strand: StrandId,
+    pub is_write: bool,
+}
+
+/// The pass-1 observer: drives the timeline builders and extracts the
+/// granule-level access stream in the same single replay.
+struct Freezer {
+    pos: Pos,
+    bags: BagsBuilder,
+    nsp: Option<NspBuilder>,
+    accesses: Vec<GranuleAccess>,
+}
+
+impl Freezer {
+    fn new(algorithm: ReplayAlgorithm) -> Option<Self> {
+        let (union_on_get, nsp) = match algorithm {
+            ReplayAlgorithm::MultiBags => (true, None),
+            ReplayAlgorithm::MultiBagsPlus => (false, Some(NspBuilder::default())),
+            _ => return None,
+        };
+        Some(Self {
+            pos: 0,
+            bags: BagsBuilder::new(union_on_get),
+            nsp,
+            accesses: Vec::new(),
+        })
+    }
+
+    fn push_access(&mut self, strand: StrandId, addr: MemAddr, size: usize, is_write: bool) {
+        let pos = self.pos;
+        for granule in addr.granules(size) {
+            self.accesses.push(GranuleAccess {
+                granule,
+                pos,
+                strand,
+                is_write,
+            });
+        }
+    }
+}
+
+impl Observer for Freezer {
+    fn on_program_start(&mut self, _root: FunctionId, first: StrandId) {
+        if let Some(nsp) = &mut self.nsp {
+            // Figure 4, line 1: the first strand is attached, no predecessor.
+            nsp.make_attached(first);
+        }
+        self.pos += 1;
+    }
+
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        self.bags.strand_start(strand, function);
+        self.pos += 1;
+    }
+
+    fn on_spawn(&mut self, ev: &SpawnEvent) {
+        if let Some(nsp) = &mut self.nsp {
+            // Figure 4, lines 3–6.
+            let pred = nsp.att_pred_proxy(ev.fork_strand, self.pos);
+            nsp.make_unattached(ev.cont_strand, pred);
+            nsp.make_unattached(ev.child_first_strand, pred);
+        }
+        self.pos += 1;
+    }
+
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        if let Some(nsp) = &mut self.nsp {
+            // Figure 4, lines 8–12.
+            let pos = self.pos;
+            let ru = nsp.attachify(ev.creator_strand, pos);
+            let rv = nsp.make_attached(ev.cont_strand);
+            nsp.frozen.r.add_arc(ru, rv, pos);
+            let rw = nsp.make_attached(ev.child_first_strand);
+            nsp.frozen.r.add_arc(ru, rw, pos);
+        }
+        self.pos += 1;
+    }
+
+    fn on_return(&mut self, function: FunctionId, _last: StrandId) {
+        self.bags.function_return(function, self.pos);
+        self.pos += 1;
+    }
+
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        let pos = self.pos;
+        self.bags.sync(ev, pos);
+        if let Some(nsp) = &mut self.nsp {
+            // Figure 4, lines 24–46.
+            let f = ev.fork.pre_fork_strand;
+            let s1 = ev.fork.child_first_strand;
+            let s2 = ev.fork.cont_strand;
+            let j = ev.join_strand;
+            let t1 = ev.child_last_strand;
+            let t2 = ev.pre_join_strand;
+
+            let t1_attached = nsp.is_attached(t1, pos);
+            let t2_attached = nsp.is_attached(t2, pos);
+
+            if !t1_attached && !t2_attached {
+                nsp.union_into(f, t1, pos);
+                nsp.union_into(f, t2, pos);
+                nsp.make_strand_in_set_of(j, f);
+            } else if t1_attached && t2_attached {
+                let rf = nsp.attachify(f, pos);
+                let rs1 = nsp.attachify(s1, pos);
+                let rs2 = nsp.attachify(s2, pos);
+                nsp.frozen.r.add_arc(rf, rs1, pos);
+                nsp.frozen.r.add_arc(rf, rs2, pos);
+                let rj = nsp.make_attached(j);
+                let rt1 = nsp.attachify(t1, pos);
+                let rt2 = nsp.attachify(t2, pos);
+                nsp.frozen.r.add_arc(rt1, rj, pos);
+                nsp.frozen.r.add_arc(rt2, rj, pos);
+            } else {
+                let (ta, tu, sa) = if t1_attached {
+                    (t1, t2, s1)
+                } else {
+                    (t2, t1, s2)
+                };
+                if !nsp.is_attached(f, pos) {
+                    nsp.union_into(sa, f, pos);
+                }
+                nsp.make_strand_in_set_of(j, ta);
+                let rj = nsp.attachify(j, pos);
+                let tu_root = nsp.set_of(tu);
+                let tu_set = &mut nsp.frozen.sets[tu_root as usize];
+                if FrozenNsp::attached_node_at(tu_set, pos + 1).is_none() {
+                    tu_set.att_succ.push((pos, rj));
+                }
+            }
+        }
+        self.pos += 1;
+    }
+
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        let pos = self.pos;
+        self.bags.get_future(ev, pos);
+        if let Some(nsp) = &mut self.nsp {
+            // Figure 4, lines 14–17.
+            let ru = nsp.attachify(ev.pre_get_strand, pos);
+            let rv = nsp.make_attached(ev.getter_strand);
+            nsp.frozen.r.add_arc(ru, rv, pos);
+            let rw = nsp.attachify(ev.future_last_strand, pos);
+            nsp.frozen.r.add_arc(rw, rv, pos);
+        }
+        self.pos += 1;
+    }
+
+    fn on_read(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        self.push_access(strand, addr, size, false);
+        self.pos += 1;
+    }
+
+    fn on_write(&mut self, strand: StrandId, addr: MemAddr, size: usize) {
+        self.push_access(strand, addr, size, true);
+        self.pos += 1;
+    }
+
+    fn on_program_end(&mut self, _last: StrandId) {
+        self.pos += 1;
+    }
+}
+
+/// Pass 1: one replay, producing the frozen index and the granule-level
+/// access stream. The trace must already be validated. Returns `None` for
+/// algorithms without a frozen form.
+pub(crate) fn freeze_with_accesses(
+    trace: &Trace,
+    algorithm: ReplayAlgorithm,
+) -> Option<(ReachIndex, Vec<GranuleAccess>)> {
+    assert!(
+        trace.len() < u32::MAX as usize,
+        "trace positions are 32-bit; {}-event trace is too large",
+        trace.len()
+    );
+    let freezer = trace.replay(Freezer::new(algorithm)?);
+    let inner = match freezer.nsp {
+        None => IndexInner::MultiBags(freezer.bags.frozen),
+        Some(nsp) => IndexInner::MultiBagsPlus {
+            dsp: freezer.bags.frozen,
+            nsp: nsp.frozen,
+        },
+    };
+    Some((ReachIndex { algorithm, inner }, freezer.accesses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::RaceDetector;
+    use crate::reachability::{MultiBags, MultiBagsPlus, Reachability};
+    use futurerd_dag::trace::TraceEvent;
+
+    /// root creates a future, continues in parallel, then gets it.
+    fn future_trace() -> Trace {
+        let root = FunctionId(0);
+        let fut = FunctionId(1);
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: root,
+        });
+        t.push(TraceEvent::CreateFuture(CreateFutureEvent {
+            parent: root,
+            child: fut,
+            creator_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: fut,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: fut,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t.push(TraceEvent::GetFuture(GetFutureEvent {
+            parent: root,
+            future: fut,
+            pre_get_strand: StrandId(2),
+            getter_strand: StrandId(3),
+            future_last_strand: StrandId(1),
+            prior_touches: 0,
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(3),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(3),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: root,
+            last: StrandId(3),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        t
+    }
+
+    /// Replays `trace` through the live reachability structure, recording at
+    /// every access event the answer for every started strand, and asserts
+    /// the frozen index reproduces each answer.
+    fn assert_frozen_matches_live<R: Reachability>(
+        trace: &Trace,
+        mut live: R,
+        algorithm: ReplayAlgorithm,
+    ) {
+        let index = ReachIndex::freeze(trace, algorithm)
+            .expect("valid trace")
+            .expect("freezable algorithm");
+        let mut started: Vec<StrandId> = Vec::new();
+        for (pos, event) in trace.events().iter().enumerate() {
+            if let TraceEvent::Read { strand, .. } | TraceEvent::Write { strand, .. } = event {
+                for &u in &started {
+                    let expected = live.precedes_current(u);
+                    let got = index.precedes_at(u, *strand, pos as u32);
+                    assert_eq!(
+                        expected, got,
+                        "{algorithm}: precedes({u}, {strand}) at {pos}"
+                    );
+                }
+            }
+            if let TraceEvent::StrandStart { strand, .. } = event {
+                started.push(*strand);
+            }
+            let mut single = Trace::new();
+            single.push(*event);
+            single.replay_into(&mut live);
+        }
+    }
+
+    #[test]
+    fn frozen_multibags_matches_live_on_future_trace() {
+        assert_frozen_matches_live(
+            &future_trace(),
+            MultiBags::new(),
+            ReplayAlgorithm::MultiBags,
+        );
+    }
+
+    #[test]
+    fn frozen_multibags_plus_matches_live_on_future_trace() {
+        assert_frozen_matches_live(
+            &future_trace(),
+            MultiBagsPlus::new(),
+            ReplayAlgorithm::MultiBagsPlus,
+        );
+    }
+
+    #[test]
+    fn freeze_rejects_unfreezable_algorithms() {
+        let trace = future_trace();
+        assert!(ReachIndex::freeze(&trace, ReplayAlgorithm::GraphOracle)
+            .expect("valid trace")
+            .is_none());
+    }
+
+    #[test]
+    fn freeze_extracts_granule_accesses() {
+        let trace = future_trace();
+        let (index, accesses) =
+            freeze_with_accesses(&trace, ReplayAlgorithm::MultiBagsPlus).expect("freezable");
+        assert_eq!(accesses.len(), 3);
+        assert!(accesses.iter().all(|a| a.granule == 0x1000 / 4));
+        assert_eq!(index.algorithm(), ReplayAlgorithm::MultiBagsPlus);
+        assert!(index.num_attached_sets() >= 4);
+        assert!(index.closure_entries() > 0);
+    }
+
+    #[test]
+    fn frozen_answers_are_time_dependent() {
+        // The future's strand (s1) is parallel with the continuation (s2,
+        // reading at position 7) but precedes the getter (s3, reading at
+        // position 10).
+        let trace = future_trace();
+        for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+            let index = ReachIndex::freeze(&trace, algorithm)
+                .expect("valid")
+                .expect("freezable");
+            assert!(
+                !index.precedes_at(StrandId(1), StrandId(2), 7),
+                "{algorithm}"
+            );
+            assert!(
+                index.precedes_at(StrandId(1), StrandId(3), 10),
+                "{algorithm}"
+            );
+            assert!(
+                index.precedes_at(StrandId(0), StrandId(2), 7),
+                "{algorithm}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_index_is_shareable_across_threads() {
+        let trace = future_trace();
+        let index = ReachIndex::freeze(&trace, ReplayAlgorithm::MultiBagsPlus)
+            .expect("valid")
+            .expect("freezable");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| assert!(index.precedes_at(StrandId(1), StrandId(3), 10)));
+            }
+        });
+    }
+
+    /// Spot-check the detector-level agreement on the canonical racy trace.
+    #[test]
+    fn frozen_queries_reproduce_detector_verdicts() {
+        let trace = future_trace();
+        let report = trace
+            .replay(RaceDetector::<MultiBagsPlus>::general())
+            .into_report();
+        assert_eq!(report.race_count(), 1);
+    }
+}

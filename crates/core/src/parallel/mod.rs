@@ -1,0 +1,282 @@
+//! The parallel detection engine: two-pass, sharded, deterministic.
+//!
+//! Sequential replay ([`crate::replay`]) interleaves two very different
+//! kinds of work: maintaining the *reachability structure* (driven by the
+//! parallel-construct events, inherently ordered) and maintaining the
+//! *access history* plus race checks (driven by the memory accesses, which
+//! dominate real traces and are independent across granules). This engine
+//! splits them:
+//!
+//! 1. **Pass 1 — freeze** ([`ReachIndex::freeze`]): replay the trace once
+//!    through the reachability algorithm only, recording each bag's tag and
+//!    merge *timeline* instead of its final state, and — for MultiBags+ —
+//!    the earliest-connection closure of the attached-set dag `R`. The
+//!    result answers `precedes(u, v)` *at any trace position* read-only,
+//!    with no interior mutability, so it is shared by every worker. The same
+//!    replay extracts the granule-level access stream.
+//! 2. **Pass 2 — shard** ([`ShadowPartition`]): split the granule space into
+//!    at most `P` contiguous ranges balanced by access count, bucket the
+//!    access stream by range, and run each bucket through a private
+//!    shadow-memory partition, querying the shared frozen index.
+//! 3. **Merge** : the per-partition witnesses carry the trace position of
+//!    the access that exposed them; sorting by position rebuilds exactly the
+//!    sequential report — [`par_replay_detect`] returns a [`RaceReport`]
+//!    identical to [`replay_detect`](crate::replay::replay_detect) at every
+//!    thread count, which the determinism property tests assert event-for-
+//!    event over seeded generated programs.
+//!
+//! Workers are plain closures handed to a [`DetectExecutor`]; the default
+//! [`StdExecutor`] uses scoped OS threads, and `futurerd`'s facade plugs the
+//! work-stealing pool of `futurerd-runtime` in instead (its `PoolExecutor`),
+//! so detection — not just capture — runs on the pool.
+
+mod freeze;
+mod shard;
+
+pub use freeze::{FrozenBags, FrozenNsp, ReachIndex};
+pub use shard::ShadowPartition;
+
+use crate::races::RaceReport;
+use crate::replay::{replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_dag::trace::{Trace, TraceError};
+
+/// Runs a batch of independent detection workers to completion.
+///
+/// The engine hands each granule partition to one task; implementations
+/// decide where the tasks run. All tasks must have finished when `run_batch`
+/// returns — the engine merges partition results immediately afterwards.
+pub trait DetectExecutor {
+    /// Executes every task, potentially in parallel, and waits for all of
+    /// them.
+    fn run_batch<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>);
+}
+
+/// The default executor: one scoped OS thread per task (and no thread at all
+/// for a single task).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdExecutor;
+
+impl DetectExecutor for StdExecutor {
+    fn run_batch<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        if tasks.len() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for task in tasks {
+                scope.spawn(task);
+            }
+        });
+    }
+}
+
+/// Replays a validated trace through the two-pass parallel detection engine
+/// with up to `threads` workers and returns a [`RaceReport`] identical to
+/// sequential [`replay_detect`](crate::replay::replay_detect).
+///
+/// Only the paper's algorithms have a frozen reachability form; for
+/// [`ReplayAlgorithm::SpBags`], [`ReplayAlgorithm::SpBagsConservative`] and
+/// [`ReplayAlgorithm::GraphOracle`] this falls back to sequential replay
+/// (the report is identical either way).
+///
+/// # Example
+///
+/// ```
+/// use futurerd_core::parallel::par_replay_detect;
+/// use futurerd_core::replay::{replay_detect, ReplayAlgorithm};
+/// use futurerd_runtime::record_program;
+///
+/// let (_, trace, _) = record_program(|cx| {
+///     let mut cell = futurerd_runtime::ShadowCell::new(cx, 0u32);
+///     cx.spawn(|cx| cell.set(cx, 1));
+///     let _racy = cell.get(cx);
+///     cx.sync();
+/// });
+/// let sequential = replay_detect(&trace, ReplayAlgorithm::MultiBags).unwrap();
+/// let parallel = par_replay_detect(&trace, ReplayAlgorithm::MultiBags, 4).unwrap();
+/// assert_eq!(parallel, sequential);
+/// assert_eq!(parallel.race_count(), 1);
+/// ```
+pub fn par_replay_detect(
+    trace: &Trace,
+    algorithm: ReplayAlgorithm,
+    threads: usize,
+) -> Result<RaceReport, TraceError> {
+    par_replay_detect_with(trace, algorithm, threads, &StdExecutor)
+}
+
+/// As [`par_replay_detect`], but the detection workers run on the given
+/// executor (e.g. the work-stealing pool of `futurerd-runtime`).
+pub fn par_replay_detect_with(
+    trace: &Trace,
+    algorithm: ReplayAlgorithm,
+    threads: usize,
+    executor: &impl DetectExecutor,
+) -> Result<RaceReport, TraceError> {
+    trace.validate()?;
+    let Some((index, accesses)) = freeze::freeze_with_accesses(trace, algorithm) else {
+        // No frozen form for this algorithm: sequential replay gives the
+        // same report by definition.
+        return Ok(replay_detect_unchecked(trace, algorithm));
+    };
+    let ranges = shard::partition_ranges(&accesses, threads.max(1));
+    let mut partitions: Vec<ShadowPartition> = ranges
+        .iter()
+        .map(|r| ShadowPartition::new(r.clone()))
+        .collect();
+    let buckets = shard::bucket_accesses(accesses, &ranges);
+    {
+        let index = &index;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = partitions
+            .iter_mut()
+            .zip(buckets)
+            .map(|(partition, bucket)| {
+                Box::new(move || partition.run(index, &bucket)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        executor.run_batch(tasks);
+    }
+    Ok(shard::merge_reports(partitions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay_detect;
+    use futurerd_dag::events::{ForkInfo, SpawnEvent, SyncEvent};
+    use futurerd_dag::trace::TraceEvent;
+    use futurerd_dag::{FunctionId, MemAddr, StrandId};
+
+    /// A fork-join trace touching two distant granules, one of them racy.
+    fn two_granule_trace() -> Trace {
+        let root = FunctionId(0);
+        let child = FunctionId(1);
+        let x = MemAddr(0x1000);
+        let y = MemAddr(0x8000);
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: root,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(0),
+            addr: y,
+            size: 4,
+        });
+        t.push(TraceEvent::Spawn(SpawnEvent {
+            parent: root,
+            child,
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: child,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: child,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: y,
+            size: 4,
+        });
+        t.push(TraceEvent::Sync(SyncEvent {
+            parent: root,
+            child,
+            pre_join_strand: StrandId(2),
+            join_strand: StrandId(3),
+            child_last_strand: StrandId(1),
+            fork: ForkInfo {
+                pre_fork_strand: StrandId(0),
+                child_first_strand: StrandId(1),
+                cont_strand: StrandId(2),
+            },
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(3),
+            function: root,
+        });
+        t.push(TraceEvent::Return {
+            function: root,
+            last: StrandId(3),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        t
+    }
+
+    #[test]
+    fn par_detect_matches_sequential_at_every_thread_count() {
+        let trace = two_granule_trace();
+        for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+            let sequential = replay_detect(&trace, algorithm).expect("valid");
+            for threads in [1, 2, 3, 8] {
+                let parallel = par_replay_detect(&trace, algorithm, threads).expect("valid");
+                assert_eq!(parallel, sequential, "{algorithm} at P={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_detect_falls_back_for_unfreezable_algorithms() {
+        let trace = two_granule_trace();
+        for algorithm in [
+            ReplayAlgorithm::SpBags,
+            ReplayAlgorithm::SpBagsConservative,
+            ReplayAlgorithm::GraphOracle,
+        ] {
+            let sequential = replay_detect(&trace, algorithm).expect("valid");
+            let parallel = par_replay_detect(&trace, algorithm, 4).expect("valid");
+            assert_eq!(parallel, sequential, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn par_detect_validates_the_trace() {
+        let mut trace = two_granule_trace();
+        trace.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        assert!(par_replay_detect(&trace, ReplayAlgorithm::MultiBags, 2).is_err());
+    }
+
+    #[test]
+    fn par_detect_handles_access_free_traces() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root: FunctionId(0),
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: FunctionId(0),
+        });
+        t.push(TraceEvent::Return {
+            function: FunctionId(0),
+            last: StrandId(0),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(0) });
+        let report = par_replay_detect(&t, ReplayAlgorithm::MultiBags, 4).expect("valid");
+        assert!(report.is_race_free());
+    }
+}

@@ -1,0 +1,367 @@
+//! Pass 2 of the parallel detection engine: shard the granule space, give
+//! each worker a private shadow-memory partition, and merge the per-worker
+//! race reports deterministically.
+//!
+//! The access-history protocol of Section 3 is *granule-local*: the shadow
+//! state of a granule (last writer, reader list) is read and written only by
+//! accesses to that granule, and the state updates do not depend on query
+//! answers. With reachability frozen into a shared
+//! [`ReachIndex`](super::ReachIndex), detection on disjoint granule ranges
+//! is therefore embarrassingly parallel — each worker replays exactly the
+//! per-granule access sequence the sequential detector saw, gets exactly the
+//! answers the sequential detector got, and thus observes exactly the same
+//! races.
+
+use super::freeze::{GranuleAccess, IndexCursor};
+use super::ReachIndex;
+use crate::races::{AccessKind, Race, RaceReport};
+use crate::shadow::AccessHistory;
+use futurerd_dag::MemAddr;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// A worker's private slice of the detection state: a contiguous granule
+/// range, its own shadow-memory table, and the races found so far.
+///
+/// Built from the same two-level [`AccessHistory`] the sequential detector
+/// uses; granule indices stay global, so pages outside the partition's range
+/// are simply never allocated.
+#[derive(Debug)]
+pub struct ShadowPartition {
+    range: Range<u64>,
+    history: AccessHistory,
+    /// Granules already known racy (mirrors the first-witness-per-granule
+    /// rule of [`RaceReport::record`]).
+    racy: HashSet<u64>,
+    /// First witness race per granule, with the trace position of the access
+    /// that exposed it (the deterministic merge key).
+    witnesses: Vec<(u32, Race)>,
+    /// Every racing pair observed, including repeats per granule.
+    observations: u64,
+}
+
+impl ShadowPartition {
+    /// Creates an empty partition owning `range` (half-open, in granules).
+    pub fn new(range: Range<u64>) -> Self {
+        Self {
+            range,
+            history: AccessHistory::new(),
+            racy: HashSet::new(),
+            witnesses: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    /// The granule range this partition owns.
+    pub fn range(&self) -> Range<u64> {
+        self.range.clone()
+    }
+
+    /// True iff this partition owns `granule`.
+    pub fn owns(&self, granule: u64) -> bool {
+        self.range.contains(&granule)
+    }
+
+    /// Number of shadow pages this partition allocated.
+    pub fn shadow_pages(&self) -> usize {
+        self.history.num_pages()
+    }
+
+    /// Racing pairs observed so far (including repeats per granule).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Witness races found so far (one per racy granule, in trace order).
+    pub fn witnesses(&self) -> &[(u32, Race)] {
+        &self.witnesses
+    }
+
+    fn found(&mut self, pos: u32, race: Race) {
+        self.observations += 1;
+        let granule = race.addr.granule();
+        if self.racy.insert(granule) {
+            self.witnesses.push((pos, race));
+        }
+    }
+
+    /// Processes one granule-level access, mirroring the sequential
+    /// detector's read/write protocol against the frozen index. Queries go
+    /// through the worker's cursor; accesses must arrive in trace order.
+    pub(crate) fn apply(
+        &mut self,
+        index: &ReachIndex,
+        cursor: &mut IndexCursor,
+        acc: &GranuleAccess,
+    ) {
+        debug_assert!(self.owns(acc.granule));
+        let addr = MemAddr(acc.granule * MemAddr::GRANULARITY);
+        // Collect the racing pairs first: the shadow state borrow must end
+        // before the witness bookkeeping takes `&mut self` again. The order
+        // (writer check, then readers in list order) matches the sequential
+        // detector, so the first witness per granule is the same race.
+        let mut races: Vec<Race> = Vec::new();
+        let state = self.history.get_mut(acc.granule);
+        if acc.is_write {
+            if let Some(writer) = state.last_writer {
+                if !index.precedes_at_cached(cursor, writer, acc.strand, acc.pos) {
+                    races.push(Race {
+                        addr,
+                        prior_strand: writer,
+                        prior_kind: AccessKind::Write,
+                        current_strand: acc.strand,
+                        current_kind: AccessKind::Write,
+                    });
+                }
+            }
+            for &reader in &state.readers {
+                if !index.precedes_at_cached(cursor, reader, acc.strand, acc.pos) {
+                    races.push(Race {
+                        addr,
+                        prior_strand: reader,
+                        prior_kind: AccessKind::Read,
+                        current_strand: acc.strand,
+                        current_kind: AccessKind::Write,
+                    });
+                }
+            }
+            state.readers.clear();
+            state.last_writer = Some(acc.strand);
+        } else {
+            if let Some(writer) = state.last_writer {
+                if !index.precedes_at_cached(cursor, writer, acc.strand, acc.pos) {
+                    races.push(Race {
+                        addr,
+                        prior_strand: writer,
+                        prior_kind: AccessKind::Write,
+                        current_strand: acc.strand,
+                        current_kind: AccessKind::Read,
+                    });
+                }
+            }
+            // A strand appears once per write epoch, exactly as in the
+            // sequential detector.
+            if state.readers.last() != Some(&acc.strand) {
+                state.readers.push(acc.strand);
+            }
+        }
+        for race in races {
+            self.found(acc.pos, race);
+        }
+    }
+
+    /// Runs this partition's whole slice of the access stream.
+    pub(crate) fn run(&mut self, index: &ReachIndex, accesses: &[GranuleAccess]) {
+        let mut cursor = index.cursor();
+        for acc in accesses {
+            self.apply(index, &mut cursor, acc);
+        }
+    }
+}
+
+/// Splits the granule space into at most `parts` contiguous ranges of
+/// roughly equal access counts (balanced sharding: partition boundaries
+/// follow the access histogram, not the raw address span).
+pub(crate) fn partition_ranges(accesses: &[GranuleAccess], parts: usize) -> Vec<Range<u64>> {
+    let parts = parts.max(1);
+    if accesses.is_empty() {
+        return Vec::new();
+    }
+    if parts == 1 {
+        // No split point needed: one range covering the touched space.
+        let lo = accesses.iter().map(|a| a.granule).min().expect("non-empty");
+        let hi = accesses.iter().map(|a| a.granule).max().expect("non-empty");
+        return std::iter::once(lo..hi + 1).collect();
+    }
+    // Sort a granule array once instead of hash/tree counting: the split
+    // points are the granules at the access-count quantiles.
+    let mut granules: Vec<u64> = accesses.iter().map(|a| a.granule).collect();
+    granules.sort_unstable();
+    let lo = granules[0];
+    let hi = granules[granules.len() - 1] + 1;
+    let total = granules.len() as u64;
+    let target = total.div_ceil(parts as u64);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = lo;
+    let mut taken = 0u64; // accesses already assigned to closed ranges
+    let mut i = 0usize;
+    while i < granules.len() && ranges.len() + 1 < parts {
+        // Walk one whole granule run (a boundary cannot split a granule).
+        let granule = granules[i];
+        let mut j = i;
+        while j < granules.len() && granules[j] == granule {
+            j += 1;
+        }
+        if (j as u64 - taken) >= target {
+            ranges.push(start..granule + 1);
+            start = granule + 1;
+            taken = j as u64;
+        }
+        i = j;
+    }
+    if start < hi {
+        ranges.push(start..hi);
+    }
+    debug_assert!(ranges.len() <= parts);
+    debug_assert_eq!(ranges.first().map(|r| r.start), Some(lo));
+    debug_assert_eq!(ranges.last().map(|r| r.end), Some(hi));
+    ranges
+}
+
+/// Buckets the access stream by partition, preserving trace order within
+/// each bucket. Ranges must be sorted and disjoint (as produced by
+/// [`partition_ranges`]).
+pub(crate) fn bucket_accesses(
+    accesses: Vec<GranuleAccess>,
+    ranges: &[Range<u64>],
+) -> Vec<Vec<GranuleAccess>> {
+    if ranges.len() <= 1 {
+        return if ranges.is_empty() {
+            Vec::new()
+        } else {
+            vec![accesses]
+        };
+    }
+    let ends: Vec<u64> = ranges.iter().map(|r| r.end).collect();
+    let mut buckets: Vec<Vec<GranuleAccess>> = ranges.iter().map(|_| Vec::new()).collect();
+    for acc in accesses {
+        let idx = ends.partition_point(|&end| end <= acc.granule);
+        debug_assert!(ranges[idx].contains(&acc.granule));
+        buckets[idx].push(acc);
+    }
+    buckets
+}
+
+/// Merges per-partition results into one [`RaceReport`] byte-identical to
+/// what the sequential detector produced: witnesses are replayed into the
+/// report sorted by trace position (tie-broken by granule, the order a
+/// single wide access reports its granules in), and the observation total is
+/// restored afterwards.
+pub(crate) fn merge_reports(partitions: Vec<ShadowPartition>) -> RaceReport {
+    let total: u64 = partitions.iter().map(|p| p.observations).sum();
+    let mut all: Vec<(u32, Race)> = Vec::new();
+    for partition in partitions {
+        all.extend(partition.witnesses);
+    }
+    all.sort_by_key(|&(pos, race)| (pos, race.addr.granule()));
+    let mut report = RaceReport::default();
+    let mut recorded = 0u64;
+    for (_, race) in all {
+        report.record(race);
+        recorded += 1;
+    }
+    report.add_observations(total - recorded);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_dag::StrandId;
+
+    fn acc(granule: u64, pos: u32, strand: u32, is_write: bool) -> GranuleAccess {
+        GranuleAccess {
+            granule,
+            pos,
+            strand: StrandId(strand),
+            is_write,
+        }
+    }
+
+    #[test]
+    fn partitioning_balances_by_access_count() {
+        // Granule 10 is hot; the split should isolate it rather than halving
+        // the address span.
+        let mut accesses = Vec::new();
+        for pos in 0..90 {
+            accesses.push(acc(10, pos, 0, false));
+        }
+        for (i, pos) in (90..100).enumerate() {
+            accesses.push(acc(100 + i as u64, pos, 0, false));
+        }
+        let ranges = partition_ranges(&accesses, 2);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], 10..11);
+        assert_eq!(ranges[1], 11..110);
+    }
+
+    #[test]
+    fn partitioning_covers_the_space_contiguously() {
+        let accesses: Vec<_> = (0..64u64).map(|g| acc(g, g as u32, 0, false)).collect();
+        for parts in [1, 2, 3, 7, 64, 100] {
+            let ranges = partition_ranges(&accesses, parts);
+            assert!(!ranges.is_empty() && ranges.len() <= parts);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, 64);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap at {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_access_stream_yields_no_partitions() {
+        assert!(partition_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn buckets_preserve_trace_order() {
+        let accesses = vec![
+            acc(5, 0, 0, true),
+            acc(50, 1, 0, true),
+            acc(5, 2, 1, false),
+            acc(50, 3, 1, false),
+        ];
+        let ranges = vec![0..10, 10..60];
+        let buckets = bucket_accesses(accesses, &ranges);
+        assert_eq!(buckets[0].iter().map(|a| a.pos).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(buckets[1].iter().map(|a| a.pos).collect::<Vec<_>>(), [1, 3]);
+    }
+
+    #[test]
+    fn partition_tracks_first_witness_per_granule() {
+        let mut p = ShadowPartition::new(0..100);
+        assert!(p.owns(5) && !p.owns(100));
+        let race = Race {
+            addr: MemAddr(5 * MemAddr::GRANULARITY),
+            prior_strand: StrandId(1),
+            prior_kind: AccessKind::Write,
+            current_strand: StrandId(2),
+            current_kind: AccessKind::Read,
+        };
+        p.found(7, race);
+        p.found(9, race);
+        assert_eq!(p.observations(), 2);
+        assert_eq!(p.witnesses().len(), 1);
+        assert_eq!(p.witnesses()[0].0, 7);
+    }
+
+    #[test]
+    fn merge_restores_observation_totals() {
+        let mut a = ShadowPartition::new(0..10);
+        let mut b = ShadowPartition::new(10..20);
+        let race_a = Race {
+            addr: MemAddr(4),
+            prior_strand: StrandId(1),
+            prior_kind: AccessKind::Write,
+            current_strand: StrandId(2),
+            current_kind: AccessKind::Read,
+        };
+        let race_b = Race {
+            addr: MemAddr(15 * MemAddr::GRANULARITY),
+            prior_strand: StrandId(3),
+            prior_kind: AccessKind::Read,
+            current_strand: StrandId(4),
+            current_kind: AccessKind::Write,
+        };
+        b.found(2, race_b);
+        a.found(5, race_a);
+        a.found(6, race_a);
+        let report = merge_reports(vec![a, b]);
+        assert_eq!(report.race_count(), 2);
+        assert_eq!(report.total_observations(), 3);
+        // Sorted by position: the partition-b race comes first.
+        assert_eq!(report.witnesses()[0], race_b);
+        assert_eq!(report.witnesses()[1], race_a);
+    }
+}

@@ -54,7 +54,12 @@ impl std::fmt::Display for Race {
 /// witness pair per granule) rather than every racing pair — full
 /// enumeration can be quadratic. The total number of racy pairs observed is
 /// still counted.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Two reports compare equal ([`PartialEq`]) when they hold the same
+/// witnesses in the same order, the same racy-granule set, the same
+/// observation total and the same configuration — the equality the parallel
+/// engine's determinism tests assert against sequential replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RaceReport {
     races: Vec<Race>,
     racy_granules: HashSet<u64>,
@@ -62,6 +67,10 @@ pub struct RaceReport {
     total_observations: u64,
     /// Maximum number of distinct witnesses kept.
     max_witnesses: usize,
+    /// True when the producing detector is known to be approximate on the
+    /// replayed program class (e.g. the conservative SP-Bags fallback on
+    /// futures traces): the verdict may both miss and invent races.
+    may_overapproximate: bool,
 }
 
 impl Default for RaceReport {
@@ -79,6 +88,7 @@ impl RaceReport {
             racy_granules: HashSet::new(),
             total_observations: 0,
             max_witnesses,
+            may_overapproximate: false,
         }
     }
 
@@ -124,9 +134,37 @@ impl RaceReport {
         self.racy_granules.contains(&addr.granule())
     }
 
+    /// Iterates over every racy granule index (not just the ones with a kept
+    /// witness), in arbitrary order.
+    pub fn racy_granules(&self) -> impl Iterator<Item = u64> + '_ {
+        self.racy_granules.iter().copied()
+    }
+
+    /// Marks the report as produced by a detector that is approximate for
+    /// the replayed program class (see [`RaceReport::is_approximate`]).
+    pub fn mark_approximate(&mut self) {
+        self.may_overapproximate = true;
+    }
+
+    /// True if the verdict may be approximate: the producing detector was
+    /// run outside its sound program class (e.g. the conservative SP-Bags
+    /// fallback on a futures trace), so races may be both missed and
+    /// spuriously reported.
+    pub fn is_approximate(&self) -> bool {
+        self.may_overapproximate
+    }
+
+    /// Adds `n` racing-pair observations without new witnesses — used by the
+    /// parallel engine's merge to restore the per-granule duplicate counts
+    /// its partitions observed.
+    pub(crate) fn add_observations(&mut self, n: u64) {
+        self.total_observations += n;
+    }
+
     /// Merges another report into this one.
     pub fn merge(&mut self, other: &RaceReport) {
         self.total_observations += other.total_observations;
+        self.may_overapproximate |= other.may_overapproximate;
         for race in &other.races {
             let granule = race.addr.granule();
             if self.racy_granules.insert(granule) && self.races.len() < self.max_witnesses {
@@ -141,12 +179,17 @@ impl RaceReport {
 
 impl std::fmt::Display for RaceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let qualifier = if self.may_overapproximate {
+            " (approximate verdict)"
+        } else {
+            ""
+        };
         if self.is_race_free() {
-            return write!(f, "no determinacy races detected");
+            return write!(f, "no determinacy races detected{qualifier}");
         }
         writeln!(
             f,
-            "{} racy location(s), {} racing pair(s) observed:",
+            "{} racy location(s), {} racing pair(s) observed{qualifier}:",
             self.race_count(),
             self.total_observations
         )?;

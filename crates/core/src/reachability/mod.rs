@@ -23,7 +23,7 @@ pub use multibags::MultiBags;
 pub use multibags_plus::MultiBagsPlus;
 pub use oracle::GraphOracle;
 pub use rgraph::{RGraph, RNodeId};
-pub use spbags::SpBags;
+pub use spbags::{SpBags, SpBagsConservative};
 
 use crate::stats::ReachStats;
 use futurerd_dag::{Observer, StrandId};

@@ -68,6 +68,27 @@ impl SpBags {
         let elem = self.elem(strand);
         matches!(*self.bags.tag(elem), SpBag::S(_))
     }
+
+    /// Records that `child` is a child function of `parent` (needed when the
+    /// child returns, to move its S-bag into the parent's P-bag).
+    fn note_child(&mut self, parent: FunctionId, child: FunctionId) {
+        if self.parent_of.len() <= child.index() {
+            self.parent_of.resize(child.index() + 1, None);
+        }
+        self.parent_of[child.index()] = Some(parent);
+    }
+
+    /// The `sync` transition: S_F = S_F ∪ P_F; P_F = ∅.
+    fn sync_parent(&mut self, parent: FunctionId) {
+        let bags = self.bags_of(parent);
+        let (s_member, p_member) = (bags.s_member, bags.p_member);
+        if let (Some(s), Some(p)) = (s_member, p_member) {
+            let s_elem = self.elem(s);
+            let p_elem = self.elem(p);
+            self.bags.union_into(s_elem, p_elem);
+        }
+        self.bags_of(parent).p_member = None;
+    }
 }
 
 impl Observer for SpBags {
@@ -90,10 +111,7 @@ impl Observer for SpBags {
 
     fn on_spawn(&mut self, ev: &futurerd_dag::events::SpawnEvent) {
         // Record the parent so the child's return can move its S-bag.
-        if self.parent_of.len() <= ev.child.index() {
-            self.parent_of.resize(ev.child.index() + 1, None);
-        }
-        self.parent_of[ev.child.index()] = Some(ev.parent);
+        self.note_child(ev.parent, ev.child);
     }
 
     fn on_return(&mut self, function: FunctionId, _last: StrandId) {
@@ -122,14 +140,7 @@ impl Observer for SpBags {
 
     fn on_sync(&mut self, ev: &SyncEvent) {
         // SP-Bags: S_F = S_F ∪ P_F; P_F = ∅.
-        let bags = self.bags_of(ev.parent);
-        let (s_member, p_member) = (bags.s_member, bags.p_member);
-        if let (Some(s), Some(p)) = (s_member, p_member) {
-            let s_elem = self.elem(s);
-            let p_elem = self.elem(p);
-            self.bags.union_into(s_elem, p_elem);
-        }
-        self.bags_of(ev.parent).p_member = None;
+        self.sync_parent(ev.parent);
     }
 
     fn on_create_future(&mut self, _ev: &CreateFutureEvent) {
@@ -162,6 +173,81 @@ impl Reachability for SpBags {
         };
         s.absorb_dsu(self.bags.counters());
         s
+    }
+}
+
+/// SP-Bags with a *conservative futures fallback*: `create_fut` is treated
+/// like `spawn` and `get_fut` like `sync`, so the classical fork-join
+/// algorithm can consume any canonical trace instead of aborting on future
+/// constructs.
+///
+/// This is deliberately wrong on futures — a `get` joins the getter with
+/// *every* returned-but-unjoined child of the getting function, not just the
+/// touched future, and non-SP reachability through future handles is
+/// invisible to the bags — so on futures-bearing streams the verdict may
+/// both miss real races and report spurious ones. Its purpose is to let the
+/// differential driver *quantify* that error against the ground-truth
+/// oracle (motivating the paper's algorithms); reports produced from
+/// futures traces are marked
+/// [approximate](crate::races::RaceReport::is_approximate). On pure
+/// fork-join streams it behaves exactly like [`SpBags`].
+#[derive(Debug, Default)]
+pub struct SpBagsConservative {
+    inner: SpBags,
+}
+
+impl SpBagsConservative {
+    /// Creates the conservative fallback structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for SpBagsConservative {
+    fn on_program_start(&mut self, root: FunctionId, first: StrandId) {
+        self.inner.on_program_start(root, first);
+    }
+    fn on_strand_start(&mut self, strand: StrandId, function: FunctionId) {
+        self.inner.on_strand_start(strand, function);
+    }
+    fn on_spawn(&mut self, ev: &futurerd_dag::events::SpawnEvent) {
+        self.inner.on_spawn(ev);
+    }
+    fn on_create_future(&mut self, ev: &CreateFutureEvent) {
+        // Conservative: a created future is just a spawned child.
+        self.inner.note_child(ev.parent, ev.child);
+    }
+    fn on_return(&mut self, function: FunctionId, last: StrandId) {
+        self.inner.on_return(function, last);
+    }
+    fn on_sync(&mut self, ev: &SyncEvent) {
+        self.inner.on_sync(ev);
+    }
+    fn on_get_future(&mut self, ev: &GetFutureEvent) {
+        // Conservative: a get joins the getting function with its whole
+        // P-bag, as a sync would.
+        self.inner.sync_parent(ev.parent);
+    }
+    fn on_program_end(&mut self, last: StrandId) {
+        self.inner.on_program_end(last);
+    }
+}
+
+impl Reachability for SpBagsConservative {
+    fn precedes_current(&mut self, u: StrandId) -> bool {
+        self.inner.precedes_current(u)
+    }
+
+    fn current_strand(&self) -> StrandId {
+        self.inner.current_strand()
+    }
+
+    fn name(&self) -> &'static str {
+        "sp-bags-cons"
+    }
+
+    fn stats(&self) -> ReachStats {
+        self.inner.stats()
     }
 }
 
@@ -255,5 +341,67 @@ mod tests {
             cont_strand: StrandId(2),
             child_first_strand: StrandId(1),
         });
+    }
+
+    #[test]
+    fn conservative_fallback_treats_create_get_as_spawn_sync() {
+        // root creates a future, continues (parallel), then gets it — the
+        // conservative structure must survive the stream and order the
+        // future's strand before the getter.
+        let mut sp = SpBagsConservative::new();
+        sp.on_program_start(FunctionId(0), StrandId(0));
+        sp.on_strand_start(StrandId(0), FunctionId(0));
+        sp.on_create_future(&CreateFutureEvent {
+            parent: FunctionId(0),
+            child: FunctionId(1),
+            creator_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        });
+        sp.on_strand_start(StrandId(1), FunctionId(1));
+        sp.on_return(FunctionId(1), StrandId(1));
+        sp.on_strand_start(StrandId(2), FunctionId(0));
+        // Parallel with the continuation, as with a spawned child.
+        assert!(!sp.precedes_current(StrandId(1)));
+        sp.on_get_future(&GetFutureEvent {
+            parent: FunctionId(0),
+            future: FunctionId(1),
+            pre_get_strand: StrandId(2),
+            getter_strand: StrandId(3),
+            future_last_strand: StrandId(1),
+            prior_touches: 0,
+        });
+        sp.on_strand_start(StrandId(3), FunctionId(0));
+        assert!(sp.precedes_current(StrandId(1)));
+        assert_eq!(sp.name(), "sp-bags-cons");
+        assert!(sp.stats().queries >= 2);
+    }
+
+    #[test]
+    fn conservative_fallback_survives_multi_touch_gets() {
+        let mut sp = SpBagsConservative::new();
+        sp.on_strand_start(StrandId(0), FunctionId(0));
+        sp.on_create_future(&CreateFutureEvent {
+            parent: FunctionId(0),
+            child: FunctionId(1),
+            creator_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        });
+        sp.on_strand_start(StrandId(1), FunctionId(1));
+        sp.on_return(FunctionId(1), StrandId(1));
+        sp.on_strand_start(StrandId(2), FunctionId(0));
+        for (touch, pre, getter) in [(0u32, 2u32, 3u32), (1, 3, 4)] {
+            sp.on_get_future(&GetFutureEvent {
+                parent: FunctionId(0),
+                future: FunctionId(1),
+                pre_get_strand: StrandId(pre),
+                getter_strand: StrandId(getter),
+                future_last_strand: StrandId(1),
+                prior_touches: touch,
+            });
+            sp.on_strand_start(StrandId(getter), FunctionId(0));
+        }
+        assert!(sp.precedes_current(StrandId(1)));
     }
 }

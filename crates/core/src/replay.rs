@@ -15,7 +15,7 @@
 
 use crate::detector::RaceDetector;
 use crate::races::RaceReport;
-use crate::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use crate::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags, SpBagsConservative};
 use futurerd_dag::trace::{Trace, TraceError};
 use futurerd_dag::Observer;
 
@@ -28,6 +28,12 @@ pub enum ReplayAlgorithm {
     MultiBagsPlus,
     /// The SP-Bags baseline — sound for pure fork-join streams only.
     SpBags,
+    /// SP-Bags with the conservative futures fallback: `create_fut` is
+    /// treated as `spawn` and `get_fut` as `sync`, so it runs on any stream
+    /// but its verdict on futures traces is approximate (the report is
+    /// [marked](RaceReport::is_approximate)). Lets [`differential`] quantify
+    /// the fork-join baseline's error on futures programs.
+    SpBagsConservative,
     /// The ground-truth transitive-closure oracle — sound for everything,
     /// quadratic space.
     GraphOracle,
@@ -35,10 +41,11 @@ pub enum ReplayAlgorithm {
 
 impl ReplayAlgorithm {
     /// Every algorithm, in comparison order.
-    pub const ALL: [ReplayAlgorithm; 4] = [
+    pub const ALL: [ReplayAlgorithm; 5] = [
         ReplayAlgorithm::MultiBags,
         ReplayAlgorithm::MultiBagsPlus,
         ReplayAlgorithm::SpBags,
+        ReplayAlgorithm::SpBagsConservative,
         ReplayAlgorithm::GraphOracle,
     ];
 
@@ -48,6 +55,7 @@ impl ReplayAlgorithm {
             ReplayAlgorithm::MultiBags => "multibags",
             ReplayAlgorithm::MultiBagsPlus => "multibags+",
             ReplayAlgorithm::SpBags => "spbags",
+            ReplayAlgorithm::SpBagsConservative => "spbags-cons",
             ReplayAlgorithm::GraphOracle => "oracle",
         }
     }
@@ -58,31 +66,43 @@ impl ReplayAlgorithm {
             "multibags" | "mb" => ReplayAlgorithm::MultiBags,
             "multibags+" | "mbp" | "multibagsplus" => ReplayAlgorithm::MultiBagsPlus,
             "spbags" | "sp" => ReplayAlgorithm::SpBags,
+            "spbags-cons" | "spc" | "spbagsconservative" => ReplayAlgorithm::SpBagsConservative,
             "oracle" | "graph" => ReplayAlgorithm::GraphOracle,
             _ => return None,
         })
     }
 
     /// True if the algorithm's race verdict is trustworthy for this trace.
-    /// Unsound-but-runnable combinations (MultiBags on a multi-touch trace)
-    /// still replay, but may report false positives, so [`differential`]
-    /// excludes them from agreement checks.
+    /// Unsound-but-runnable combinations (MultiBags on a multi-touch trace,
+    /// conservative SP-Bags on any futures trace) still replay, but may
+    /// report false positives, so [`differential`] excludes them from
+    /// agreement checks and quantifies their error instead.
     pub fn sound_for(self, trace: &Trace) -> bool {
         match self {
             ReplayAlgorithm::MultiBags => trace.is_single_touch(),
             ReplayAlgorithm::MultiBagsPlus | ReplayAlgorithm::GraphOracle => true,
-            ReplayAlgorithm::SpBags => !trace.has_futures(),
+            ReplayAlgorithm::SpBags | ReplayAlgorithm::SpBagsConservative => !trace.has_futures(),
         }
     }
 
     /// True if the algorithm can consume this trace at all. SP-Bags aborts
     /// on future constructs (it has no transition for them); everything else
-    /// accepts any canonical stream.
+    /// — including its conservative fallback — accepts any canonical stream.
     pub fn runnable_for(self, trace: &Trace) -> bool {
         match self {
             ReplayAlgorithm::SpBags => !trace.has_futures(),
             _ => true,
         }
+    }
+
+    /// True if the algorithm has a frozen reachability form, i.e.
+    /// [`par_replay_detect`](crate::parallel::par_replay_detect) actually
+    /// shards its detection instead of falling back to sequential replay.
+    pub fn freezable(self) -> bool {
+        matches!(
+            self,
+            ReplayAlgorithm::MultiBags | ReplayAlgorithm::MultiBagsPlus
+        )
     }
 }
 
@@ -119,6 +139,17 @@ pub fn replay_detect_unchecked(trace: &Trace, algorithm: ReplayAlgorithm) -> Rac
             .replay(RaceDetector::<MultiBagsPlus>::general())
             .into_report(),
         ReplayAlgorithm::SpBags => trace.replay(RaceDetector::new(SpBags::new())).into_report(),
+        ReplayAlgorithm::SpBagsConservative => {
+            let mut report = trace
+                .replay(RaceDetector::new(SpBagsConservative::new()))
+                .into_report();
+            if trace.has_futures() {
+                // Futures were folded into fork-join constructs: the verdict
+                // is approximate by construction.
+                report.mark_approximate();
+            }
+            report
+        }
         ReplayAlgorithm::GraphOracle => trace
             .replay(RaceDetector::new(GraphOracle::new()))
             .into_report(),
@@ -152,14 +183,71 @@ pub fn replay_all(trace: &Trace) -> Result<Vec<ReplayVerdict>, TraceError> {
         .collect())
 }
 
+/// How far an unsound-but-runnable algorithm's verdict strayed from the
+/// ground-truth oracle on one trace — the quantified error of a baseline
+/// run outside its sound program class (e.g. conservative SP-Bags on a
+/// futures trace).
+#[derive(Debug, Clone, Copy)]
+pub struct ApproximationError {
+    /// The approximate algorithm.
+    pub algorithm: ReplayAlgorithm,
+    /// Racy granules the oracle found that the algorithm missed (false
+    /// negatives).
+    pub missed: usize,
+    /// Granules the algorithm reported racy that the oracle did not (false
+    /// positives).
+    pub spurious: usize,
+}
+
+impl ApproximationError {
+    /// Measures an approximate `report` against the ground-truth `oracle`
+    /// report: how many racy granules it missed and how many it invented.
+    pub fn measure(
+        algorithm: ReplayAlgorithm,
+        report: &RaceReport,
+        oracle: &RaceReport,
+    ) -> ApproximationError {
+        let addr_of = |g: u64| futurerd_dag::MemAddr(g * futurerd_dag::MemAddr::GRANULARITY);
+        ApproximationError {
+            algorithm,
+            missed: oracle
+                .racy_granules()
+                .filter(|&g| !report.is_racy(addr_of(g)))
+                .count(),
+            spurious: report
+                .racy_granules()
+                .filter(|&g| !oracle.is_racy(addr_of(g)))
+                .count(),
+        }
+    }
+
+    /// True if the approximate verdict happened to match the oracle exactly.
+    pub fn is_exact(&self) -> bool {
+        self.missed == 0 && self.spurious == 0
+    }
+}
+
+impl std::fmt::Display for ApproximationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} racy granule(s) missed, {} spurious",
+            self.algorithm, self.missed, self.spurious
+        )
+    }
+}
+
 /// The outcome of the differential replay driver.
 #[derive(Debug)]
 pub struct DifferentialOutcome {
-    /// Per-algorithm verdicts (all four, soundness flagged).
+    /// Per-algorithm verdicts (every runnable algorithm, soundness flagged).
     pub verdicts: Vec<ReplayVerdict>,
     /// Human-readable descriptions of every disagreement between a sound
     /// algorithm and the ground-truth oracle.
     pub disagreements: Vec<String>,
+    /// Quantified error of each unsound-but-runnable verdict against the
+    /// oracle — how wrong the fork-join baseline is on futures programs.
+    pub approximations: Vec<ApproximationError>,
 }
 
 impl DifferentialOutcome {
@@ -189,8 +277,18 @@ pub fn differential(trace: &Trace) -> Result<DifferentialOutcome, TraceError> {
         .expect("oracle is in ALL")
         .report;
     let mut disagreements = Vec::new();
+    let mut approximations = Vec::new();
     for verdict in &verdicts {
-        if !verdict.sound || verdict.algorithm == ReplayAlgorithm::GraphOracle {
+        if verdict.algorithm == ReplayAlgorithm::GraphOracle {
+            continue;
+        }
+        if !verdict.sound {
+            // Not held to agreement — measure how wrong it was instead.
+            approximations.push(ApproximationError::measure(
+                verdict.algorithm,
+                &verdict.report,
+                oracle,
+            ));
             continue;
         }
         if verdict.report.race_count() != oracle.race_count() {
@@ -214,13 +312,16 @@ pub fn differential(trace: &Trace) -> Result<DifferentialOutcome, TraceError> {
     Ok(DifferentialOutcome {
         verdicts,
         disagreements,
+        approximations,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use futurerd_dag::events::{ForkInfo, SpawnEvent, SyncEvent};
+    use futurerd_dag::events::{
+        CreateFutureEvent, ForkInfo, GetFutureEvent, SpawnEvent, SyncEvent,
+    };
     use futurerd_dag::trace::TraceEvent;
     use futurerd_dag::{FunctionId, MemAddr, StrandId};
 
@@ -321,6 +422,133 @@ mod tests {
         assert!(replay_detect(&trace, ReplayAlgorithm::GraphOracle).is_err());
         assert!(replay_all(&trace).is_err());
         assert!(differential(&trace).is_err());
+    }
+
+    /// root spawns a child that writes `x`, then creates and gets an
+    /// unrelated future, then reads `x` *before* syncing the child. The
+    /// conservative SP-Bags fallback treats the `get` as a `sync`, falsely
+    /// joining the child — so it misses the real race on `x`.
+    fn cons_miss_trace() -> Trace {
+        let (f0, f1, f2) = (FunctionId(0), FunctionId(1), FunctionId(2));
+        let x = MemAddr(0x1000);
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root: f0,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: f0,
+        });
+        t.push(TraceEvent::Spawn(SpawnEvent {
+            parent: f0,
+            child: f1,
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: f1,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: f1,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: f0,
+        });
+        t.push(TraceEvent::CreateFuture(CreateFutureEvent {
+            parent: f0,
+            child: f2,
+            creator_strand: StrandId(2),
+            cont_strand: StrandId(4),
+            child_first_strand: StrandId(3),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(3),
+            function: f2,
+        });
+        t.push(TraceEvent::Return {
+            function: f2,
+            last: StrandId(3),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(4),
+            function: f0,
+        });
+        t.push(TraceEvent::GetFuture(GetFutureEvent {
+            parent: f0,
+            future: f2,
+            pre_get_strand: StrandId(4),
+            getter_strand: StrandId(5),
+            future_last_strand: StrandId(3),
+            prior_touches: 0,
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(5),
+            function: f0,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(5),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Sync(SyncEvent {
+            parent: f0,
+            child: f1,
+            pre_join_strand: StrandId(5),
+            join_strand: StrandId(6),
+            child_last_strand: StrandId(1),
+            fork: ForkInfo {
+                pre_fork_strand: StrandId(0),
+                child_first_strand: StrandId(1),
+                cont_strand: StrandId(2),
+            },
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(6),
+            function: f0,
+        });
+        t.push(TraceEvent::Return {
+            function: f0,
+            last: StrandId(6),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(6) });
+        t
+    }
+
+    #[test]
+    fn differential_quantifies_the_conservative_baseline_error() {
+        let trace = cons_miss_trace();
+        // The exact detectors all see the race; the conservative fallback
+        // misses it (it believes the get joined the spawned child).
+        assert_eq!(
+            replay_detect(&trace, ReplayAlgorithm::GraphOracle)
+                .unwrap()
+                .race_count(),
+            1
+        );
+        let cons = replay_detect(&trace, ReplayAlgorithm::SpBagsConservative).unwrap();
+        assert_eq!(cons.race_count(), 0);
+        assert!(cons.is_approximate());
+        let outcome = differential(&trace).expect("valid trace");
+        assert!(outcome.agreed(), "{:?}", outcome.disagreements);
+        let err = outcome
+            .approximations
+            .iter()
+            .find(|a| a.algorithm == ReplayAlgorithm::SpBagsConservative)
+            .expect("conservative fallback is unsound on futures traces");
+        assert_eq!(err.missed, 1);
+        assert_eq!(err.spurious, 0);
+        assert!(!err.is_exact());
+        assert!(err.to_string().contains("missed"));
     }
 
     #[test]

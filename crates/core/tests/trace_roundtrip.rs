@@ -5,7 +5,9 @@
 //! in-process — for every reachability algorithm.
 
 use futurerd_core::detector::RaceDetector;
-use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use futurerd_core::reachability::{
+    GraphOracle, MultiBags, MultiBagsPlus, SpBags, SpBagsConservative,
+};
 use futurerd_core::replay::{differential, replay_detect_unchecked, ReplayAlgorithm};
 use futurerd_core::RaceReport;
 use futurerd_dag::genprog::{generate_program, GenConfig, ProgramSpec};
@@ -28,6 +30,11 @@ fn detect_direct(spec: &ProgramSpec, algorithm: ReplayAlgorithm) -> RaceReport {
         ReplayAlgorithm::SpBags => run_spec(spec, RaceDetector::new(SpBags::new()))
             .0
             .into_report(),
+        ReplayAlgorithm::SpBagsConservative => {
+            run_spec(spec, RaceDetector::new(SpBagsConservative::new()))
+                .0
+                .into_report()
+        }
         ReplayAlgorithm::GraphOracle => run_spec(spec, RaceDetector::new(GraphOracle::new()))
             .0
             .into_report(),

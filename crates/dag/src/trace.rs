@@ -37,6 +37,15 @@
 //! real traces — cost a handful of bytes each. The event types also carry
 //! `serde` derives (via the vendored shim) so that swapping in the real
 //! `serde` for JSON export stays a manifest-only change.
+//!
+//! Version 2 (the current writer format) additionally **delta-encodes the
+//! access events**: the strand id and the byte address of each `Read`/`Write`
+//! are stored as zigzag varint deltas against the previous access. Accesses
+//! are overwhelmingly same-strand (delta 0 → one byte) at near-sequential
+//! addresses (delta ±granule → one byte), so dense access runs shrink from
+//! ~4–6 bytes to ~3 per event. Version 1 streams — absolute fields
+//! everywhere — remain fully readable; [`Trace::write_to_versioned`] still
+//! writes them for compatibility checks and size comparisons.
 
 use crate::events::{CreateFutureEvent, ForkInfo, GetFutureEvent, Observer, SpawnEvent, SyncEvent};
 use crate::ids::{FunctionId, MemAddr, StrandId};
@@ -47,8 +56,11 @@ use std::path::Path;
 
 /// Magic bytes identifying a trace file.
 pub const TRACE_MAGIC: [u8; 8] = *b"FRDTRACE";
-/// Current format version.
-pub const TRACE_VERSION: u32 = 1;
+/// Current format version (delta-encoded access events).
+pub const TRACE_VERSION: u32 = 2;
+/// The original format version (absolute fields everywhere); still readable
+/// and writable via [`Trace::write_to_versioned`].
+pub const TRACE_VERSION_V1: u32 = 1;
 
 /// One event of the serialized execution stream — the persistent counterpart
 /// of one [`Observer`] callback.
@@ -320,18 +332,35 @@ impl Trace {
         }
     }
 
-    /// Serializes the trace to `writer` in the binary format.
+    /// Serializes the trace to `writer` in the current binary format
+    /// ([`TRACE_VERSION`]).
     pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), TraceError> {
+        self.write_to_versioned(writer, TRACE_VERSION)
+    }
+
+    /// Serializes the trace in an explicit format version — the current
+    /// delta-encoded v2 or the legacy absolute-field v1 (for compatibility
+    /// tests and size comparisons). Unknown versions are rejected with
+    /// [`TraceError::UnsupportedVersion`].
+    pub fn write_to_versioned<W: Write>(
+        &self,
+        writer: &mut W,
+        version: u32,
+    ) -> Result<(), TraceError> {
+        if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
         writer.write_all(&TRACE_MAGIC)?;
-        writer.write_all(&TRACE_VERSION.to_le_bytes())?;
+        writer.write_all(&version.to_le_bytes())?;
         write_varint(writer, self.events.len() as u64)?;
+        let mut codec = Codec::new(version);
         for event in &self.events {
-            encode_event(writer, event)?;
+            encode_event(writer, event, &mut codec)?;
         }
         Ok(())
     }
 
-    /// Deserializes a trace from `reader`.
+    /// Deserializes a trace from `reader` (any supported format version).
     pub fn read_from<R: Read>(reader: &mut R) -> Result<Self, TraceError> {
         let mut magic = [0u8; 8];
         read_exact_or_truncated(reader, &mut magic)?;
@@ -341,13 +370,14 @@ impl Trace {
         let mut version = [0u8; 4];
         read_exact_or_truncated(reader, &mut version)?;
         let version = u32::from_le_bytes(version);
-        if version != TRACE_VERSION {
+        if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let count = read_varint(reader)?;
         let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+        let mut codec = Codec::new(version);
         for _ in 0..count {
-            events.push(decode_event(reader)?);
+            events.push(decode_event(reader, &mut codec)?);
         }
         // A trace is the whole input: bytes past the declared event count
         // mean corruption (torn write, concatenation), not extra events.
@@ -359,12 +389,20 @@ impl Trace {
         }
     }
 
-    /// Serializes the trace to an in-memory buffer.
+    /// Serializes the trace to an in-memory buffer (current format version).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.write_to(&mut buf)
             .expect("writing to a Vec cannot fail");
         buf
+    }
+
+    /// Serializes the trace to an in-memory buffer in an explicit format
+    /// version (see [`Trace::write_to_versioned`]).
+    pub fn to_bytes_versioned(&self, version: u32) -> Result<Vec<u8>, TraceError> {
+        let mut buf = Vec::new();
+        self.write_to_versioned(&mut buf, version)?;
+        Ok(buf)
     }
 
     /// Deserializes a trace from an in-memory buffer.
@@ -396,6 +434,78 @@ impl Trace {
 // ---------------------------------------------------------------------------
 // Binary codec
 // ---------------------------------------------------------------------------
+
+/// Shared encode/decode state for the delta fields of v2 streams: the
+/// previous access's strand id and byte address (both start at 0). In v1
+/// mode the codec is stateless and fields are absolute.
+#[derive(Debug)]
+struct Codec {
+    delta: bool,
+    prev_strand: u32,
+    prev_addr: u64,
+}
+
+impl Codec {
+    fn new(version: u32) -> Self {
+        Self {
+            delta: version >= 2,
+            prev_strand: 0,
+            prev_addr: 0,
+        }
+    }
+
+    fn encode_access_fields<W: Write>(
+        &mut self,
+        w: &mut W,
+        strand: StrandId,
+        addr: MemAddr,
+    ) -> Result<(), TraceError> {
+        if self.delta {
+            // Wrapping deltas round-trip every value without overflow
+            // handling; zigzag keeps small negative deltas small.
+            let strand_delta = strand.0.wrapping_sub(self.prev_strand) as i32;
+            let addr_delta = addr.0.wrapping_sub(self.prev_addr) as i64;
+            write_varint(w, zigzag64(i64::from(strand_delta)))?;
+            write_varint(w, zigzag64(addr_delta))?;
+            self.prev_strand = strand.0;
+            self.prev_addr = addr.0;
+        } else {
+            write_varint(w, strand.0.into())?;
+            write_varint(w, addr.0)?;
+        }
+        Ok(())
+    }
+
+    fn decode_access_fields<R: Read>(
+        &mut self,
+        r: &mut R,
+    ) -> Result<(StrandId, MemAddr), TraceError> {
+        if self.delta {
+            let strand_delta = unzigzag64(read_varint(r)?);
+            let strand_delta =
+                i32::try_from(strand_delta).map_err(|_| TraceError::FieldOverflow)?;
+            let addr_delta = unzigzag64(read_varint(r)?);
+            let strand = self.prev_strand.wrapping_add(strand_delta as u32);
+            let addr = self.prev_addr.wrapping_add(addr_delta as u64);
+            self.prev_strand = strand;
+            self.prev_addr = addr;
+            Ok((StrandId(strand), MemAddr(addr)))
+        } else {
+            Ok((StrandId(read_u32(r)?), MemAddr(read_varint(r)?)))
+        }
+    }
+}
+
+#[inline]
+fn zigzag64(v: i64) -> u64 {
+    // Shift in u64 space so extreme deltas cannot overflow the signed shift.
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+#[inline]
+fn unzigzag64(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
 
 const OP_PROGRAM_START: u8 = 0;
 const OP_STRAND_START: u8 = 1;
@@ -455,7 +565,11 @@ fn read_u32<R: Read>(r: &mut R) -> Result<u32, TraceError> {
     u32::try_from(read_varint(r)?).map_err(|_| TraceError::FieldOverflow)
 }
 
-fn encode_event<W: Write>(w: &mut W, event: &TraceEvent) -> Result<(), TraceError> {
+fn encode_event<W: Write>(
+    w: &mut W,
+    event: &TraceEvent,
+    codec: &mut Codec,
+) -> Result<(), TraceError> {
     match event {
         TraceEvent::ProgramStart { root, first } => {
             w.write_all(&[OP_PROGRAM_START])?;
@@ -526,14 +640,12 @@ fn encode_event<W: Write>(w: &mut W, event: &TraceEvent) -> Result<(), TraceErro
         }
         TraceEvent::Read { strand, addr, size } => {
             w.write_all(&[OP_READ])?;
-            write_varint(w, strand.0.into())?;
-            write_varint(w, addr.0)?;
+            codec.encode_access_fields(w, *strand, *addr)?;
             write_varint(w, (*size).into())?;
         }
         TraceEvent::Write { strand, addr, size } => {
             w.write_all(&[OP_WRITE])?;
-            write_varint(w, strand.0.into())?;
-            write_varint(w, addr.0)?;
+            codec.encode_access_fields(w, *strand, *addr)?;
             write_varint(w, (*size).into())?;
         }
         TraceEvent::ProgramEnd { last } => {
@@ -544,7 +656,7 @@ fn encode_event<W: Write>(w: &mut W, event: &TraceEvent) -> Result<(), TraceErro
     Ok(())
 }
 
-fn decode_event<R: Read>(r: &mut R) -> Result<TraceEvent, TraceError> {
+fn decode_event<R: Read>(r: &mut R, codec: &mut Codec) -> Result<TraceEvent, TraceError> {
     let mut op = [0u8; 1];
     read_exact_or_truncated(r, &mut op)?;
     Ok(match op[0] {
@@ -594,16 +706,22 @@ fn decode_event<R: Read>(r: &mut R) -> Result<TraceEvent, TraceError> {
             future_last_strand: StrandId(read_u32(r)?),
             prior_touches: read_u32(r)?,
         }),
-        OP_READ => TraceEvent::Read {
-            strand: StrandId(read_u32(r)?),
-            addr: MemAddr(read_varint(r)?),
-            size: read_u32(r)?,
-        },
-        OP_WRITE => TraceEvent::Write {
-            strand: StrandId(read_u32(r)?),
-            addr: MemAddr(read_varint(r)?),
-            size: read_u32(r)?,
-        },
+        OP_READ => {
+            let (strand, addr) = codec.decode_access_fields(r)?;
+            TraceEvent::Read {
+                strand,
+                addr,
+                size: read_u32(r)?,
+            }
+        }
+        OP_WRITE => {
+            let (strand, addr) = codec.decode_access_fields(r)?;
+            TraceEvent::Write {
+                strand,
+                addr,
+                size: read_u32(r)?,
+            }
+        }
         OP_PROGRAM_END => TraceEvent::ProgramEnd {
             last: StrandId(read_u32(r)?),
         },
@@ -1086,6 +1204,88 @@ mod tests {
         let bytes = t.to_bytes();
         let back = Trace::from_bytes(&bytes).expect("decodes");
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn v1_streams_remain_readable_and_equivalent() {
+        let t = fork_join_trace();
+        let v1 = t.to_bytes_versioned(TRACE_VERSION_V1).expect("v1 encodes");
+        let v2 = t.to_bytes_versioned(TRACE_VERSION).expect("v2 encodes");
+        assert_eq!(v2, t.to_bytes(), "write_to defaults to the v2 format");
+        assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
+        assert_ne!(v1, v2, "the delta encoding changes the byte stream");
+        assert_eq!(Trace::from_bytes(&v1).expect("v1 decodes"), t);
+        assert_eq!(Trace::from_bytes(&v2).expect("v2 decodes"), t);
+    }
+
+    #[test]
+    fn writer_rejects_unknown_versions() {
+        let t = fork_join_trace();
+        assert!(matches!(
+            t.to_bytes_versioned(3),
+            Err(TraceError::UnsupportedVersion(3))
+        ));
+    }
+
+    #[test]
+    fn delta_codec_round_trips_extreme_fields() {
+        // Hand-built access runs with wild strand/address jumps (not a
+        // canonical trace — the codec must round-trip regardless).
+        let mut t = Trace::new();
+        let patterns = [
+            (0u32, 0u64),
+            (u32::MAX, u64::MAX),
+            (1, 0),
+            (u32::MAX - 1, 1 << 63),
+            (7, 0x1000),
+            (7, 0x1004),
+            (7, 0x0ffc),
+        ];
+        for (i, &(strand, addr)) in patterns.iter().enumerate() {
+            let event = if i % 2 == 0 {
+                TraceEvent::Read {
+                    strand: StrandId(strand),
+                    addr: MemAddr(addr),
+                    size: 4,
+                }
+            } else {
+                TraceEvent::Write {
+                    strand: StrandId(strand),
+                    addr: MemAddr(addr),
+                    size: 8,
+                }
+            };
+            t.push(event);
+        }
+        for version in [TRACE_VERSION_V1, TRACE_VERSION] {
+            let bytes = t.to_bytes_versioned(version).expect("encodes");
+            assert_eq!(
+                Trace::from_bytes(&bytes).expect("decodes"),
+                t,
+                "version {version}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_encoding_shrinks_dense_access_runs() {
+        // A long same-strand sequential sweep: the dominant shape of real
+        // traces. v2 should be substantially smaller than v1.
+        let mut t = Trace::new();
+        for i in 0..10_000u64 {
+            t.push(TraceEvent::Read {
+                strand: StrandId(42),
+                addr: MemAddr(0x4000_0000 + i * 4),
+                size: 4,
+            });
+        }
+        let v1 = t.to_bytes_versioned(TRACE_VERSION_V1).unwrap().len();
+        let v2 = t.to_bytes_versioned(TRACE_VERSION).unwrap().len();
+        assert!(
+            v2 * 10 < v1 * 6,
+            "expected the delta encoding to shrink the stream by ≥40%: v1={v1} v2={v2}"
+        );
     }
 
     #[test]

@@ -96,6 +96,8 @@
 #![forbid(unsafe_code)]
 
 pub use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
+pub use futurerd_core::parallel;
+pub use futurerd_core::parallel::{par_replay_detect, DetectExecutor, ReachIndex};
 pub use futurerd_core::replay;
 pub use futurerd_core::stats::{DetectorStats, ReachStats};
 pub use futurerd_core::{AccessKind, Race, RaceReport};
@@ -103,9 +105,13 @@ pub use futurerd_dag::trace::{Trace, TraceCounts, TraceError, TraceEvent};
 pub use futurerd_dag::{FunctionId, MemAddr, NullObserver, Observer, StrandId};
 pub use futurerd_runtime::exec::{ExecutionSummary, FutureHandle};
 pub use futurerd_runtime::trace::TraceRecorder;
-pub use futurerd_runtime::{ShadowArray, ShadowCell, ShadowMatrix};
+pub use futurerd_runtime::{ShadowArray, ShadowCell, ShadowMatrix, ThreadPool, ThreadPoolBuilder};
 
-use futurerd_core::reachability::{GraphOracle, MultiBags, MultiBagsPlus, SpBags};
+use futurerd_core::parallel::par_replay_detect_with;
+use futurerd_core::reachability::{
+    GraphOracle, MultiBags, MultiBagsPlus, SpBags, SpBagsConservative,
+};
+use futurerd_core::replay::ReplayAlgorithm;
 use futurerd_dag::events::{CreateFutureEvent, GetFutureEvent, SpawnEvent, SyncEvent};
 use futurerd_runtime::run_program;
 
@@ -132,6 +138,12 @@ pub enum Algorithm {
     /// The classical SP-Bags baseline: fork-join (`spawn`/`sync`) programs
     /// only. Programs that use futures may produce false positives.
     SpBags,
+    /// SP-Bags with the conservative futures fallback: `create_fut` is
+    /// treated as `spawn` and `get_fut` as `sync`, so it consumes any
+    /// program — but on futures its verdict is approximate (reports from
+    /// futures traces are [marked](RaceReport::is_approximate)). Quantifies
+    /// the fork-join baseline's error, motivating the MultiBags algorithms.
+    SpBagsConservative,
     /// The ground-truth graph oracle (explicit transitive closure): exact on
     /// every program, but quadratic space — for tests and ablations.
     GraphOracle,
@@ -154,11 +166,23 @@ pub enum Analysis {
 }
 
 /// Builder selecting the observer (analysis level) × reachability structure
-/// combination to run a program under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// combination to run a program under, and — for trace replay — how many
+/// detection threads to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Config {
     algorithm: Algorithm,
     analysis: Analysis,
+    threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::default(),
+            analysis: Analysis::default(),
+            threads: 1,
+        }
+    }
 }
 
 impl Config {
@@ -191,6 +215,49 @@ impl Config {
         self
     }
 
+    /// Number of detection threads used by [`Config::replay`] (default 1).
+    ///
+    /// With more than one thread, replay of a full-detection MultiBags /
+    /// MultiBags+ configuration runs through the two-pass parallel engine
+    /// (`futurerd-core::parallel`): reachability is frozen into an immutable
+    /// index in one pass, then the granule space is sharded across workers
+    /// on a work-stealing [`ThreadPool`], and the per-partition reports are
+    /// merged deterministically — the [`RaceReport`] is identical to a
+    /// single-threaded replay at any thread count. Other algorithms and
+    /// partial analyses replay sequentially regardless of this setting.
+    ///
+    /// The parallel path reports the race verdict only: `reach_stats` and
+    /// `detector_stats` are `None` (per-shard work counters are not
+    /// aggregated).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use futurerd::Config;
+    ///
+    /// let recorded = futurerd::record(|cx| {
+    ///     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+    ///     cx.spawn(|cx| cell.set(cx, 1));
+    ///     let racy = cell.get(cx);
+    ///     cx.sync();
+    ///     racy
+    /// });
+    /// let sequential = Config::structured().replay(&recorded.trace).unwrap();
+    /// let parallel = Config::structured()
+    ///     .threads(4)
+    ///     .replay(&recorded.trace)
+    ///     .unwrap();
+    /// assert_eq!(parallel.race_count(), sequential.race_count());
+    /// assert_eq!(
+    ///     parallel.report().witnesses(),
+    ///     sequential.report().witnesses()
+    /// );
+    /// ```
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     fn build_observer(self) -> AnyObserver {
         use AnyObserver as O;
         match (self.analysis, self.algorithm) {
@@ -204,6 +271,9 @@ impl Config {
             (Analysis::Reachability, Algorithm::SpBags) => {
                 O::ReachSp(ReachabilityOnly::new(SpBags::new()))
             }
+            (Analysis::Reachability, Algorithm::SpBagsConservative) => {
+                O::ReachSpc(ReachabilityOnly::new(SpBagsConservative::new()))
+            }
             (Analysis::Reachability, Algorithm::GraphOracle) => {
                 O::ReachOracle(ReachabilityOnly::new(GraphOracle::new()))
             }
@@ -216,6 +286,9 @@ impl Config {
             (Analysis::Instrumentation, Algorithm::SpBags) => {
                 O::InstrSp(InstrumentationOnly::new(SpBags::new()))
             }
+            (Analysis::Instrumentation, Algorithm::SpBagsConservative) => {
+                O::InstrSpc(InstrumentationOnly::new(SpBagsConservative::new()))
+            }
             (Analysis::Instrumentation, Algorithm::GraphOracle) => {
                 O::InstrOracle(InstrumentationOnly::new(GraphOracle::new()))
             }
@@ -226,6 +299,9 @@ impl Config {
                 O::FullMbp(RaceDetector::new(MultiBagsPlus::new()))
             }
             (Analysis::Full, Algorithm::SpBags) => O::FullSp(RaceDetector::new(SpBags::new())),
+            (Analysis::Full, Algorithm::SpBagsConservative) => {
+                O::FullSpc(RaceDetector::new(SpBagsConservative::new()))
+            }
             (Analysis::Full, Algorithm::GraphOracle) => {
                 O::FullOracle(RaceDetector::new(GraphOracle::new()))
             }
@@ -301,30 +377,82 @@ impl Config {
                 message: "SP-Bags cannot consume traces that contain futures".to_string(),
             });
         }
+        let summary = ExecutionSummary {
+            functions: counts.functions,
+            strands: counts.strands,
+            spawns: counts.spawns,
+            creates: counts.creates,
+            syncs: counts.syncs,
+            gets: counts.gets,
+            reads: counts.reads,
+            writes: counts.writes,
+            bytes_allocated: 0,
+        };
+        if self.analysis == Analysis::Full && self.threads > 1 {
+            if let Some(algorithm) = match self.algorithm {
+                Algorithm::MultiBags => Some(ReplayAlgorithm::MultiBags),
+                Algorithm::MultiBagsPlus => Some(ReplayAlgorithm::MultiBagsPlus),
+                // No frozen reachability form: replay sequentially below.
+                Algorithm::SpBags | Algorithm::SpBagsConservative | Algorithm::GraphOracle => None,
+            } {
+                let pool = ThreadPoolBuilder::new()
+                    .num_threads(self.threads)
+                    .thread_name_prefix("futurerd-detect")
+                    .build();
+                let report =
+                    par_replay_detect_with(trace, algorithm, self.threads, &PoolExecutor(&pool))?;
+                return Ok(Detection {
+                    value: (),
+                    summary,
+                    config: self,
+                    report: Some(report),
+                    reach_stats: None,
+                    detector_stats: None,
+                });
+            }
+        }
         let observer = trace.replay(self.build_observer());
         let Outcome {
-            report,
+            mut report,
             reach_stats,
             detector_stats,
         } = observer.into_outcome();
+        if self.algorithm == Algorithm::SpBagsConservative && trace.has_futures() {
+            // The conservative fallback folded futures into fork-join
+            // constructs: the verdict is approximate by construction.
+            if let Some(report) = report.as_mut() {
+                report.mark_approximate();
+            }
+        }
         Ok(Detection {
             value: (),
-            summary: ExecutionSummary {
-                functions: counts.functions,
-                strands: counts.strands,
-                spawns: counts.spawns,
-                creates: counts.creates,
-                syncs: counts.syncs,
-                gets: counts.gets,
-                reads: counts.reads,
-                writes: counts.writes,
-                bytes_allocated: 0,
-            },
+            summary,
             config: self,
             report,
             reach_stats,
             detector_stats,
         })
+    }
+}
+
+/// Runs the parallel engine's detection workers on a work-stealing
+/// [`ThreadPool`]: the facade's [`DetectExecutor`], plugged in by
+/// [`Config::threads`] so that sharded trace detection — not just capture —
+/// is scheduled by `futurerd-runtime`'s pool.
+#[derive(Clone, Copy)]
+pub struct PoolExecutor<'p>(pub &'p ThreadPool);
+
+impl std::fmt::Debug for PoolExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolExecutor")
+            .field("threads", &self.0.num_threads())
+            .finish()
+    }
+}
+
+impl DetectExecutor for PoolExecutor<'_> {
+    fn run_batch<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        self.0.run_batch(tasks);
     }
 }
 
@@ -479,14 +607,17 @@ pub enum AnyObserver {
     ReachMb(ReachabilityOnly<MultiBags>),
     ReachMbp(ReachabilityOnly<MultiBagsPlus>),
     ReachSp(ReachabilityOnly<SpBags>),
+    ReachSpc(ReachabilityOnly<SpBagsConservative>),
     ReachOracle(ReachabilityOnly<GraphOracle>),
     InstrMb(InstrumentationOnly<MultiBags>),
     InstrMbp(InstrumentationOnly<MultiBagsPlus>),
     InstrSp(InstrumentationOnly<SpBags>),
+    InstrSpc(InstrumentationOnly<SpBagsConservative>),
     InstrOracle(InstrumentationOnly<GraphOracle>),
     FullMb(RaceDetector<MultiBags>),
     FullMbp(RaceDetector<MultiBagsPlus>),
     FullSp(RaceDetector<SpBags>),
+    FullSpc(RaceDetector<SpBagsConservative>),
     FullOracle(RaceDetector<GraphOracle>),
 }
 
@@ -527,14 +658,17 @@ impl AnyObserver {
             AnyObserver::ReachMb(o) => reach_only!(o),
             AnyObserver::ReachMbp(o) => reach_only!(o),
             AnyObserver::ReachSp(o) => reach_only!(o),
+            AnyObserver::ReachSpc(o) => reach_only!(o),
             AnyObserver::ReachOracle(o) => reach_only!(o),
             AnyObserver::InstrMb(o) => reach_only!(o),
             AnyObserver::InstrMbp(o) => reach_only!(o),
             AnyObserver::InstrSp(o) => reach_only!(o),
+            AnyObserver::InstrSpc(o) => reach_only!(o),
             AnyObserver::InstrOracle(o) => reach_only!(o),
             AnyObserver::FullMb(d) => full!(d),
             AnyObserver::FullMbp(d) => full!(d),
             AnyObserver::FullSp(d) => full!(d),
+            AnyObserver::FullSpc(d) => full!(d),
             AnyObserver::FullOracle(d) => full!(d),
         }
     }
@@ -548,14 +682,17 @@ macro_rules! each_observer {
             AnyObserver::ReachMb($inner) => $body,
             AnyObserver::ReachMbp($inner) => $body,
             AnyObserver::ReachSp($inner) => $body,
+            AnyObserver::ReachSpc($inner) => $body,
             AnyObserver::ReachOracle($inner) => $body,
             AnyObserver::InstrMb($inner) => $body,
             AnyObserver::InstrMbp($inner) => $body,
             AnyObserver::InstrSp($inner) => $body,
+            AnyObserver::InstrSpc($inner) => $body,
             AnyObserver::InstrOracle($inner) => $body,
             AnyObserver::FullMb($inner) => $body,
             AnyObserver::FullMbp($inner) => $body,
             AnyObserver::FullSp($inner) => $body,
+            AnyObserver::FullSpc($inner) => $body,
             AnyObserver::FullOracle($inner) => $body,
         }
     };
@@ -717,6 +854,71 @@ mod tests {
         assert!(matches!(err, TraceError::Unsupported { .. }), "{err}");
         // The same trace replays fine on a fork-join-capable algorithm.
         assert!(Config::general().replay(&recorded.trace).is_ok());
+    }
+
+    #[test]
+    fn threaded_replay_matches_sequential_replay() {
+        let recorded = record(racy_body);
+        for algorithm in [Algorithm::MultiBags, Algorithm::MultiBagsPlus] {
+            let sequential = Config::new()
+                .algorithm(algorithm)
+                .replay(&recorded.trace)
+                .unwrap();
+            for threads in [2, 4] {
+                let parallel = Config::new()
+                    .algorithm(algorithm)
+                    .threads(threads)
+                    .replay(&recorded.trace)
+                    .unwrap();
+                assert_eq!(
+                    parallel.report().witnesses(),
+                    sequential.report().witnesses(),
+                    "{algorithm:?} P={threads}"
+                );
+                assert_eq!(parallel.race_count(), sequential.race_count());
+                assert_eq!(parallel.summary, sequential.summary);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_replay_ignores_threads_for_partial_analyses() {
+        let recorded = record(racy_body);
+        let d = Config::general()
+            .threads(4)
+            .analysis(Analysis::Reachability)
+            .replay(&recorded.trace)
+            .unwrap();
+        assert!(d.report.is_none());
+        assert!(d.reach_stats.unwrap().dsu_ops() > 0);
+    }
+
+    #[test]
+    fn conservative_spbags_runs_on_futures_and_is_marked_approximate() {
+        let recorded = record(|cx| {
+            let mut cell = ShadowCell::new(cx, 0u32);
+            let fut = cx.create_future(|cx| cell.set(cx, 1));
+            let racy = cell.get(cx); // races with the future's write
+            cx.get_future(fut);
+            racy
+        });
+        // Classic SP-Bags refuses the trace; the conservative fallback runs.
+        assert!(Config::new()
+            .algorithm(Algorithm::SpBags)
+            .replay(&recorded.trace)
+            .is_err());
+        let d = Config::new()
+            .algorithm(Algorithm::SpBagsConservative)
+            .replay(&recorded.trace)
+            .unwrap();
+        assert!(d.report().is_approximate());
+        // On a pure fork-join body the fallback is exact and unmarked.
+        let d = Config::new()
+            .algorithm(Algorithm::SpBagsConservative)
+            .replay(&record(racy_body).trace)
+            .unwrap();
+        assert!(!d.report().is_approximate());
+        assert_eq!(d.race_count(), 1);
     }
 
     #[test]

@@ -402,6 +402,45 @@ impl ThreadPool {
         FutureTask { state }
     }
 
+    /// Runs a batch of independent borrowed tasks to completion on the
+    /// pool's workers — the entry point for driving *detection* work (not
+    /// just capture) through the work-stealing scheduler: `futurerd-core`'s
+    /// parallel replay engine hands its per-partition detection workers here
+    /// via the facade's `PoolExecutor`.
+    ///
+    /// Blocks until every task has finished. Tasks may borrow from the
+    /// caller's stack (the `'env` lifetime); panics propagate like
+    /// [`ThreadPool::scope`].
+    ///
+    /// ```
+    /// use futurerd_runtime::ThreadPoolBuilder;
+    ///
+    /// let pool = ThreadPoolBuilder::new().num_threads(2).build();
+    /// let mut slots = vec![0u64; 3];
+    /// pool.run_batch(
+    ///     slots
+    ///         .iter_mut()
+    ///         .enumerate()
+    ///         .map(|(i, slot)| Box::new(move || *slot = i as u64 + 1) as Box<dyn FnOnce() + Send + '_>)
+    ///         .collect(),
+    /// );
+    /// assert_eq!(slots, vec![1, 2, 3]);
+    /// ```
+    pub fn run_batch<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.len() <= 1 {
+            // A single task (or none) gains nothing from scheduling.
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        self.scope(|scope| {
+            for task in tasks {
+                scope.spawn(task);
+            }
+        });
+    }
+
     /// Creates a scope in which borrowed tasks can be spawned; blocks until
     /// every task spawned in the scope has completed.
     ///
@@ -617,6 +656,29 @@ mod tests {
         let v = stage1.join();
         let stage2 = pool.spawn_future(move || v.into_iter().map(|x| x * x).collect::<Vec<_>>());
         assert_eq!(stage2.join(), vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn run_batch_executes_every_task_and_blocks() {
+        let pool = ThreadPool::new(4);
+        let mut slots = vec![0u32; 64];
+        pool.run_batch(
+            slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || *slot = i as u32 + 1) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect(),
+        );
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        // Empty and single-task batches work too.
+        pool.run_batch(Vec::new());
+        let mut hit = false;
+        pool.run_batch(vec![
+            Box::new(|| hit = true) as Box<dyn FnOnce() + Send + '_>
+        ]);
+        assert!(hit);
     }
 
     #[test]

@@ -78,6 +78,62 @@ fn workload_traces_replay_identically_across_algorithms() {
     }
 }
 
+/// The determinism guarantee of the parallel engine, end-to-end on real
+/// workload traces — including the seeded-race lcs variant, whose report
+/// must carry the identical witness at every thread count.
+#[test]
+fn threaded_replay_is_deterministic_on_workload_traces() {
+    let params = WorkloadParams::tiny();
+    let mut traces: Vec<(String, Trace)> = Vec::new();
+    for (kind, mode) in [
+        (WorkloadKind::Lcs, FutureMode::Structured),
+        (WorkloadKind::Bst, FutureMode::General),
+    ] {
+        let (recorder, _) = run_workload(kind, mode, &params, futurerd::TraceRecorder::new());
+        traces.push((format!("{kind} {mode}"), recorder.into_trace()));
+    }
+    // The seeded-race lcs variant: a trace with a real determinacy race.
+    let input = futurerd_workloads::lcs::LcsInput::generate(params.n, params.seed);
+    let (_, recorder, _) = futurerd_runtime::run_program(futurerd::TraceRecorder::new(), |cx| {
+        futurerd_workloads::lcs::structured_with_race(cx, &input, params.base)
+    });
+    traces.push(("racy lcs".to_string(), recorder.into_trace()));
+
+    for (label, trace) in &traces {
+        for algorithm in [Algorithm::MultiBags, Algorithm::MultiBagsPlus] {
+            let sequential = Config::new()
+                .algorithm(algorithm)
+                .replay(trace)
+                .expect("canonical trace");
+            for threads in [2usize, 3, 8] {
+                let parallel = Config::new()
+                    .algorithm(algorithm)
+                    .threads(threads)
+                    .replay(trace)
+                    .expect("canonical trace");
+                assert_eq!(
+                    parallel.race_count(),
+                    sequential.race_count(),
+                    "{label} {algorithm:?} P={threads}"
+                );
+                assert_eq!(
+                    parallel.report().witnesses(),
+                    sequential.report().witnesses(),
+                    "{label} {algorithm:?} P={threads}"
+                );
+                assert_eq!(
+                    parallel.report().total_observations(),
+                    sequential.report().total_observations(),
+                    "{label} {algorithm:?} P={threads}"
+                );
+            }
+        }
+    }
+    // The racy variant really carries its seeded race.
+    let (_, racy) = traces.last().expect("pushed above");
+    assert!(Config::structured().replay(racy).unwrap().race_count() >= 1);
+}
+
 #[test]
 fn trace_files_survive_disk_round_trips() {
     let recorded = futurerd::record(racy_pipeline);
