@@ -28,27 +28,34 @@ use futurerd_core::reachability::{
 };
 use futurerd_core::replay::{replay_detect_unchecked, ApproximationError, ReplayAlgorithm};
 use futurerd_core::RaceReport;
-use futurerd_dag::trace::{Trace, TRACE_VERSION, TRACE_VERSION_V1};
+use futurerd_dag::trace::{Trace, TRACE_VERSION, TRACE_VERSION_V1, TRACE_VERSION_V2};
 use futurerd_runtime::trace::TraceRecorder;
+use futurerd_store::{BatchJob, Store};
 use futurerd_workloads::{lcs, run_workload, FutureMode, WorkloadKind, WorkloadParams};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: futurerd-trace <record|replay|diff> [options]\n\
+        "usage: futurerd-trace <record|replay|diff|batch> [options]\n\
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          replay --input <path> [--algorithm <multibags|multibags+|spbags|spbags-cons|oracle|all>]\n\
         \x20       [--threads <n>]\n\
          diff   --workload <name> --mode <mode> [--size <tiny|default>] [--seed <u64>] [--racy]\n\
+         batch  <dir> [--algorithm <multibags|multibags+|all>] [--threads <n>]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
          recorded trace then carries a real determinacy race to detect.\n\
          --threads runs detection through the sharded parallel engine\n\
          (MultiBags / MultiBags+; the report is identical at any thread\n\
-         count).",
+         count).\n\
+         batch treats <dir> as a futurerd-store detection store: every\n\
+         *.trace in it is queued against the selected freezable algorithms\n\
+         and served warm from its FRDIDX sidecar when one is valid; the\n\
+         deterministic result manifest is printed and written to\n\
+         <dir>/batch-manifest.txt.",
         names = WorkloadKind::ALL.map(|k| k.name()).join("|")
     );
     std::process::exit(2);
@@ -289,18 +296,102 @@ fn cmd_record(opts: &Options) -> ExitCode {
         events = trace.len(),
     );
     println!("checksum {checksum:#x}; wrote {bytes} bytes to {out}");
-    // Report what the delta codec bought over the absolute-field v1 format.
+    // Report what each codec generation bought: v2 delta-encodes accesses,
+    // v3 run-length encodes constant-stride bursts (and checksums the
+    // payload).
     let v1_bytes = trace
         .to_bytes_versioned(TRACE_VERSION_V1)
         .map(|b| b.len() as u64)
         .unwrap_or(0);
-    if v1_bytes > 0 {
-        let change = 100.0 * (bytes as f64 / v1_bytes as f64 - 1.0);
+    let v2_bytes = trace
+        .to_bytes_versioned(TRACE_VERSION_V2)
+        .map(|b| b.len() as u64)
+        .unwrap_or(0);
+    if v1_bytes > 0 && v2_bytes > 0 {
+        let vs_v2 = 100.0 * (bytes as f64 / v2_bytes as f64 - 1.0);
+        let vs_v1 = 100.0 * (bytes as f64 / v1_bytes as f64 - 1.0);
         println!(
-            "codec v{TRACE_VERSION} (delta accesses): {bytes} bytes vs {v1_bytes} in v{TRACE_VERSION_V1} ({change:+.1}% size change)"
+            "codec v{TRACE_VERSION} (run-length bursts + checksum): {bytes} bytes vs {v2_bytes} in v{TRACE_VERSION_V2} ({vs_v2:+.1}%) and {v1_bytes} in v{TRACE_VERSION_V1} ({vs_v1:+.1}%)"
         );
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let Some((dir, rest)) = args.split_first() else {
+        eprintln!("batch needs a store directory");
+        usage()
+    };
+    if dir.starts_with("--") {
+        eprintln!("batch needs the store directory before any flags");
+        usage()
+    }
+    let opts = parse_options(rest);
+    let algorithms: Vec<ReplayAlgorithm> = match opts.algorithm.as_deref() {
+        None | Some("all") => vec![ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus],
+        Some(name) => match ReplayAlgorithm::parse(name) {
+            Some(algorithm) if algorithm.freezable() => vec![algorithm],
+            Some(algorithm) => {
+                eprintln!("{algorithm}: no frozen reachability form, the store cannot serve it");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("unknown algorithm '{name}'");
+                usage()
+            }
+        },
+    };
+    let mut store = match Store::open(dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot open store at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names = match store.trace_names() {
+        Ok(names) => names,
+        Err(e) => {
+            eprintln!("cannot list {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if names.is_empty() {
+        eprintln!("no *.trace files in {dir}");
+        return ExitCode::FAILURE;
+    }
+    for name in &names {
+        for &algorithm in &algorithms {
+            store.submit(BatchJob {
+                trace: name.clone(),
+                algorithm,
+                threads: opts.threads,
+            });
+        }
+    }
+    let start = Instant::now();
+    let queued = store.pending_jobs();
+    let manifest = match store.run_batch() {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!("batch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{manifest}");
+    let stats = store.stats();
+    println!(
+        "{queued} job(s) in {:.2?}: {} cold freeze(s), {} warm load(s), {} fully cached, {} incremental; manifest written to {dir}/batch-manifest.txt",
+        start.elapsed(),
+        stats.cold_freezes,
+        stats.warm_index_loads,
+        stats.warm_cached_hits,
+        stats.incremental_refreezes,
+    );
+    if manifest.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_replay(opts: &Options) -> ExitCode {
@@ -488,6 +579,9 @@ fn main() -> ExitCode {
     let Some((command, rest)) = args.split_first() else {
         usage()
     };
+    if command == "batch" {
+        return cmd_batch(rest);
+    }
     let opts = parse_options(rest);
     match command.as_str() {
         "record" => cmd_record(&opts),

@@ -42,7 +42,7 @@ use futurerd_dag::{FunctionId, MemAddr, Observer, StrandId};
 /// A position in the trace: the index of an event in the stream. Every
 /// timeline comparison is strict (`<`): an update at position `p` is visible
 /// to queries issued by events at positions `> p`.
-pub(crate) type Pos = u32;
+pub type Pos = u32;
 
 const NO_SET: u32 = u32::MAX;
 
@@ -62,7 +62,7 @@ struct BagSet {
 /// The frozen form of a [`crate::reachability::MultiBags`] run (also used
 /// for the `DSP` component of MultiBags+): final bag assignments per strand
 /// plus each bag's tag/merge timeline.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FrozenBags {
     /// Birth set of each strand (the set it was placed in when it started).
     set_of_strand: Vec<u32>,
@@ -163,7 +163,7 @@ fn resolve_cached<S>(
 /// Builds a [`FrozenBags`] by mirroring the MultiBags update rules while
 /// recording their timeline. `union_on_get = false` gives the `DSP` variant
 /// used inside MultiBags+ (no union at `get_fut`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BagsBuilder {
     union_on_get: bool,
     frozen: FrozenBags,
@@ -303,7 +303,7 @@ const NEVER: Pos = Pos::MAX;
 /// Rows are dense `Pos` vectors (lazily grown, [`NEVER`] = unreachable) —
 /// the timed analogue of `RGraph`'s closure bit vectors, paying 32 bits per
 /// pair instead of one to carry the connection position.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TimedClosure {
     /// `earliest[b][a]` = earliest position with a non-empty path `a → b`.
     /// Stored pred-side so the dominant arc shape (into a freshly created
@@ -315,6 +315,11 @@ struct TimedClosure {
     pred_list: Vec<Vec<u32>>,
     succ_list: Vec<Vec<u32>>,
     entries: usize,
+    /// False when the closure was imported from raw rows without its
+    /// adjacency lists. Queries never need the lists, so a warm index load
+    /// skips the O(entries) rebuild; [`TimedClosure::ensure_lists`] builds
+    /// them on demand before the first post-import [`TimedClosure::add_arc`].
+    lists_stale: bool,
 }
 
 impl TimedClosure {
@@ -334,7 +339,49 @@ impl TimedClosure {
             .unwrap_or(NEVER)
     }
 
+    /// Rebuilds the adjacency lists (and entry count) from the closure rows
+    /// after a raw import. O(nodes² ) scan, done once, only when the frozen
+    /// state is actually extended.
+    fn ensure_lists(&mut self) {
+        if !self.lists_stale {
+            return;
+        }
+        let nodes = self.earliest_pred.len();
+        let mut pred_counts = vec![0u32; nodes];
+        let mut succ_counts = vec![0u32; nodes];
+        let mut entries = 0usize;
+        for (d, row) in self.earliest_pred.iter().enumerate() {
+            for (a, &p) in row.iter().enumerate() {
+                if p != NEVER {
+                    pred_counts[d] += 1;
+                    succ_counts[a] += 1;
+                    entries += 1;
+                }
+            }
+        }
+        self.pred_list = pred_counts
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        self.succ_list = succ_counts
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        for (d, row) in self.earliest_pred.iter().enumerate() {
+            for (a, &p) in row.iter().enumerate() {
+                if p != NEVER {
+                    debug_assert_ne!(a, d, "closure rows must not contain self-loops");
+                    self.pred_list[d].push(a as u32);
+                    self.succ_list[a].push(d as u32);
+                }
+            }
+        }
+        self.entries = entries;
+        self.lists_stale = false;
+    }
+
     fn add_arc(&mut self, from: u32, to: u32, pos: Pos) {
+        debug_assert!(!self.lists_stale, "ensure_lists must run before add_arc");
         debug_assert_ne!(from, to, "R is acyclic");
         if self.earliest(from, to) != NEVER {
             return; // already implied: no new connections
@@ -382,12 +429,20 @@ impl TimedClosure {
     }
 
     fn closure_entries(&self) -> usize {
+        if self.lists_stale {
+            // Imported without lists: count on demand (stats path only).
+            return self
+                .earliest_pred
+                .iter()
+                .map(|row| row.iter().filter(|&&p| p != NEVER).count())
+                .sum();
+        }
         self.entries
     }
 }
 
 /// The frozen `DNSP` + `R` of a MultiBags+ run.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FrozenNsp {
     set_of_strand: Vec<u32>,
     sets: Vec<NspSet>,
@@ -492,7 +547,7 @@ impl FrozenNsp {
 
 /// Mirrors the MultiBags+ `DNSP`/`R` update rules (Figure 4) while recording
 /// their timeline.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct NspBuilder {
     frozen: FrozenNsp,
     /// Live root of each set chain (path halving), as in [`BagsBuilder`].
@@ -757,16 +812,23 @@ impl ReachIndex {
 
 /// One granule-level access extracted during the freezing replay: pass 2
 /// shards these by granule range, so workers touch only their own slice.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct GranuleAccess {
+/// Public so that a persisted index (`futurerd-store`'s `FRDIDX` sidecars)
+/// can carry the access stream next to the frozen timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GranuleAccess {
+    /// The granule index ([`MemAddr::granule`]).
     pub granule: u64,
+    /// Trace position of the access event.
     pub pos: Pos,
+    /// The accessing strand.
     pub strand: StrandId,
+    /// True for writes.
     pub is_write: bool,
 }
 
 /// The pass-1 observer: drives the timeline builders and extracts the
 /// granule-level access stream in the same single replay.
+#[derive(Debug, Clone)]
 struct Freezer {
     pos: Pos,
     bags: BagsBuilder,
@@ -945,6 +1007,432 @@ pub(crate) fn freeze_with_accesses(
         },
     };
     Some((ReachIndex { algorithm, inner }, freezer.accesses))
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (resumable) freezing + raw introspection
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "absent" in the raw (serialization) view of a frozen index.
+/// Safe because trace positions, set ids and strand ids are all bounded by
+/// the trace length, which the freezing entry points cap below `u32::MAX`.
+pub const RAW_NONE: u32 = u32::MAX;
+
+/// A resumable pass-1 freezer: feed it a canonical event stream in chunks
+/// and snapshot a [`ReachIndex`] (plus the granule access stream) at any cut
+/// point.
+///
+/// The frozen timelines are append-only — processing the events `[k, n)`
+/// touches only the timelines those events update, and every already-frozen
+/// answer at positions `< k` is unchanged (merge/relabel edges added later
+/// carry positions `≥ k`, and every timeline comparison is strict). This is
+/// what makes **incremental re-detection** sound: after appending events to
+/// a stored trace, `futurerd-store` extends the freezer with just the
+/// suffix instead of refreezing the whole trace, and only re-runs detection
+/// partitions whose granules the suffix touched.
+///
+/// The complete freezer state (frozen timelines *and* the live resume state:
+/// disjoint-set shortcuts, per-function first strands) converts to and from
+/// the plain-data [`RawFreeze`] for persistence.
+#[derive(Debug, Clone)]
+pub struct IncrementalFreezer {
+    algorithm: ReplayAlgorithm,
+    freezer: Freezer,
+}
+
+impl IncrementalFreezer {
+    /// Creates an empty freezer for `algorithm`. Returns `None` for
+    /// algorithms without a frozen form (SP-Bags and the graph oracle).
+    pub fn new(algorithm: ReplayAlgorithm) -> Option<Self> {
+        Some(Self {
+            algorithm,
+            freezer: Freezer::new(algorithm)?,
+        })
+    }
+
+    /// The algorithm being frozen.
+    pub fn algorithm(&self) -> ReplayAlgorithm {
+        self.algorithm
+    }
+
+    /// Number of events frozen so far — the next call to
+    /// [`extend`](IncrementalFreezer::extend) must continue from this trace
+    /// position.
+    pub fn position(&self) -> u32 {
+        self.freezer.pos
+    }
+
+    /// Feeds the next chunk of the canonical event stream. The caller is
+    /// responsible for validating the full stream (e.g. with
+    /// `Trace::validate_prefix`) and for passing events in order without
+    /// gaps.
+    pub fn extend(&mut self, events: &[futurerd_dag::trace::TraceEvent]) {
+        assert!(
+            self.freezer.pos as usize + events.len() < u32::MAX as usize,
+            "trace positions are 32-bit; the extended stream is too large"
+        );
+        if events.is_empty() {
+            return;
+        }
+        if let Some(nsp) = &mut self.freezer.nsp {
+            // A raw import defers the closure's adjacency lists (warm query
+            // paths never need them); new arcs do.
+            nsp.frozen.r.ensure_lists();
+        }
+        futurerd_dag::trace::replay_events(events, &mut self.freezer);
+    }
+
+    /// The granule-level access stream extracted so far, in trace order.
+    pub fn accesses(&self) -> &[GranuleAccess] {
+        &self.freezer.accesses
+    }
+
+    /// Snapshots the frozen timelines into a standalone [`ReachIndex`]
+    /// answering queries at any position `≤` [`position`](Self::position).
+    /// The freezer remains usable for further extension.
+    pub fn snapshot_index(&self) -> ReachIndex {
+        let inner = match &self.freezer.nsp {
+            None => IndexInner::MultiBags(self.freezer.bags.frozen.clone()),
+            Some(nsp) => IndexInner::MultiBagsPlus {
+                dsp: self.freezer.bags.frozen.clone(),
+                nsp: nsp.frozen.clone(),
+            },
+        };
+        ReachIndex {
+            algorithm: self.algorithm,
+            inner,
+        }
+    }
+
+    /// Exports the complete freezer state as plain data for serialization.
+    pub fn to_raw(&self) -> RawFreeze {
+        let bags = &self.freezer.bags;
+        RawFreeze {
+            algorithm: self.algorithm,
+            pos: self.freezer.pos,
+            bags: RawBags {
+                set_of_strand: bags.frozen.set_of_strand.clone(),
+                sets: bags
+                    .frozen
+                    .sets
+                    .iter()
+                    .map(|s| RawBagSet {
+                        relabel: s.relabel.unwrap_or(RAW_NONE),
+                        merged_pos: s.merged.map_or(RAW_NONE, |(p, _)| p),
+                        merged_target: s.merged.map_or(0, |(_, t)| t),
+                    })
+                    .collect(),
+                live: bags.live.clone(),
+                first_strand: bags
+                    .first_strand
+                    .iter()
+                    .map(|s| s.map_or(RAW_NONE, |s| s.0))
+                    .collect(),
+            },
+            nsp: self.freezer.nsp.as_ref().map(|nsp| RawNsp {
+                set_of_strand: nsp.frozen.set_of_strand.clone(),
+                sets: nsp
+                    .frozen
+                    .sets
+                    .iter()
+                    .map(|s| {
+                        let (birth_attached, birth_node) = match s.birth {
+                            NspBirth::Attached { rnode } => (true, rnode),
+                            NspBirth::Unattached { att_pred } => (false, att_pred),
+                        };
+                        RawNspSet {
+                            birth_attached,
+                            birth_node,
+                            attached_pos: s.attached.map_or(RAW_NONE, |(p, _)| p),
+                            attached_node: s.attached.map_or(0, |(_, n)| n),
+                            att_succ: s.att_succ.clone(),
+                            merged_pos: s.merged.map_or(RAW_NONE, |(p, _)| p),
+                            merged_target: s.merged.map_or(0, |(_, t)| t),
+                        }
+                    })
+                    .collect(),
+                live: nsp.live.clone(),
+                closure_rows: nsp.frozen.r.earliest_pred.clone(),
+            }),
+            accesses: self.freezer.accesses.clone(),
+        }
+    }
+
+    /// Reconstructs a freezer from its raw form, validating structural
+    /// integrity (index bounds, merge-chain monotonicity — which also rules
+    /// out merge cycles — and algorithm/shape agreement). Corrupt input
+    /// yields a typed error, never a panic or a query that loops.
+    pub fn from_raw(raw: RawFreeze) -> Result<Self, RawIndexError> {
+        let err = |message: &str| Err(RawIndexError(message.to_string()));
+        let nsp_expected = match raw.algorithm {
+            ReplayAlgorithm::MultiBags => false,
+            ReplayAlgorithm::MultiBagsPlus => true,
+            _ => return err("algorithm has no frozen form"),
+        };
+        if raw.nsp.is_some() != nsp_expected {
+            return err("DNSP section does not match the algorithm");
+        }
+
+        // Bags section.
+        let n_sets = raw.bags.sets.len();
+        if raw.bags.live.len() != n_sets {
+            return err("bag live-root table length mismatch");
+        }
+        let mut sets = Vec::with_capacity(n_sets);
+        for (i, s) in raw.bags.sets.iter().enumerate() {
+            let relabel = (s.relabel != RAW_NONE).then_some(s.relabel);
+            let merged = if s.merged_pos == RAW_NONE {
+                None
+            } else {
+                let t = s.merged_target as usize;
+                if t >= n_sets || t == i {
+                    return err("bag merge target out of range");
+                }
+                let target = &raw.bags.sets[t];
+                if target.merged_pos != RAW_NONE && target.merged_pos <= s.merged_pos {
+                    return err("bag merge chain positions must strictly increase");
+                }
+                Some((s.merged_pos, s.merged_target))
+            };
+            sets.push(BagSet { relabel, merged });
+        }
+        if raw
+            .bags
+            .set_of_strand
+            .iter()
+            .any(|&s| s != NO_SET && s as usize >= n_sets)
+        {
+            return err("strand bag assignment out of range");
+        }
+        if raw.bags.live.iter().any(|&s| s as usize >= n_sets) {
+            return err("bag live root out of range");
+        }
+        for &fs in &raw.bags.first_strand {
+            if fs != RAW_NONE
+                && raw
+                    .bags
+                    .set_of_strand
+                    .get(fs as usize)
+                    .is_none_or(|&s| s == NO_SET)
+            {
+                return err("function first-strand has no bag assignment");
+            }
+        }
+        let bags = BagsBuilder {
+            union_on_get: !nsp_expected,
+            frozen: FrozenBags {
+                set_of_strand: raw.bags.set_of_strand,
+                sets,
+            },
+            live: raw.bags.live,
+            first_strand: raw
+                .bags
+                .first_strand
+                .iter()
+                .map(|&s| (s != RAW_NONE).then_some(StrandId(s)))
+                .collect(),
+        };
+
+        // DNSP + closure section.
+        let nsp = match raw.nsp {
+            None => None,
+            Some(rnsp) => {
+                let n_sets = rnsp.sets.len();
+                let nodes = rnsp.closure_rows.len();
+                if rnsp.live.len() != n_sets {
+                    return err("DNSP live-root table length mismatch");
+                }
+                let mut sets = Vec::with_capacity(n_sets);
+                for (i, s) in rnsp.sets.iter().enumerate() {
+                    if s.birth_node as usize >= nodes {
+                        return err("DNSP birth node out of range");
+                    }
+                    let attached = if s.attached_pos == RAW_NONE {
+                        None
+                    } else {
+                        if s.attached_node as usize >= nodes {
+                            return err("DNSP attach node out of range");
+                        }
+                        if s.birth_attached {
+                            return err("attached-born DNSP set cannot attachify");
+                        }
+                        Some((s.attached_pos, s.attached_node))
+                    };
+                    if s.att_succ.iter().any(|&(_, n)| n as usize >= nodes) {
+                        return err("DNSP attSucc node out of range");
+                    }
+                    let merged = if s.merged_pos == RAW_NONE {
+                        None
+                    } else {
+                        let t = s.merged_target as usize;
+                        if t >= n_sets || t == i {
+                            return err("DNSP merge target out of range");
+                        }
+                        let target = &rnsp.sets[t];
+                        if target.merged_pos != RAW_NONE && target.merged_pos <= s.merged_pos {
+                            return err("DNSP merge chain positions must strictly increase");
+                        }
+                        Some((s.merged_pos, s.merged_target))
+                    };
+                    sets.push(NspSet {
+                        birth: if s.birth_attached {
+                            NspBirth::Attached {
+                                rnode: s.birth_node,
+                            }
+                        } else {
+                            NspBirth::Unattached {
+                                att_pred: s.birth_node,
+                            }
+                        },
+                        attached,
+                        att_succ: s.att_succ.clone(),
+                        merged,
+                    });
+                }
+                if rnsp
+                    .set_of_strand
+                    .iter()
+                    .any(|&s| s != NO_SET && s as usize >= n_sets)
+                {
+                    return err("strand DNSP assignment out of range");
+                }
+                if rnsp.live.iter().any(|&s| s as usize >= n_sets) {
+                    return err("DNSP live root out of range");
+                }
+                for (d, row) in rnsp.closure_rows.iter().enumerate() {
+                    if row.len() > nodes {
+                        return err("closure row longer than the node count");
+                    }
+                    // A diagonal entry would put a cycle into the supposedly
+                    // acyclic R (and trip ensure_lists' debug assertion).
+                    if row.get(d).is_some_and(|&p| p != NEVER) {
+                        return err("closure row contains a self-loop");
+                    }
+                }
+                // Adjacency lists are rebuilt lazily (ensure_lists) — a warm
+                // index load pays only for what queries touch.
+                let r = TimedClosure {
+                    earliest_pred: rnsp.closure_rows,
+                    pred_list: Vec::new(),
+                    succ_list: Vec::new(),
+                    entries: 0,
+                    lists_stale: true,
+                };
+                Some(NspBuilder {
+                    frozen: FrozenNsp {
+                        set_of_strand: rnsp.set_of_strand,
+                        sets,
+                        r,
+                    },
+                    live: rnsp.live,
+                })
+            }
+        };
+
+        if raw.accesses.iter().any(|a| a.pos >= raw.pos) {
+            return err("access stream position beyond the frozen position");
+        }
+        Ok(Self {
+            algorithm: raw.algorithm,
+            freezer: Freezer {
+                pos: raw.pos,
+                bags,
+                nsp,
+                accesses: raw.accesses,
+            },
+        })
+    }
+}
+
+/// Structural-integrity failure while importing a [`RawFreeze`].
+#[derive(Debug, Clone)]
+pub struct RawIndexError(pub String);
+
+impl std::fmt::Display for RawIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt frozen index: {}", self.0)
+    }
+}
+
+impl std::error::Error for RawIndexError {}
+
+/// Plain-data export of an [`IncrementalFreezer`] — everything a persistent
+/// store needs to rebuild the frozen index *and* resume freezing after an
+/// append. Field sentinels use [`RAW_NONE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFreeze {
+    /// The frozen algorithm (must be freezable).
+    pub algorithm: ReplayAlgorithm,
+    /// Number of events frozen.
+    pub pos: u32,
+    /// The bag merge forest (MultiBags, or the DSP of MultiBags+).
+    pub bags: RawBags,
+    /// The DNSP forest + timed closure (MultiBags+ only).
+    pub nsp: Option<RawNsp>,
+    /// The granule-level access stream, in trace order.
+    pub accesses: Vec<GranuleAccess>,
+}
+
+/// Raw form of the bag merge forest plus its live resume state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawBags {
+    /// Birth set per strand ([`RAW_NONE`] = strand not started).
+    pub set_of_strand: Vec<u32>,
+    /// Tag/merge timeline per set.
+    pub sets: Vec<RawBagSet>,
+    /// Live disjoint-set shortcut per set (resume state).
+    pub live: Vec<u32>,
+    /// First strand per function ([`RAW_NONE`] = function not started;
+    /// resume state).
+    pub first_strand: Vec<u32>,
+}
+
+/// Raw form of one bag set's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawBagSet {
+    /// `S → P` relabel position ([`RAW_NONE`] = still `S`).
+    pub relabel: u32,
+    /// Merge position ([`RAW_NONE`] = never merged).
+    pub merged_pos: u32,
+    /// Merge target set (meaningful only when `merged_pos` is set).
+    pub merged_target: u32,
+}
+
+/// Raw form of the DNSP forest, its tag timelines, the timed closure rows
+/// and the live resume state (MultiBags+ only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawNsp {
+    /// Birth set per strand ([`RAW_NONE`] = not registered).
+    pub set_of_strand: Vec<u32>,
+    /// Tag/merge timeline per set.
+    pub sets: Vec<RawNspSet>,
+    /// Live disjoint-set shortcut per set (resume state).
+    pub live: Vec<u32>,
+    /// The earliest-connection closure: `closure_rows[b][a]` is the earliest
+    /// position with a path `a → b` ([`RAW_NONE`] = unreachable). Adjacency
+    /// lists and entry counts are rebuilt on import.
+    pub closure_rows: Vec<Vec<u32>>,
+}
+
+/// Raw form of one DNSP set's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawNspSet {
+    /// True if the set was born attached.
+    pub birth_attached: bool,
+    /// The `R` node (attached birth) or immutable attached predecessor
+    /// (unattached birth).
+    pub birth_node: u32,
+    /// `Attachify` position ([`RAW_NONE`] = never attachified).
+    pub attached_pos: u32,
+    /// The `R` node created by `Attachify` (meaningful only when
+    /// `attached_pos` is set).
+    pub attached_node: u32,
+    /// `attSucc` assignments (position, `R` node), in trace order.
+    pub att_succ: Vec<(u32, u32)>,
+    /// Merge position ([`RAW_NONE`] = never merged).
+    pub merged_pos: u32,
+    /// Merge target set (meaningful only when `merged_pos` is set).
+    pub merged_target: u32,
 }
 
 #[cfg(test)]
@@ -1127,6 +1615,109 @@ mod tests {
                 s.spawn(|| assert!(index.precedes_at(StrandId(1), StrandId(3), 10)));
             }
         });
+    }
+
+    #[test]
+    fn incremental_freeze_matches_full_freeze_at_every_cut() {
+        let trace = future_trace();
+        for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+            let (full, full_accesses) = freeze_with_accesses(&trace, algorithm).expect("freezable");
+            for cut in 0..=trace.len() {
+                let mut inc = IncrementalFreezer::new(algorithm).expect("freezable");
+                inc.extend(&trace.events()[..cut]);
+                inc.extend(&trace.events()[cut..]);
+                assert_eq!(inc.position() as usize, trace.len());
+                assert_eq!(inc.accesses(), &full_accesses[..], "cut {cut}");
+                let snap = inc.snapshot_index();
+                for &(u, v, pos) in &[(1u32, 2u32, 7u32), (1, 3, 10), (0, 2, 7), (0, 3, 10)] {
+                    assert_eq!(
+                        snap.precedes_at(StrandId(u), StrandId(v), pos),
+                        full.precedes_at(StrandId(u), StrandId(v), pos),
+                        "{algorithm} cut {cut}: precedes(s{u}, s{v}) at {pos}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_export_round_trips_the_freezer_state() {
+        let trace = future_trace();
+        for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+            let mut inc = IncrementalFreezer::new(algorithm).expect("freezable");
+            inc.extend(trace.events());
+            let raw = inc.to_raw();
+            let back = IncrementalFreezer::from_raw(raw.clone()).expect("valid raw state");
+            assert_eq!(
+                back.to_raw(),
+                raw,
+                "{algorithm}: re-export must be identical"
+            );
+            // The re-imported freezer must answer queries identically...
+            let (a, b) = (inc.snapshot_index(), back.snapshot_index());
+            assert_eq!(
+                a.precedes_at(StrandId(1), StrandId(3), 10),
+                b.precedes_at(StrandId(1), StrandId(3), 10)
+            );
+            // ...and resume freezing: extending both with nothing keeps them
+            // equal, and positions agree.
+            assert_eq!(back.position(), inc.position());
+        }
+    }
+
+    #[test]
+    fn from_raw_rejects_corrupt_state() {
+        let trace = future_trace();
+        let mut inc = IncrementalFreezer::new(ReplayAlgorithm::MultiBagsPlus).expect("freezable");
+        inc.extend(trace.events());
+        let raw = inc.to_raw();
+
+        let mut bad = raw.clone();
+        bad.nsp = None;
+        assert!(IncrementalFreezer::from_raw(bad).is_err(), "shape mismatch");
+
+        let mut bad = raw.clone();
+        bad.bags.live.pop();
+        assert!(IncrementalFreezer::from_raw(bad).is_err(), "live length");
+
+        let mut bad = raw.clone();
+        bad.bags.set_of_strand[0] = 10_000;
+        assert!(IncrementalFreezer::from_raw(bad).is_err(), "set bounds");
+
+        let mut bad = raw.clone();
+        if let Some(set) = bad.bags.sets.first_mut() {
+            set.merged_pos = 5;
+            set.merged_target = 0; // self-merge → cycle
+        }
+        assert!(IncrementalFreezer::from_raw(bad).is_err(), "merge cycle");
+
+        let mut bad = raw.clone();
+        bad.accesses.push(GranuleAccess {
+            granule: 1,
+            pos: bad.pos + 7,
+            strand: StrandId(0),
+            is_write: false,
+        });
+        assert!(
+            IncrementalFreezer::from_raw(bad).is_err(),
+            "access beyond frozen position"
+        );
+
+        let mut bad = raw.clone();
+        if let Some(nsp) = bad.nsp.as_mut() {
+            // A diagonal closure entry = a self-loop in R.
+            if nsp.closure_rows[0].is_empty() {
+                nsp.closure_rows[0].push(7);
+            } else {
+                nsp.closure_rows[0][0] = 7;
+            }
+        }
+        assert!(
+            IncrementalFreezer::from_raw(bad).is_err(),
+            "closure self-loop"
+        );
+
+        assert!(IncrementalFreezer::from_raw(raw).is_ok(), "control");
     }
 
     /// Spot-check the detector-level agreement on the canonical racy trace.

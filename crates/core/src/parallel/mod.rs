@@ -33,8 +33,14 @@
 mod freeze;
 mod shard;
 
-pub use freeze::{FrozenBags, FrozenNsp, ReachIndex};
-pub use shard::ShadowPartition;
+pub use freeze::{
+    FrozenBags, FrozenNsp, GranuleAccess, IncrementalFreezer, Pos, RawBagSet, RawBags, RawFreeze,
+    RawIndexError, RawNsp, RawNspSet, ReachIndex, RAW_NONE,
+};
+pub use shard::{
+    bucket_accesses, merge_outcomes, partition_ranges, run_partition, PartitionOutcome,
+    ShadowPartition,
+};
 
 use crate::races::RaceReport;
 use crate::replay::{replay_detect_unchecked, ReplayAlgorithm};
@@ -121,24 +127,67 @@ pub fn par_replay_detect_with(
         // same report by definition.
         return Ok(replay_detect_unchecked(trace, algorithm));
     };
-    let ranges = shard::partition_ranges(&accesses, threads.max(1));
+    Ok(detect_frozen(&index, &accesses, threads, executor))
+}
+
+/// Pass 2 alone: sharded detection over an already-frozen index and its
+/// granule access stream — the warm path of a persistent detection store,
+/// which loads both from an `FRDIDX` sidecar instead of refreezing.
+///
+/// Identical to the pass-2 stage of [`par_replay_detect_with`]; the report
+/// is byte-identical to sequential replay at every thread count.
+pub fn detect_frozen(
+    index: &ReachIndex,
+    accesses: &[GranuleAccess],
+    threads: usize,
+    executor: &impl DetectExecutor,
+) -> RaceReport {
+    shard::merge_reports(detect_partitions(index, accesses, threads, executor))
+}
+
+/// As [`detect_frozen`], but returns the per-partition outcomes instead of
+/// the merged report — the form a store persists so that incremental
+/// re-detection can reuse outcomes for untouched granule ranges. Merge with
+/// [`merge_outcomes`].
+pub fn detect_frozen_outcomes(
+    index: &ReachIndex,
+    accesses: &[GranuleAccess],
+    threads: usize,
+    executor: &impl DetectExecutor,
+) -> Vec<PartitionOutcome> {
+    detect_partitions(index, accesses, threads, executor)
+        .into_iter()
+        .map(ShadowPartition::into_outcome)
+        .collect()
+}
+
+fn detect_partitions(
+    index: &ReachIndex,
+    accesses: &[GranuleAccess],
+    threads: usize,
+    executor: &impl DetectExecutor,
+) -> Vec<ShadowPartition> {
+    let ranges = shard::partition_ranges(accesses, threads.max(1));
     let mut partitions: Vec<ShadowPartition> = ranges
         .iter()
         .map(|r| ShadowPartition::new(r.clone()))
         .collect();
-    let buckets = shard::bucket_accesses(accesses, &ranges);
-    {
-        let index = &index;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = partitions
-            .iter_mut()
-            .zip(buckets)
-            .map(|(partition, bucket)| {
-                Box::new(move || partition.run(index, &bucket)) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        executor.run_batch(tasks);
+    if let [partition] = partitions.as_mut_slice() {
+        // One range covers every access: run it on the stream directly
+        // instead of copying the whole stream into a bucket.
+        partition.run(index, accesses);
+        return partitions;
     }
-    Ok(shard::merge_reports(partitions))
+    let buckets = shard::bucket_accesses(accesses, &ranges);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = partitions
+        .iter_mut()
+        .zip(buckets)
+        .map(|(partition, bucket)| {
+            Box::new(move || partition.run(index, &bucket)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    executor.run_batch(tasks);
+    partitions
 }
 
 #[cfg(test)]

@@ -157,12 +157,59 @@ impl ShadowPartition {
             self.apply(index, &mut cursor, acc);
         }
     }
+
+    /// Extracts the partition's result (range, witnesses, observation
+    /// count) — the unit a persistent detection store caches and merges.
+    pub fn into_outcome(self) -> PartitionOutcome {
+        PartitionOutcome {
+            range: self.range,
+            witnesses: self.witnesses,
+            observations: self.observations,
+        }
+    }
+}
+
+/// One partition's detection result: its granule range, the first-witness
+/// race per racy granule (tagged with the trace position that exposed it)
+/// and the total racing pairs observed.
+///
+/// Outcomes are the exchange format between the engine and
+/// `futurerd-store`: a stored outcome for a granule range stays valid as
+/// long as no appended event touches a granule in that range, so incremental
+/// re-detection merges cached outcomes with freshly recomputed ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionOutcome {
+    /// The granule range the partition owned (half-open).
+    pub range: Range<u64>,
+    /// First witness race per racy granule, with the trace position of the
+    /// access that exposed it.
+    pub witnesses: Vec<(u32, Race)>,
+    /// Every racing pair observed, including repeats per granule.
+    pub observations: u64,
+}
+
+/// Runs detection over one granule range of the access stream against a
+/// frozen index, sequentially, and returns the partition's outcome.
+/// `accesses` is the **full** stream; accesses outside `range` are skipped.
+pub fn run_partition(
+    index: &ReachIndex,
+    range: Range<u64>,
+    accesses: &[GranuleAccess],
+) -> PartitionOutcome {
+    let mut partition = ShadowPartition::new(range);
+    let mut cursor = index.cursor();
+    for acc in accesses {
+        if partition.owns(acc.granule) {
+            partition.apply(index, &mut cursor, acc);
+        }
+    }
+    partition.into_outcome()
 }
 
 /// Splits the granule space into at most `parts` contiguous ranges of
 /// roughly equal access counts (balanced sharding: partition boundaries
 /// follow the access histogram, not the raw address span).
-pub(crate) fn partition_ranges(accesses: &[GranuleAccess], parts: usize) -> Vec<Range<u64>> {
+pub fn partition_ranges(accesses: &[GranuleAccess], parts: usize) -> Vec<Range<u64>> {
     let parts = parts.max(1);
     if accesses.is_empty() {
         return Vec::new();
@@ -211,15 +258,15 @@ pub(crate) fn partition_ranges(accesses: &[GranuleAccess], parts: usize) -> Vec<
 /// Buckets the access stream by partition, preserving trace order within
 /// each bucket. Ranges must be sorted and disjoint (as produced by
 /// [`partition_ranges`]).
-pub(crate) fn bucket_accesses(
-    accesses: Vec<GranuleAccess>,
+pub fn bucket_accesses(
+    accesses: &[GranuleAccess],
     ranges: &[Range<u64>],
 ) -> Vec<Vec<GranuleAccess>> {
     if ranges.len() <= 1 {
         return if ranges.is_empty() {
             Vec::new()
         } else {
-            vec![accesses]
+            vec![accesses.to_vec()]
         };
     }
     let ends: Vec<u64> = ranges.iter().map(|r| r.end).collect();
@@ -227,7 +274,7 @@ pub(crate) fn bucket_accesses(
     for acc in accesses {
         let idx = ends.partition_point(|&end| end <= acc.granule);
         debug_assert!(ranges[idx].contains(&acc.granule));
-        buckets[idx].push(acc);
+        buckets[idx].push(*acc);
     }
     buckets
 }
@@ -237,11 +284,17 @@ pub(crate) fn bucket_accesses(
 /// report sorted by trace position (tie-broken by granule, the order a
 /// single wide access reports its granules in), and the observation total is
 /// restored afterwards.
-pub(crate) fn merge_reports(partitions: Vec<ShadowPartition>) -> RaceReport {
-    let total: u64 = partitions.iter().map(|p| p.observations).sum();
+///
+/// The merge is *range-agnostic*: any set of outcomes whose ranges cover
+/// every touched granule exactly once yields the same report, which is why a
+/// store can mix cached outcomes (from an earlier partitioning) with freshly
+/// recomputed ones.
+pub fn merge_outcomes(outcomes: impl IntoIterator<Item = PartitionOutcome>) -> RaceReport {
+    let mut total = 0u64;
     let mut all: Vec<(u32, Race)> = Vec::new();
-    for partition in partitions {
-        all.extend(partition.witnesses);
+    for outcome in outcomes {
+        total += outcome.observations;
+        all.extend(outcome.witnesses);
     }
     all.sort_by_key(|&(pos, race)| (pos, race.addr.granule()));
     let mut report = RaceReport::default();
@@ -252,6 +305,11 @@ pub(crate) fn merge_reports(partitions: Vec<ShadowPartition>) -> RaceReport {
     }
     report.add_observations(total - recorded);
     report
+}
+
+/// Merges finished partitions into one report (see [`merge_outcomes`]).
+pub(crate) fn merge_reports(partitions: Vec<ShadowPartition>) -> RaceReport {
+    merge_outcomes(partitions.into_iter().map(ShadowPartition::into_outcome))
 }
 
 #[cfg(test)]
@@ -313,7 +371,7 @@ mod tests {
             acc(50, 3, 1, false),
         ];
         let ranges = vec![0..10, 10..60];
-        let buckets = bucket_accesses(accesses, &ranges);
+        let buckets = bucket_accesses(&accesses, &ranges);
         assert_eq!(buckets[0].iter().map(|a| a.pos).collect::<Vec<_>>(), [0, 2]);
         assert_eq!(buckets[1].iter().map(|a| a.pos).collect::<Vec<_>>(), [1, 3]);
     }

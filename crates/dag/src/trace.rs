@@ -38,14 +38,29 @@
 //! `serde` derives (via the vendored shim) so that swapping in the real
 //! `serde` for JSON export stays a manifest-only change.
 //!
-//! Version 2 (the current writer format) additionally **delta-encodes the
-//! access events**: the strand id and the byte address of each `Read`/`Write`
-//! are stored as zigzag varint deltas against the previous access. Accesses
-//! are overwhelmingly same-strand (delta 0 → one byte) at near-sequential
-//! addresses (delta ±granule → one byte), so dense access runs shrink from
-//! ~4–6 bytes to ~3 per event. Version 1 streams — absolute fields
-//! everywhere — remain fully readable; [`Trace::write_to_versioned`] still
-//! writes them for compatibility checks and size comparisons.
+//! Version 2 additionally **delta-encodes the access events**: the strand id
+//! and the byte address of each `Read`/`Write` are stored as zigzag varint
+//! deltas against the previous access. Accesses are overwhelmingly
+//! same-strand (delta 0 → one byte) at near-sequential addresses (delta
+//! ±granule → one byte), so dense access runs shrink from ~4–6 bytes to ~3
+//! per event.
+//!
+//! Version 3 (the current writer format) adds two things behind the version
+//! field:
+//!
+//! * **run-length encoded access bursts** — a maximal run of ≥
+//!   [`MIN_ACCESS_RUN`] same-kind, same-strand, same-size accesses whose
+//!   addresses advance by a constant stride (a dense sweep, a repeated
+//!   granule, a strided column walk) collapses into one run event carrying
+//!   the first address, the count and the stride;
+//! * a **payload checksum** — a little-endian FNV-1a 64 hash of the encoded
+//!   payload (event count + events) stored right after the version field, so
+//!   a bit flip anywhere in the body is a typed [`TraceError::Checksum`]
+//!   instead of a silent mis-decode.
+//!
+//! Version 1 (absolute fields) and version 2 streams remain fully readable;
+//! [`Trace::write_to_versioned`] still writes them for compatibility checks
+//! and size comparisons.
 
 use crate::events::{CreateFutureEvent, ForkInfo, GetFutureEvent, Observer, SpawnEvent, SyncEvent};
 use crate::ids::{FunctionId, MemAddr, StrandId};
@@ -56,11 +71,20 @@ use std::path::Path;
 
 /// Magic bytes identifying a trace file.
 pub const TRACE_MAGIC: [u8; 8] = *b"FRDTRACE";
-/// Current format version (delta-encoded access events).
-pub const TRACE_VERSION: u32 = 2;
+/// Current format version (run-length encoded access bursts + checksummed
+/// payload, on top of v2's delta encoding).
+pub const TRACE_VERSION: u32 = 3;
+/// The delta-encoded format version (no run events, no checksum); still
+/// readable and writable via [`Trace::write_to_versioned`].
+pub const TRACE_VERSION_V2: u32 = 2;
 /// The original format version (absolute fields everywhere); still readable
 /// and writable via [`Trace::write_to_versioned`].
 pub const TRACE_VERSION_V1: u32 = 1;
+
+/// Minimum number of accesses collapsed into one v3 run event. Shorter
+/// bursts are written as plain access events (a run header would not pay for
+/// itself).
+pub const MIN_ACCESS_RUN: usize = 3;
 
 /// One event of the serialized execution stream — the persistent counterpart
 /// of one [`Observer`] callback.
@@ -145,6 +169,14 @@ pub enum TraceError {
     BadOpcode(u8),
     /// A varint field does not fit the expected integer width.
     FieldOverflow,
+    /// The payload checksum of a v3 stream does not match its contents (a
+    /// bit flip or torn write somewhere in the body).
+    Checksum {
+        /// The checksum stored in the header.
+        expected: u64,
+        /// The checksum computed over the decoded payload.
+        found: u64,
+    },
     /// The stream violates the canonical serial-DF ordering invariant.
     Invariant {
         /// Index of the offending event.
@@ -174,6 +206,10 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::BadOpcode(op) => write!(f, "unknown event opcode {op:#x}"),
             TraceError::FieldOverflow => write!(f, "varint field exceeds its integer width"),
+            TraceError::Checksum { expected, found } => write!(
+                f,
+                "payload checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
             TraceError::Invariant { index, message } => {
                 write!(
                     f,
@@ -308,28 +344,7 @@ impl Trace {
 
     /// Replays the trace through a borrowed observer.
     pub fn replay_into<O: Observer + ?Sized>(&self, observer: &mut O) {
-        for event in &self.events {
-            match event {
-                TraceEvent::ProgramStart { root, first } => {
-                    observer.on_program_start(*root, *first)
-                }
-                TraceEvent::StrandStart { strand, function } => {
-                    observer.on_strand_start(*strand, *function)
-                }
-                TraceEvent::Spawn(ev) => observer.on_spawn(ev),
-                TraceEvent::CreateFuture(ev) => observer.on_create_future(ev),
-                TraceEvent::Return { function, last } => observer.on_return(*function, *last),
-                TraceEvent::Sync(ev) => observer.on_sync(ev),
-                TraceEvent::GetFuture(ev) => observer.on_get_future(ev),
-                TraceEvent::Read { strand, addr, size } => {
-                    observer.on_read(*strand, *addr, *size as usize)
-                }
-                TraceEvent::Write { strand, addr, size } => {
-                    observer.on_write(*strand, *addr, *size as usize)
-                }
-                TraceEvent::ProgramEnd { last } => observer.on_program_end(*last),
-            }
-        }
+        replay_events(&self.events, observer);
     }
 
     /// Serializes the trace to `writer` in the current binary format
@@ -339,23 +354,44 @@ impl Trace {
     }
 
     /// Serializes the trace in an explicit format version — the current
-    /// delta-encoded v2 or the legacy absolute-field v1 (for compatibility
-    /// tests and size comparisons). Unknown versions are rejected with
-    /// [`TraceError::UnsupportedVersion`].
+    /// run-length + checksummed v3, the delta-encoded v2, or the legacy
+    /// absolute-field v1 (for compatibility tests and size comparisons).
+    /// Unknown versions are rejected with [`TraceError::UnsupportedVersion`].
     pub fn write_to_versioned<W: Write>(
         &self,
         writer: &mut W,
         version: u32,
     ) -> Result<(), TraceError> {
-        if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
+        if !(TRACE_VERSION_V1..=TRACE_VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
         writer.write_all(&TRACE_MAGIC)?;
         writer.write_all(&version.to_le_bytes())?;
-        write_varint(writer, self.events.len() as u64)?;
         let mut codec = Codec::new(version);
-        for event in &self.events {
-            encode_event(writer, event, &mut codec)?;
+        if version >= 3 {
+            // The checksum precedes the payload, so v3 buffers the encoded
+            // payload once; v1/v2 stream straight to the writer below.
+            let mut payload = Vec::new();
+            write_varint(&mut payload, self.events.len() as u64)?;
+            // Collapse maximal constant-stride access bursts into run events.
+            let mut i = 0;
+            while i < self.events.len() {
+                let run = access_run_len(&self.events, i);
+                if run >= MIN_ACCESS_RUN {
+                    encode_access_run(&mut payload, &self.events[i..i + run], &mut codec)?;
+                    i += run;
+                } else {
+                    encode_event(&mut payload, &self.events[i], &mut codec)?;
+                    i += 1;
+                }
+            }
+            writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
+            writer.write_all(&payload)?;
+        } else {
+            write_varint(writer, self.events.len() as u64)?;
+            for event in &self.events {
+                encode_event(writer, event, &mut codec)?;
+            }
         }
         Ok(())
     }
@@ -370,23 +406,62 @@ impl Trace {
         let mut version = [0u8; 4];
         read_exact_or_truncated(reader, &mut version)?;
         let version = u32::from_le_bytes(version);
-        if version != TRACE_VERSION && version != TRACE_VERSION_V1 {
+        if !(TRACE_VERSION_V1..=TRACE_VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
+        if version >= 3 {
+            // The payload is checksummed: read it whole and verify **before**
+            // decoding anything, so corruption (including a flipped run
+            // count, which could otherwise drive a huge expansion) is a
+            // typed error before any event is materialized.
+            let mut checksum = [0u8; 8];
+            read_exact_or_truncated(reader, &mut checksum)?;
+            let expected = u64::from_le_bytes(checksum);
+            let mut payload = Vec::new();
+            reader.read_to_end(&mut payload)?;
+            let found = fnv1a64(&payload);
+            if found != expected {
+                return Err(TraceError::Checksum { expected, found });
+            }
+            let mut slice: &[u8] = &payload;
+            let events = Self::decode_events(&mut slice, version)?;
+            // The checksum covers exactly the written payload, so verified
+            // trailing bytes can only mean an encoder bug — still reject.
+            if !slice.is_empty() {
+                return Err(TraceError::TrailingData);
+            }
+            Ok(Self { events })
+        } else {
+            let events = Self::decode_events(reader, version)?;
+            // A trace is the whole input: bytes past the declared event
+            // count mean corruption (torn write, concatenation).
+            let mut probe = [0u8; 1];
+            match reader.read(&mut probe) {
+                Ok(0) => Ok(Self { events }),
+                Ok(_) => Err(TraceError::TrailingData),
+                Err(e) => Err(TraceError::Io(e)),
+            }
+        }
+    }
+
+    fn decode_events<R: Read>(reader: &mut R, version: u32) -> Result<Vec<TraceEvent>, TraceError> {
         let count = read_varint(reader)?;
-        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+        // Decoder safety bound, not a format limit: v3 run events mean a few
+        // bytes can legitimately declare millions of events, so the declared
+        // count is the only lever bounding decoder memory. 2^28 events is
+        // ~100× the largest trace in the repo while capping a crafted or
+        // corrupt stream at a few GB instead of an OOM abort. (Positions are
+        // 32-bit throughout the detection stack anyway.)
+        if count >= 1 << 28 {
+            return Err(TraceError::FieldOverflow);
+        }
+        let count = usize::try_from(count).map_err(|_| TraceError::FieldOverflow)?;
+        let mut events = Vec::with_capacity(count.min(1 << 20));
         let mut codec = Codec::new(version);
-        for _ in 0..count {
-            events.push(decode_event(reader, &mut codec)?);
+        while events.len() < count {
+            decode_into(reader, &mut codec, &mut events, count)?;
         }
-        // A trace is the whole input: bytes past the declared event count
-        // mean corruption (torn write, concatenation), not extra events.
-        let mut probe = [0u8; 1];
-        match reader.read(&mut probe) {
-            Ok(0) => Ok(Self { events }),
-            Ok(_) => Err(TraceError::TrailingData),
-            Err(e) => Err(TraceError::Io(e)),
-        }
+        Ok(events)
     }
 
     /// Serializes the trace to an in-memory buffer (current format version).
@@ -427,7 +502,60 @@ impl Trace {
     /// Checks the canonical serial-DF ordering invariant (see the module
     /// docs) and returns the per-construct totals.
     pub fn validate(&self) -> Result<TraceCounts, TraceError> {
-        Validator::default().run(&self.events)
+        let (counts, complete) = self.validate_prefix()?;
+        if !complete {
+            return Err(TraceError::Invariant {
+                index: self.events.len(),
+                message: "stream ended before ProgramEnd".to_string(),
+            });
+        }
+        Ok(counts)
+    }
+
+    /// Checks that the stream is a **prefix** of some canonical serial-DF
+    /// trace — the append-aware variant of [`Trace::validate`]. A growing
+    /// recorded execution is canonical at every cut point, so a detection
+    /// store can validate, freeze and detect on a trace that has not reached
+    /// its `ProgramEnd` yet and keep appending events to it.
+    ///
+    /// Returns the per-construct totals of the prefix plus `true` when the
+    /// stream is actually complete (ends with `ProgramEnd`).
+    pub fn validate_prefix(&self) -> Result<(TraceCounts, bool), TraceError> {
+        Validator::default().run_prefix(&self.events)
+    }
+
+    /// Appends every event of `suffix`, in order. Like [`Trace::push`], the
+    /// canonical ordering is not checked here — call
+    /// [`Trace::validate_prefix`] (or [`Trace::validate`]) on the extended
+    /// stream.
+    pub fn extend_events(&mut self, suffix: &[TraceEvent]) {
+        self.events.extend_from_slice(suffix);
+    }
+}
+
+/// Replays a slice of events through a borrowed observer — the event-slice
+/// form of [`Trace::replay_into`], used by incremental consumers that feed
+/// an observer only the suffix appended since the last replay.
+pub fn replay_events<O: Observer + ?Sized>(events: &[TraceEvent], observer: &mut O) {
+    for event in events {
+        match event {
+            TraceEvent::ProgramStart { root, first } => observer.on_program_start(*root, *first),
+            TraceEvent::StrandStart { strand, function } => {
+                observer.on_strand_start(*strand, *function)
+            }
+            TraceEvent::Spawn(ev) => observer.on_spawn(ev),
+            TraceEvent::CreateFuture(ev) => observer.on_create_future(ev),
+            TraceEvent::Return { function, last } => observer.on_return(*function, *last),
+            TraceEvent::Sync(ev) => observer.on_sync(ev),
+            TraceEvent::GetFuture(ev) => observer.on_get_future(ev),
+            TraceEvent::Read { strand, addr, size } => {
+                observer.on_read(*strand, *addr, *size as usize)
+            }
+            TraceEvent::Write { strand, addr, size } => {
+                observer.on_write(*strand, *addr, *size as usize)
+            }
+            TraceEvent::ProgramEnd { last } => observer.on_program_end(*last),
+        }
     }
 }
 
@@ -441,6 +569,7 @@ impl Trace {
 #[derive(Debug)]
 struct Codec {
     delta: bool,
+    runs: bool,
     prev_strand: u32,
     prev_addr: u64,
 }
@@ -449,6 +578,7 @@ impl Codec {
     fn new(version: u32) -> Self {
         Self {
             delta: version >= 2,
+            runs: version >= 3,
             prev_strand: 0,
             prev_addr: 0,
         }
@@ -517,6 +647,84 @@ const OP_GET_FUTURE: u8 = 6;
 const OP_READ: u8 = 7;
 const OP_WRITE: u8 = 8;
 const OP_PROGRAM_END: u8 = 9;
+// v3 only: a constant-stride burst of ≥ MIN_ACCESS_RUN same-strand,
+// same-size accesses, stored as (first strand/addr via the delta codec,
+// size, count, zigzag stride).
+const OP_READ_RUN: u8 = 10;
+const OP_WRITE_RUN: u8 = 11;
+
+/// FNV-1a 64 — the payload checksum of v3 streams (and of the `FRDIDX`
+/// sidecar files of `futurerd-store`, which reuse this codec family).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Length of the maximal run-length-encodable access burst starting at
+/// `events[i]`: same event kind (all reads or all writes), same strand, same
+/// size, and addresses advancing by one constant (wrapping) stride.
+fn access_run_len(events: &[TraceEvent], i: usize) -> usize {
+    let (is_write, strand, addr, size) = match events[i] {
+        TraceEvent::Read { strand, addr, size } => (false, strand, addr, size),
+        TraceEvent::Write { strand, addr, size } => (true, strand, addr, size),
+        _ => return 1,
+    };
+    let mut stride: Option<u64> = None;
+    let mut prev = addr.0;
+    let mut len = 1;
+    for event in &events[i + 1..] {
+        let (w, s, a, n) = match *event {
+            TraceEvent::Read { strand, addr, size } => (false, strand, addr, size),
+            TraceEvent::Write { strand, addr, size } => (true, strand, addr, size),
+            _ => break,
+        };
+        if w != is_write || s != strand || n != size {
+            break;
+        }
+        let step = a.0.wrapping_sub(prev);
+        match stride {
+            None => stride = Some(step),
+            Some(st) if st == step => {}
+            Some(_) => break,
+        }
+        prev = a.0;
+        len += 1;
+    }
+    len
+}
+
+/// Encodes one access burst (all reads or all writes, validated by the
+/// caller via [`access_run_len`]) as a single run event.
+fn encode_access_run<W: Write>(
+    w: &mut W,
+    run: &[TraceEvent],
+    codec: &mut Codec,
+) -> Result<(), TraceError> {
+    let (op, strand, addr, size) = match run[0] {
+        TraceEvent::Read { strand, addr, size } => (OP_READ_RUN, strand, addr, size),
+        TraceEvent::Write { strand, addr, size } => (OP_WRITE_RUN, strand, addr, size),
+        _ => unreachable!("access_run_len only groups access events"),
+    };
+    let second = match run[1] {
+        TraceEvent::Read { addr, .. } | TraceEvent::Write { addr, .. } => addr,
+        _ => unreachable!("access_run_len only groups access events"),
+    };
+    let stride = second.0.wrapping_sub(addr.0);
+    w.write_all(&[op])?;
+    codec.encode_access_fields(w, strand, addr)?;
+    write_varint(w, size.into())?;
+    write_varint(w, run.len() as u64)?;
+    write_varint(w, zigzag64(stride as i64))?;
+    // The delta baseline continues from the *last* access of the run.
+    codec.prev_addr = addr
+        .0
+        .wrapping_add(stride.wrapping_mul(run.len() as u64 - 1));
+    Ok(())
+}
 
 fn write_varint<W: Write>(w: &mut W, mut value: u64) -> Result<(), TraceError> {
     loop {
@@ -656,10 +864,52 @@ fn encode_event<W: Write>(
     Ok(())
 }
 
-fn decode_event<R: Read>(r: &mut R, codec: &mut Codec) -> Result<TraceEvent, TraceError> {
+/// Decodes the next stored event into `events`. Plain events push one
+/// element; a v3 run event expands into its `count` accesses. `declared` is
+/// the stream's declared total event count — a run that would overshoot it
+/// is corrupt and rejected before anything is expanded.
+fn decode_into<R: Read>(
+    r: &mut R,
+    codec: &mut Codec,
+    events: &mut Vec<TraceEvent>,
+    declared: usize,
+) -> Result<(), TraceError> {
     let mut op = [0u8; 1];
     read_exact_or_truncated(r, &mut op)?;
-    Ok(match op[0] {
+    let op = op[0];
+    if op == OP_READ_RUN || op == OP_WRITE_RUN {
+        if !codec.runs {
+            return Err(TraceError::BadOpcode(op));
+        }
+        let (strand, addr) = codec.decode_access_fields(r)?;
+        let size = read_u32(r)?;
+        let count = read_varint(r)?;
+        let stride = unzigzag64(read_varint(r)?) as u64;
+        let count = usize::try_from(count).map_err(|_| TraceError::FieldOverflow)?;
+        if count == 0 || count > declared - events.len() {
+            return Err(TraceError::TrailingData);
+        }
+        for k in 0..count as u64 {
+            let addr = MemAddr(addr.0.wrapping_add(stride.wrapping_mul(k)));
+            events.push(if op == OP_READ_RUN {
+                TraceEvent::Read { strand, addr, size }
+            } else {
+                TraceEvent::Write { strand, addr, size }
+            });
+        }
+        codec.prev_addr = addr.0.wrapping_add(stride.wrapping_mul(count as u64 - 1));
+        return Ok(());
+    }
+    events.push(decode_event_body(op, r, codec)?);
+    Ok(())
+}
+
+fn decode_event_body<R: Read>(
+    op: u8,
+    r: &mut R,
+    codec: &mut Codec,
+) -> Result<TraceEvent, TraceError> {
+    Ok(match op {
         OP_PROGRAM_START => TraceEvent::ProgramStart {
             root: FunctionId(read_u32(r)?),
             first: StrandId(read_u32(r)?),
@@ -809,18 +1059,15 @@ impl Default for Validator {
 }
 
 impl Validator {
-    fn run(mut self, events: &[TraceEvent]) -> Result<TraceCounts, TraceError> {
+    /// Validates `events` as a canonical *prefix*: every step must be legal,
+    /// but the stream may stop anywhere. Returns the counts plus whether the
+    /// stream is complete (reached `ProgramEnd`).
+    fn run_prefix(mut self, events: &[TraceEvent]) -> Result<(TraceCounts, bool), TraceError> {
         for (index, event) in events.iter().enumerate() {
             self.step(index, event)
                 .map_err(|message| TraceError::Invariant { index, message })?;
         }
-        if self.expect != Expect::Done {
-            return Err(TraceError::Invariant {
-                index: events.len(),
-                message: "stream ended before ProgramEnd".to_string(),
-            });
-        }
-        Ok(self.counts)
+        Ok((self.counts, self.expect == Expect::Done))
     }
 
     fn current(&self) -> Result<(FunctionId, StrandId), String> {
@@ -1207,25 +1454,146 @@ mod tests {
     }
 
     #[test]
-    fn v1_streams_remain_readable_and_equivalent() {
+    fn older_streams_remain_readable_and_equivalent() {
         let t = fork_join_trace();
         let v1 = t.to_bytes_versioned(TRACE_VERSION_V1).expect("v1 encodes");
-        let v2 = t.to_bytes_versioned(TRACE_VERSION).expect("v2 encodes");
-        assert_eq!(v2, t.to_bytes(), "write_to defaults to the v2 format");
+        let v2 = t.to_bytes_versioned(TRACE_VERSION_V2).expect("v2 encodes");
+        let v3 = t.to_bytes_versioned(TRACE_VERSION).expect("v3 encodes");
+        assert_eq!(v3, t.to_bytes(), "write_to defaults to the v3 format");
         assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
         assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(v3[8..12].try_into().unwrap()), 3);
         assert_ne!(v1, v2, "the delta encoding changes the byte stream");
-        assert_eq!(Trace::from_bytes(&v1).expect("v1 decodes"), t);
-        assert_eq!(Trace::from_bytes(&v2).expect("v2 decodes"), t);
+        assert_ne!(v2, v3, "the checksum header changes the byte stream");
+        for bytes in [v1, v2, v3] {
+            assert_eq!(Trace::from_bytes(&bytes).expect("decodes"), t);
+        }
     }
 
     #[test]
     fn writer_rejects_unknown_versions() {
         let t = fork_join_trace();
         assert!(matches!(
-            t.to_bytes_versioned(3),
-            Err(TraceError::UnsupportedVersion(3))
+            t.to_bytes_versioned(4),
+            Err(TraceError::UnsupportedVersion(4))
         ));
+    }
+
+    #[test]
+    fn v3_collapses_constant_stride_bursts_and_round_trips() {
+        // Mixed burst shapes: a forward sweep, a stride-0 repeat, a backward
+        // sweep, a run interrupted by a non-access event, and sub-threshold
+        // pairs that must stay plain events.
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            t.push(TraceEvent::Read {
+                strand: StrandId(3),
+                addr: MemAddr(0x1000 + i * 4),
+                size: 4,
+            });
+        }
+        for _ in 0..10 {
+            t.push(TraceEvent::Write {
+                strand: StrandId(3),
+                addr: MemAddr(0x40),
+                size: 8,
+            });
+        }
+        for i in 0..10u64 {
+            t.push(TraceEvent::Read {
+                strand: StrandId(3),
+                addr: MemAddr(0x9000 - i * 16),
+                size: 4,
+            });
+        }
+        t.push(TraceEvent::Return {
+            function: FunctionId(0),
+            last: StrandId(3),
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(3),
+            addr: MemAddr(0x10),
+            size: 4,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(3),
+            addr: MemAddr(0x20),
+            size: 2, // size change breaks the run
+        });
+        let v2 = t.to_bytes_versioned(TRACE_VERSION_V2).unwrap();
+        let v3 = t.to_bytes_versioned(TRACE_VERSION).unwrap();
+        assert!(
+            v3.len() * 4 < v2.len(),
+            "expected ≥4× shrink from run-length encoding: v2={} v3={}",
+            v2.len(),
+            v3.len()
+        );
+        assert_eq!(Trace::from_bytes(&v3).expect("v3 decodes"), t);
+    }
+
+    #[test]
+    fn decoder_caps_declared_event_count() {
+        // A crafted v3 stream with a *valid* checksum declaring 2^28 events
+        // backed by a single run event must be rejected by the declared-count
+        // safety bound before any expansion happens (typed error, no OOM).
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 1 << 28).unwrap();
+        payload.push(OP_READ_RUN);
+        let mut codec = Codec::new(TRACE_VERSION);
+        codec
+            .encode_access_fields(&mut payload, StrandId(0), MemAddr(0))
+            .unwrap();
+        write_varint(&mut payload, 4).unwrap(); // size
+        write_varint(&mut payload, 1 << 28).unwrap(); // run count
+        write_varint(&mut payload, zigzag64(4)).unwrap(); // stride
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::FieldOverflow)
+        ));
+    }
+
+    #[test]
+    fn v3_detects_payload_bit_flips() {
+        let mut bytes = fork_join_trace().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(
+            matches!(
+                Trace::from_bytes(&bytes),
+                Err(TraceError::Checksum { .. }) | Err(TraceError::TrailingData)
+            ),
+            "flip must be caught by the checksum (or the layout check)"
+        );
+    }
+
+    #[test]
+    fn validate_prefix_accepts_every_canonical_cut() {
+        let t = fork_join_trace();
+        for cut in 0..=t.len() {
+            let mut prefix = Trace::new();
+            prefix.extend_events(&t.events()[..cut]);
+            let (counts, complete) = prefix
+                .validate_prefix()
+                .unwrap_or_else(|e| panic!("prefix of {cut} events rejected: {e}"));
+            assert_eq!(complete, cut == t.len());
+            if cut < t.len() {
+                assert!(prefix.validate().is_err(), "incomplete prefix of {cut}");
+            } else {
+                assert_eq!(counts, t.validate().expect("complete trace validates"));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_prefix_still_rejects_corrupt_streams() {
+        let mut t = fork_join_trace();
+        t.push(TraceEvent::ProgramEnd { last: StrandId(3) });
+        assert!(t.validate_prefix().is_err());
     }
 
     #[test]
@@ -1258,7 +1626,7 @@ mod tests {
             };
             t.push(event);
         }
-        for version in [TRACE_VERSION_V1, TRACE_VERSION] {
+        for version in [TRACE_VERSION_V1, TRACE_VERSION_V2, TRACE_VERSION] {
             let bytes = t.to_bytes_versioned(version).expect("encodes");
             assert_eq!(
                 Trace::from_bytes(&bytes).expect("decodes"),
@@ -1281,10 +1649,15 @@ mod tests {
             });
         }
         let v1 = t.to_bytes_versioned(TRACE_VERSION_V1).unwrap().len();
-        let v2 = t.to_bytes_versioned(TRACE_VERSION).unwrap().len();
+        let v2 = t.to_bytes_versioned(TRACE_VERSION_V2).unwrap().len();
+        let v3 = t.to_bytes_versioned(TRACE_VERSION).unwrap().len();
         assert!(
             v2 * 10 < v1 * 6,
             "expected the delta encoding to shrink the stream by ≥40%: v1={v1} v2={v2}"
+        );
+        assert!(
+            v3 < v2 / 100,
+            "one run event should replace the whole sweep: v2={v2} v3={v3}"
         );
     }
 
@@ -1310,12 +1683,23 @@ mod tests {
 
     #[test]
     fn decoder_rejects_trailing_bytes() {
+        // v3 payloads are checksummed, so an appended byte surfaces as a
+        // checksum mismatch (verified before decode); the unchecksummed
+        // formats report the trailing data itself.
         let mut bytes = fork_join_trace().to_bytes();
         bytes.push(0);
         assert!(matches!(
             Trace::from_bytes(&bytes),
-            Err(TraceError::TrailingData)
+            Err(TraceError::Checksum { .. })
         ));
+        for version in [TRACE_VERSION_V1, TRACE_VERSION_V2] {
+            let mut bytes = fork_join_trace().to_bytes_versioned(version).unwrap();
+            bytes.push(0);
+            assert!(
+                matches!(Trace::from_bytes(&bytes), Err(TraceError::TrailingData)),
+                "version {version}"
+            );
+        }
     }
 
     #[test]

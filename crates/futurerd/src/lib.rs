@@ -106,6 +106,10 @@ pub use futurerd_dag::{FunctionId, MemAddr, NullObserver, Observer, StrandId};
 pub use futurerd_runtime::exec::{ExecutionSummary, FutureHandle};
 pub use futurerd_runtime::trace::TraceRecorder;
 pub use futurerd_runtime::{ShadowArray, ShadowCell, ShadowMatrix, ThreadPool, ThreadPoolBuilder};
+pub use futurerd_store as store;
+pub use futurerd_store::{
+    BatchJob, BatchManifest, DetectionPath, Store, StoreDetection, StoreError, StoreStats,
+};
 
 use futurerd_core::parallel::par_replay_detect_with;
 use futurerd_core::reachability::{
@@ -225,6 +229,11 @@ impl Config {
     /// merged deterministically — the [`RaceReport`] is identical to a
     /// single-threaded replay at any thread count. Other algorithms and
     /// partial analyses replay sequentially regardless of this setting.
+    ///
+    /// Workers come from the **process-shared** pool of this size
+    /// ([`ThreadPool::shared`]), so repeated replays and batch jobs pay the
+    /// worker spawn cost once; use [`Config::replay_on`] to supply a pool
+    /// explicitly.
     ///
     /// The parallel path reports the race verdict only: `reach_stats` and
     /// `detector_stats` are `None` (per-shard work counters are not
@@ -371,23 +380,49 @@ impl Config {
     /// assert_eq!(detection.summary.gets, recorded.summary.gets);
     /// ```
     pub fn replay(self, trace: &Trace) -> Result<Detection<()>, TraceError> {
+        self.replay_impl(trace, None)
+    }
+
+    /// As [`Config::replay`], but parallel detection workers run on the
+    /// given pool instead of the facade's process-shared one — for callers
+    /// that manage pool lifetime themselves. The partition count still comes
+    /// from [`Config::threads`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use futurerd::{Config, ThreadPool};
+    ///
+    /// let recorded = futurerd::record(|cx| {
+    ///     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+    ///     cx.spawn(|cx| cell.set(cx, 1));
+    ///     let racy = cell.get(cx);
+    ///     cx.sync();
+    ///     racy
+    /// });
+    /// let pool = ThreadPool::new(2);
+    /// let d = Config::structured()
+    ///     .threads(2)
+    ///     .replay_on(&recorded.trace, &pool)
+    ///     .unwrap();
+    /// assert_eq!(d.race_count(), 1);
+    /// ```
+    pub fn replay_on(self, trace: &Trace, pool: &ThreadPool) -> Result<Detection<()>, TraceError> {
+        self.replay_impl(trace, Some(pool))
+    }
+
+    fn replay_impl(
+        self,
+        trace: &Trace,
+        pool: Option<&ThreadPool>,
+    ) -> Result<Detection<()>, TraceError> {
         let counts = trace.validate()?;
         if self.algorithm == Algorithm::SpBags && trace.has_futures() {
             return Err(TraceError::Unsupported {
                 message: "SP-Bags cannot consume traces that contain futures".to_string(),
             });
         }
-        let summary = ExecutionSummary {
-            functions: counts.functions,
-            strands: counts.strands,
-            spawns: counts.spawns,
-            creates: counts.creates,
-            syncs: counts.syncs,
-            gets: counts.gets,
-            reads: counts.reads,
-            writes: counts.writes,
-            bytes_allocated: 0,
-        };
+        let summary = summary_from_counts(&counts);
         if self.analysis == Analysis::Full && self.threads > 1 {
             if let Some(algorithm) = match self.algorithm {
                 Algorithm::MultiBags => Some(ReplayAlgorithm::MultiBags),
@@ -395,12 +430,19 @@ impl Config {
                 // No frozen reachability form: replay sequentially below.
                 Algorithm::SpBags | Algorithm::SpBagsConservative | Algorithm::GraphOracle => None,
             } {
-                let pool = ThreadPoolBuilder::new()
-                    .num_threads(self.threads)
-                    .thread_name_prefix("futurerd-detect")
-                    .build();
+                // Reuse the process-shared pool of this size (workers spawn
+                // once and then serve every replay and batch job) unless the
+                // caller provided one.
+                let shared;
+                let pool = match pool {
+                    Some(pool) => pool,
+                    None => {
+                        shared = ThreadPool::shared(self.threads);
+                        &shared
+                    }
+                };
                 let report =
-                    par_replay_detect_with(trace, algorithm, self.threads, &PoolExecutor(&pool))?;
+                    par_replay_detect_with(trace, algorithm, self.threads, &PoolExecutor(pool))?;
                 return Ok(Detection {
                     value: (),
                     summary,
@@ -432,6 +474,84 @@ impl Config {
             reach_stats,
             detector_stats,
         })
+    }
+
+    /// Opens (or creates) a persistent detection [`Store`] rooted at `path`
+    /// — traces live next to their frozen-index `FRDIDX` sidecars, so
+    /// repeated replays take the warm path and appended events re-detect
+    /// incrementally. See [`Config::replay_stored`] for running this
+    /// configuration against a stored trace.
+    pub fn store(path: impl AsRef<std::path::Path>) -> Result<Store, StoreError> {
+        Store::open(path)
+    }
+
+    /// Replays a trace *stored* in `store` under this configuration,
+    /// serving the freeze from the trace's `FRDIDX` sidecar when it is
+    /// valid (warm replay) and refreezing only the appended suffix when the
+    /// trace has grown. The report is byte-identical to [`Config::replay`]
+    /// on the same trace.
+    ///
+    /// Only the freezable algorithms ([`Algorithm::MultiBags`] and
+    /// [`Algorithm::MultiBagsPlus`]) have a persistent index; other
+    /// algorithms return [`StoreError::Unfreezable`]. The analysis level is
+    /// ignored — stored detection is always full detection.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use futurerd::Config;
+    ///
+    /// let recorded = futurerd::record(|cx| {
+    ///     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+    ///     cx.spawn(|cx| cell.set(cx, 1));
+    ///     let racy = cell.get(cx);
+    ///     cx.sync();
+    ///     racy
+    /// });
+    /// let dir = std::env::temp_dir().join(format!("frd-facade-doc-{}", std::process::id()));
+    /// let mut store = Config::store(&dir).unwrap();
+    /// store.put_trace("racy", &recorded.trace).unwrap();
+    ///
+    /// let cold = Config::structured().replay_stored(&mut store, "racy").unwrap();
+    /// let warm = Config::structured().replay_stored(&mut store, "racy").unwrap();
+    /// assert_eq!(cold.race_count(), 1);
+    /// assert_eq!(warm.report().witnesses(), cold.report().witnesses());
+    /// assert_eq!(store.stats().warm_cached_hits, 1);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
+    pub fn replay_stored(self, store: &mut Store, name: &str) -> Result<Detection<()>, StoreError> {
+        let algorithm = match self.algorithm {
+            Algorithm::MultiBags => ReplayAlgorithm::MultiBags,
+            Algorithm::MultiBagsPlus => ReplayAlgorithm::MultiBagsPlus,
+            Algorithm::SpBags => ReplayAlgorithm::SpBags,
+            Algorithm::SpBagsConservative => ReplayAlgorithm::SpBagsConservative,
+            Algorithm::GraphOracle => ReplayAlgorithm::GraphOracle,
+        };
+        let detection = store.detect(name, algorithm, self.threads)?;
+        Ok(Detection {
+            value: (),
+            summary: summary_from_counts(&detection.counts),
+            config: self,
+            report: Some(detection.report),
+            reach_stats: None,
+            detector_stats: None,
+        })
+    }
+}
+
+/// Maps validated trace totals onto the executor's summary shape (replayed
+/// traces do not record allocations).
+fn summary_from_counts(counts: &TraceCounts) -> ExecutionSummary {
+    ExecutionSummary {
+        functions: counts.functions,
+        strands: counts.strands,
+        spawns: counts.spawns,
+        creates: counts.creates,
+        syncs: counts.syncs,
+        gets: counts.gets,
+        reads: counts.reads,
+        writes: counts.writes,
+        bytes_allocated: 0,
     }
 }
 

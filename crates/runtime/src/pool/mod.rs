@@ -241,6 +241,36 @@ impl ThreadPool {
         ThreadPoolBuilder::new().num_threads(num_threads).build()
     }
 
+    /// Returns a process-wide **shared** pool with `num_threads` workers
+    /// (0 = one per available hardware thread), building it on first use and
+    /// handing the same instance back afterwards.
+    ///
+    /// Worker threads take hundreds of microseconds to spawn — noticeable
+    /// when every replay of a batch job builds its own pool. Callers that
+    /// run many parallel detections (the `futurerd` facade's threaded
+    /// replay, `futurerd-store`'s batch service) share one pool per size
+    /// instead, amortizing the spawn cost across the whole batch.
+    ///
+    /// Shared pools live for the remainder of the process (idle workers park
+    /// on a condvar, so an unused cached pool costs no CPU).
+    pub fn shared(num_threads: usize) -> Arc<ThreadPool> {
+        type PoolCache = Mutex<Vec<(usize, Arc<ThreadPool>)>>;
+        static POOLS: std::sync::OnceLock<PoolCache> = std::sync::OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+        let mut pools = pools.lock();
+        if let Some((_, pool)) = pools.iter().find(|(n, _)| *n == num_threads) {
+            return Arc::clone(pool);
+        }
+        let pool = Arc::new(
+            ThreadPoolBuilder::new()
+                .num_threads(num_threads)
+                .thread_name_prefix("futurerd-shared")
+                .build(),
+        );
+        pools.push((num_threads, Arc::clone(&pool)));
+        pool
+    }
+
     fn with_config(num_threads: usize, stack_size: Option<usize>, name_prefix: String) -> Self {
         let mut worker_deques = Vec::with_capacity(num_threads);
         let mut stealers = Vec::with_capacity(num_threads);
@@ -762,5 +792,26 @@ mod tests {
         assert_eq!(pool.num_threads(), 3);
         assert!(!pool.is_worker_thread());
         pool.install(|| assert!(pool.is_worker_thread()));
+    }
+
+    #[test]
+    fn shared_pools_are_cached_per_size() {
+        let a = ThreadPool::shared(2);
+        let b = ThreadPool::shared(2);
+        assert!(Arc::ptr_eq(&a, &b), "same size must reuse the pool");
+        assert_eq!(a.num_threads(), 2);
+        let c = ThreadPool::shared(3);
+        assert!(!Arc::ptr_eq(&a, &c), "different sizes get different pools");
+        assert_eq!(c.num_threads(), 3);
+        // Shared pools are fully functional (and reusable across callers).
+        let (x, y) = a.join(|| 1, || 2);
+        assert_eq!(x + y, 3);
+        let mut done = [false; 4];
+        a.run_batch(
+            done.iter_mut()
+                .map(|slot| Box::new(move || *slot = true) as Box<dyn FnOnce() + Send>)
+                .collect(),
+        );
+        assert!(done.iter().all(|&d| d));
     }
 }

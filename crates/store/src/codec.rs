@@ -1,0 +1,665 @@
+//! The `FRDIDX` sidecar codec: a compact LEB128 binary encoding of a frozen
+//! reachability index, its granule access stream, its freeze resume state,
+//! and (optionally) the cached per-partition detection outcomes.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic      8 bytes   "FRDIDX\0\0"
+//! version    u32 LE    INDEX_VERSION
+//! checksum   u64 LE    hash64 of the payload bytes
+//! payload:
+//!   algorithm      u8                  0 = multibags, 1 = multibags+
+//!   frozen_pos     varint              events frozen
+//!   trace_hash     u64 LE              hash of the frozen event prefix
+//!   bags           merge forest + live resume state
+//!   nsp            flag + DNSP forest + closure rows (multibags+ only)
+//!   accesses       16-byte granule access records
+//!   outcomes       flag + cached partition results
+//! ```
+//!
+//! Scalars, counts and the small per-set records are LEB128 varints; the
+//! *bulk* arrays — strand/set tables, the timed-closure rows and the granule
+//! access stream — are raw little-endian words, because a warm load must be
+//! strictly cheaper than refreezing and fixed-width rows decode at memcpy
+//! speed where per-element varints do not. The checksum (an FNV-style hash
+//! folded over 8-byte words) is verified **before** the payload is decoded —
+//! a truncated or bit-flipped sidecar is a typed [`StoreError`], never a
+//! panic, a hang, or a silently wrong index (the structural validation of
+//! `IncrementalFreezer::from_raw` backstops the vanishingly unlikely
+//! checksum collision).
+
+use crate::StoreError;
+use futurerd_core::parallel::{
+    GranuleAccess, PartitionOutcome, RawBagSet, RawBags, RawFreeze, RawNsp, RawNspSet, RAW_NONE,
+};
+use futurerd_core::replay::ReplayAlgorithm;
+use futurerd_core::{AccessKind, Race};
+use futurerd_dag::{MemAddr, StrandId};
+
+/// Magic bytes identifying an `FRDIDX` sidecar file.
+pub const INDEX_MAGIC: [u8; 8] = *b"FRDIDX\0\0";
+/// Current sidecar format version.
+pub const INDEX_VERSION: u32 = 1;
+
+/// The sidecar checksum: FNV-style multiply-xor folded over 8-byte
+/// little-endian words (plus a length-salted tail), ~8× faster than
+/// byte-at-a-time FNV on the multi-megabyte payloads warm loads read.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = (hash ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= u64::from(b) << (8 * i);
+    }
+    hash = (hash ^ tail).wrapping_mul(0x0000_0100_0000_01b3);
+    hash
+}
+
+/// The decoded contents of an `FRDIDX` sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sidecar {
+    /// Hash of the event prefix this index was frozen from (binds the
+    /// sidecar to its trace; a mismatch means the trace was rewritten and
+    /// the index is stale).
+    pub trace_hash: u64,
+    /// The complete freezer state (frozen timelines + resume state +
+    /// access stream).
+    pub freeze: RawFreeze,
+    /// Cached per-partition detection outcomes, if detection ran.
+    pub outcomes: Option<Vec<PartitionOutcome>>,
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A bounds-checked cursor over the (already checksum-verified) payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.at >= self.bytes.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        let b = *self.bytes.get(self.at).ok_or(StoreError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u64_le(&mut self) -> Result<u64, StoreError> {
+        let end = self.at.checked_add(8).ok_or(StoreError::Truncated)?;
+        let bytes = self.bytes.get(self.at..end).ok_or(StoreError::Truncated)?;
+        self.at = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn varint(&mut self) -> Result<u64, StoreError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 63 && byte > 1 {
+                return Err(StoreError::FieldOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(StoreError::FieldOverflow);
+            }
+        }
+    }
+
+    fn u32v(&mut self) -> Result<u32, StoreError> {
+        u32::try_from(self.varint()?).map_err(|_| StoreError::FieldOverflow)
+    }
+
+    /// A declared element count, sanity-capped by the bytes that remain (no
+    /// element costs fewer than `min_bytes` bytes) so corrupt lengths cannot
+    /// trigger huge allocations.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, StoreError> {
+        let n = usize::try_from(self.varint()?).map_err(|_| StoreError::FieldOverflow)?;
+        let remaining = self.bytes.len() - self.at;
+        if n > remaining / min_bytes.max(1) {
+            return Err(StoreError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Takes the next `n` raw bytes.
+    fn raw(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.at.checked_add(n).ok_or(StoreError::Truncated)?;
+        let bytes = self.bytes.get(self.at..end).ok_or(StoreError::Truncated)?;
+        self.at = end;
+        Ok(bytes)
+    }
+}
+
+/// `Option<u32>`-like fields: [`RAW_NONE`] encodes as 0, everything else as
+/// `value + 1` — absent fields cost one byte instead of five.
+fn put_opt(out: &mut Vec<u8>, value: u32) {
+    put_varint(
+        out,
+        if value == RAW_NONE {
+            0
+        } else {
+            u64::from(value) + 1
+        },
+    );
+}
+
+fn get_opt(r: &mut Reader<'_>) -> Result<u32, StoreError> {
+    let v = r.varint()?;
+    if v == 0 {
+        return Ok(RAW_NONE);
+    }
+    u32::try_from(v - 1).map_err(|_| StoreError::FieldOverflow)
+}
+
+/// Bulk `u32` arrays (strand/set tables, closure rows) are raw little-endian
+/// words: a varint-per-element decode of a multi-megabyte closure costs more
+/// than the freeze it is supposed to replace; fixed-width rows decode at
+/// memcpy speed. [`RAW_NONE`] is `u32::MAX` and needs no translation.
+fn put_u32_slice(out: &mut Vec<u8>, values: &[u32]) {
+    put_varint(out, values.len() as u64);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_u32_vec(r: &mut Reader<'_>) -> Result<Vec<u32>, StoreError> {
+    let n = r.count(4)?;
+    let bytes = r.raw(n * 4)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Sections
+// ---------------------------------------------------------------------------
+
+fn algorithm_tag(algorithm: ReplayAlgorithm) -> u8 {
+    match algorithm {
+        ReplayAlgorithm::MultiBags => 0,
+        ReplayAlgorithm::MultiBagsPlus => 1,
+        // The store only freezes freezable algorithms; this is enforced at
+        // Store::detect entry.
+        _ => unreachable!("only freezable algorithms are persisted"),
+    }
+}
+
+fn algorithm_from_tag(tag: u8) -> Result<ReplayAlgorithm, StoreError> {
+    match tag {
+        0 => Ok(ReplayAlgorithm::MultiBags),
+        1 => Ok(ReplayAlgorithm::MultiBagsPlus),
+        other => Err(StoreError::Corrupt(format!(
+            "unknown algorithm tag {other}"
+        ))),
+    }
+}
+
+fn access_kind_tag(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    }
+}
+
+fn access_kind_from_tag(tag: u8) -> Result<AccessKind, StoreError> {
+    match tag {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        other => Err(StoreError::Corrupt(format!("unknown access kind {other}"))),
+    }
+}
+
+fn put_bags(out: &mut Vec<u8>, bags: &RawBags) {
+    put_u32_slice(out, &bags.set_of_strand);
+    put_varint(out, bags.sets.len() as u64);
+    for set in &bags.sets {
+        out.extend_from_slice(&set.relabel.to_le_bytes());
+        out.extend_from_slice(&set.merged_pos.to_le_bytes());
+        out.extend_from_slice(&set.merged_target.to_le_bytes());
+    }
+    put_u32_slice(out, &bags.live);
+    put_u32_slice(out, &bags.first_strand);
+}
+
+fn get_bags(r: &mut Reader<'_>) -> Result<RawBags, StoreError> {
+    let set_of_strand = get_u32_vec(r)?;
+    let n = r.count(12)?;
+    let bytes = r.raw(n * 12)?;
+    let sets = bytes
+        .chunks_exact(12)
+        .map(|c| RawBagSet {
+            relabel: u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+            merged_pos: u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+            merged_target: u32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+        })
+        .collect();
+    Ok(RawBags {
+        set_of_strand,
+        sets,
+        live: get_u32_vec(r)?,
+        first_strand: get_u32_vec(r)?,
+    })
+}
+
+fn put_nsp(out: &mut Vec<u8>, nsp: &RawNsp) {
+    put_u32_slice(out, &nsp.set_of_strand);
+    put_varint(out, nsp.sets.len() as u64);
+    for set in &nsp.sets {
+        out.push(u8::from(set.birth_attached));
+        put_varint(out, set.birth_node.into());
+        put_opt(out, set.attached_pos);
+        put_varint(out, set.attached_node.into());
+        put_varint(out, set.att_succ.len() as u64);
+        for &(pos, node) in &set.att_succ {
+            put_varint(out, pos.into());
+            put_varint(out, node.into());
+        }
+        put_opt(out, set.merged_pos);
+        put_varint(out, set.merged_target.into());
+    }
+    put_u32_slice(out, &nsp.live);
+    put_varint(out, nsp.closure_rows.len() as u64);
+    for row in &nsp.closure_rows {
+        put_u32_slice(out, row);
+    }
+}
+
+fn get_nsp(r: &mut Reader<'_>) -> Result<RawNsp, StoreError> {
+    let set_of_strand = get_u32_vec(r)?;
+    let n = r.count(6)?;
+    let mut sets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let birth_attached = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown DNSP birth tag {other}"
+                )))
+            }
+        };
+        let birth_node = r.u32v()?;
+        let attached_pos = get_opt(r)?;
+        let attached_node = r.u32v()?;
+        let n_succ = r.count(2)?;
+        let mut att_succ = Vec::with_capacity(n_succ);
+        for _ in 0..n_succ {
+            att_succ.push((r.u32v()?, r.u32v()?));
+        }
+        sets.push(RawNspSet {
+            birth_attached,
+            birth_node,
+            attached_pos,
+            attached_node,
+            att_succ,
+            merged_pos: get_opt(r)?,
+            merged_target: r.u32v()?,
+        });
+    }
+    let live = get_u32_vec(r)?;
+    let n_rows = r.count(1)?;
+    let mut closure_rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        closure_rows.push(get_u32_vec(r)?);
+    }
+    Ok(RawNsp {
+        set_of_strand,
+        sets,
+        live,
+        closure_rows,
+    })
+}
+
+/// The access stream is the hottest bulk section (one record per granule
+/// access of the whole trace): 16-byte fixed-width records — granule with
+/// the write bit folded into its top bit, position, strand — decoded at
+/// memcpy speed. Granules are `addr >> 2`, so bit 63 is always free.
+fn put_accesses(out: &mut Vec<u8>, accesses: &[GranuleAccess]) {
+    put_varint(out, accesses.len() as u64);
+    for a in accesses {
+        debug_assert_eq!(a.granule >> 63, 0, "granules are addr/GRANULARITY");
+        let packed = a.granule | (u64::from(a.is_write) << 63);
+        out.extend_from_slice(&packed.to_le_bytes());
+        out.extend_from_slice(&a.pos.to_le_bytes());
+        out.extend_from_slice(&a.strand.0.to_le_bytes());
+    }
+}
+
+fn get_accesses(r: &mut Reader<'_>) -> Result<Vec<GranuleAccess>, StoreError> {
+    let n = r.count(16)?;
+    let bytes = r.raw(n * 16)?;
+    Ok(bytes
+        .chunks_exact(16)
+        .map(|c| {
+            let packed = u64::from_le_bytes(c[0..8].try_into().expect("8 bytes"));
+            GranuleAccess {
+                granule: packed & !(1 << 63),
+                pos: u32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+                strand: StrandId(u32::from_le_bytes(c[12..16].try_into().expect("4 bytes"))),
+                is_write: packed >> 63 == 1,
+            }
+        })
+        .collect())
+}
+
+fn put_outcomes(out: &mut Vec<u8>, outcomes: &[PartitionOutcome]) {
+    put_varint(out, outcomes.len() as u64);
+    for outcome in outcomes {
+        put_varint(out, outcome.range.start);
+        put_varint(out, outcome.range.end);
+        put_varint(out, outcome.observations);
+        put_varint(out, outcome.witnesses.len() as u64);
+        for &(pos, race) in &outcome.witnesses {
+            put_varint(out, pos.into());
+            put_varint(out, race.addr.0);
+            put_varint(out, race.prior_strand.0.into());
+            out.push(access_kind_tag(race.prior_kind));
+            put_varint(out, race.current_strand.0.into());
+            out.push(access_kind_tag(race.current_kind));
+        }
+    }
+}
+
+fn get_outcomes(r: &mut Reader<'_>) -> Result<Vec<PartitionOutcome>, StoreError> {
+    let n = r.count(4)?;
+    let mut outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = r.varint()?;
+        let end = r.varint()?;
+        if start > end {
+            return Err(StoreError::Corrupt(format!(
+                "inverted partition range {start}..{end}"
+            )));
+        }
+        let observations = r.varint()?;
+        let n_wit = r.count(6)?;
+        let mut witnesses = Vec::with_capacity(n_wit);
+        for _ in 0..n_wit {
+            let pos = r.u32v()?;
+            witnesses.push((
+                pos,
+                Race {
+                    addr: MemAddr(r.varint()?),
+                    prior_strand: StrandId(r.u32v()?),
+                    prior_kind: access_kind_from_tag(r.u8()?)?,
+                    current_strand: StrandId(r.u32v()?),
+                    current_kind: access_kind_from_tag(r.u8()?)?,
+                },
+            ));
+        }
+        if (witnesses.len() as u64) > observations {
+            return Err(StoreError::Corrupt(
+                "more witnesses than observations".to_string(),
+            ));
+        }
+        outcomes.push(PartitionOutcome {
+            range: start..end,
+            witnesses,
+            observations,
+        });
+    }
+    Ok(outcomes)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file encode/decode
+// ---------------------------------------------------------------------------
+
+/// Serializes a sidecar to bytes (header + checksummed payload).
+pub fn encode_sidecar(sidecar: &Sidecar) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(algorithm_tag(sidecar.freeze.algorithm));
+    put_varint(&mut payload, sidecar.freeze.pos.into());
+    payload.extend_from_slice(&sidecar.trace_hash.to_le_bytes());
+    put_bags(&mut payload, &sidecar.freeze.bags);
+    match &sidecar.freeze.nsp {
+        None => payload.push(0),
+        Some(nsp) => {
+            payload.push(1);
+            put_nsp(&mut payload, nsp);
+        }
+    }
+    put_accesses(&mut payload, &sidecar.freeze.accesses);
+    match &sidecar.outcomes {
+        None => payload.push(0),
+        Some(outcomes) => {
+            payload.push(1);
+            put_outcomes(&mut payload, outcomes);
+        }
+    }
+
+    let mut bytes = Vec::with_capacity(20 + payload.len());
+    bytes.extend_from_slice(&INDEX_MAGIC);
+    bytes.extend_from_slice(&INDEX_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&hash64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Deserializes a sidecar, verifying the header checksum **before** decoding
+/// the payload. Every failure is a typed [`StoreError`].
+pub fn decode_sidecar(bytes: &[u8]) -> Result<Sidecar, StoreError> {
+    if bytes.len() < 20 {
+        if bytes.len() >= 8 && bytes[..8] != INDEX_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..8] != INDEX_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != INDEX_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let expected = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload = &bytes[20..];
+    let found = hash64(payload);
+    if found != expected {
+        return Err(StoreError::Checksum { expected, found });
+    }
+
+    let mut r = Reader::new(payload);
+    let algorithm = algorithm_from_tag(r.u8()?)?;
+    let pos = r.u32v()?;
+    let trace_hash = r.u64_le()?;
+    let bags = get_bags(&mut r)?;
+    let nsp = match r.u8()? {
+        0 => None,
+        1 => Some(get_nsp(&mut r)?),
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown DNSP section tag {other}"
+            )))
+        }
+    };
+    let accesses = get_accesses(&mut r)?;
+    let outcomes = match r.u8()? {
+        0 => None,
+        1 => Some(get_outcomes(&mut r)?),
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown outcomes section tag {other}"
+            )))
+        }
+    };
+    if !r.is_empty() {
+        return Err(StoreError::TrailingData);
+    }
+    Ok(Sidecar {
+        trace_hash,
+        freeze: RawFreeze {
+            algorithm,
+            pos,
+            bags,
+            nsp,
+            accesses,
+        },
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::parallel::IncrementalFreezer;
+    use futurerd_dag::events::SpawnEvent;
+    use futurerd_dag::trace::{Trace, TraceEvent};
+    use futurerd_dag::FunctionId;
+
+    fn sample_sidecar(algorithm: ReplayAlgorithm) -> Sidecar {
+        let trace = sample_trace();
+        let mut fz = IncrementalFreezer::new(algorithm).expect("freezable");
+        fz.extend(trace.events());
+        Sidecar {
+            trace_hash: 0xdead_beef_cafe_f00d,
+            freeze: fz.to_raw(),
+            outcomes: Some(vec![PartitionOutcome {
+                range: 0..1024,
+                witnesses: vec![(
+                    7,
+                    Race {
+                        addr: MemAddr(0x1000),
+                        prior_strand: StrandId(1),
+                        prior_kind: AccessKind::Write,
+                        current_strand: StrandId(2),
+                        current_kind: AccessKind::Read,
+                    },
+                )],
+                observations: 3,
+            }]),
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let root = FunctionId(0);
+        let child = FunctionId(1);
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: root,
+        });
+        t.push(TraceEvent::Spawn(SpawnEvent {
+            parent: root,
+            child,
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: child,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: child,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: MemAddr(0x1000),
+            size: 4,
+        });
+        t
+    }
+
+    #[test]
+    fn sidecar_round_trips() {
+        for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+            let sidecar = sample_sidecar(algorithm);
+            let bytes = encode_sidecar(&sidecar);
+            assert_eq!(&bytes[..8], &INDEX_MAGIC);
+            let back = decode_sidecar(&bytes).expect("decodes");
+            assert_eq!(back, sidecar, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn sidecar_without_outcomes_round_trips() {
+        let mut sidecar = sample_sidecar(ReplayAlgorithm::MultiBags);
+        sidecar.outcomes = None;
+        let bytes = encode_sidecar(&sidecar);
+        assert_eq!(decode_sidecar(&bytes).expect("decodes"), sidecar);
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_version_and_flips() {
+        let bytes = encode_sidecar(&sample_sidecar(ReplayAlgorithm::MultiBagsPlus));
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_sidecar(&bad), Err(StoreError::BadMagic)));
+
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            decode_sidecar(&bad),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        assert!(matches!(
+            decode_sidecar(&bad),
+            Err(StoreError::Checksum { .. })
+        ));
+
+        for cut in 0..20.min(bytes.len()) {
+            assert!(decode_sidecar(&bytes[..cut]).is_err(), "header cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hash64_is_length_and_content_sensitive() {
+        assert_ne!(hash64(b""), hash64(b"\0"));
+        assert_ne!(hash64(b"\0\0"), hash64(b"\0"));
+        assert_ne!(hash64(b"abcdefgh"), hash64(b"abcdefgi"));
+        assert_eq!(hash64(b"abcdefghij"), hash64(b"abcdefghij"));
+    }
+}

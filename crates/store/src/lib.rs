@@ -1,0 +1,1054 @@
+//! # futurerd-store — the persistent detection store
+//!
+//! Recording once and detecting many times (the trace pipeline) still pays
+//! the **freeze** — pass 1 of the parallel engine — on every replay, and a
+//! single appended event invalidates everything. This crate makes detection
+//! state *persistent, versioned and incremental*:
+//!
+//! * **`FRDIDX` sidecars** ([`codec`]): the frozen [`ReachIndex`] timelines,
+//!   the granule access stream, the freeze *resume state* and the cached
+//!   per-partition detection outcomes serialize to a checksummed LEB128
+//!   sidecar next to each trace. A multi-replay workload pays the freeze
+//!   once ("cold"), then every later replay loads it ("warm") — and a warm
+//!   report is byte-identical to a cold one at any thread count.
+//! * **Incremental re-detection** ([`Store::detect`] after
+//!   [`Store::append_events`]): the frozen timelines are append-only, so
+//!   extending a stored trace refreezes only what the appended suffix
+//!   touches (the freezer resumes from its persisted state) and re-runs only
+//!   the detection partitions whose granule ranges the suffix accessed;
+//!   untouched partitions reuse their cached outcomes verbatim. The merged
+//!   report is byte-identical to full from-scratch detection on the
+//!   extended trace.
+//! * **Batch replay service** ([`Store::submit`] / [`Store::run_batch`]):
+//!   queued `(trace, algorithm, threads)` jobs run in a deterministic order
+//!   over process-shared worker pools (`ThreadPool::shared`), producing a
+//!   [`BatchManifest`] whose rendering — including a digest of every race
+//!   report — is reproducible run-to-run. The `futurerd-trace batch` CLI is
+//!   a thin wrapper over this service.
+//!
+//! ## Invalidation rules
+//!
+//! A sidecar binds to its trace by a hash of the event prefix it was frozen
+//! from. On [`Store::detect`]:
+//!
+//! * hash matches and the frozen position equals the trace length → **warm**
+//!   (reuse everything);
+//! * hash matches a strict prefix → **incremental** (refreeze the suffix,
+//!   re-run touched partitions);
+//! * anything else (rewritten trace, different algorithm, corrupt or
+//!   truncated sidecar) → **cold** (refreeze from scratch, rewrite the
+//!   sidecar).
+//!
+//! ```
+//! use futurerd_core::replay::ReplayAlgorithm;
+//! use futurerd_store::Store;
+//!
+//! # fn trace() -> futurerd_dag::trace::Trace {
+//! #     use futurerd_dag::trace::{Trace, TraceEvent};
+//! #     use futurerd_dag::{FunctionId, StrandId};
+//! #     let mut t = Trace::new();
+//! #     t.push(TraceEvent::ProgramStart { root: FunctionId(0), first: StrandId(0) });
+//! #     t.push(TraceEvent::StrandStart { strand: StrandId(0), function: FunctionId(0) });
+//! #     t.push(TraceEvent::Return { function: FunctionId(0), last: StrandId(0) });
+//! #     t.push(TraceEvent::ProgramEnd { last: StrandId(0) });
+//! #     t
+//! # }
+//! let dir = std::env::temp_dir().join(format!("frd-doc-{}", std::process::id()));
+//! let mut store = Store::open(&dir).unwrap();
+//! store.put_trace("example", &trace()).unwrap();
+//! let cold = store.detect("example", ReplayAlgorithm::MultiBags, 2).unwrap();
+//! let warm = store.detect("example", ReplayAlgorithm::MultiBags, 2).unwrap();
+//! assert_eq!(warm.report, cold.report);
+//! assert!(warm.path.is_warm() && !cold.path.is_warm());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+
+use futurerd_core::parallel::{
+    self, merge_outcomes, run_partition, GranuleAccess, IncrementalFreezer, PartitionOutcome,
+    ReachIndex, StdExecutor,
+};
+use futurerd_core::replay::ReplayAlgorithm;
+use futurerd_core::RaceReport;
+use futurerd_dag::trace::{fnv1a64, Trace, TraceCounts, TraceError, TraceEvent};
+use futurerd_runtime::ThreadPool;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+pub use codec::{decode_sidecar, encode_sidecar, Sidecar, INDEX_MAGIC, INDEX_VERSION};
+
+/// Errors produced by the detection store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O error.
+    Io(io::Error),
+    /// The trace file is invalid (codec or canonical-ordering failure).
+    Trace(TraceError),
+    /// A sidecar does not start with [`INDEX_MAGIC`].
+    BadMagic,
+    /// A sidecar's format version is not supported.
+    UnsupportedVersion(u32),
+    /// A sidecar's payload does not hash to its header checksum.
+    Checksum {
+        /// The checksum stored in the header.
+        expected: u64,
+        /// The checksum computed over the payload.
+        found: u64,
+    },
+    /// A sidecar ended in the middle of a field.
+    Truncated,
+    /// A sidecar continues past its declared contents.
+    TrailingData,
+    /// A varint field does not fit its integer width.
+    FieldOverflow,
+    /// A sidecar decoded but is structurally inconsistent.
+    Corrupt(String),
+    /// The named trace does not exist in the store.
+    UnknownTrace(String),
+    /// Trace names must be non-empty and `[A-Za-z0-9_-]` only (they become
+    /// file stems).
+    InvalidName(String),
+    /// The algorithm has no frozen reachability form, so the store cannot
+    /// persist an index for it (SP-Bags variants and the graph oracle).
+    Unfreezable(ReplayAlgorithm),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Trace(e) => write!(f, "trace error: {e}"),
+            StoreError::BadMagic => write!(f, "not a futurerd index sidecar (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported sidecar version {v} (expected {INDEX_VERSION})")
+            }
+            StoreError::Checksum { expected, found } => write!(
+                f,
+                "sidecar checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
+            StoreError::Truncated => write!(f, "sidecar truncated mid-field"),
+            StoreError::TrailingData => write!(f, "sidecar continues past its declared contents"),
+            StoreError::FieldOverflow => write!(f, "varint field exceeds its integer width"),
+            StoreError::Corrupt(message) => write!(f, "corrupt sidecar: {message}"),
+            StoreError::UnknownTrace(name) => write!(f, "no trace named '{name}' in the store"),
+            StoreError::InvalidName(name) => {
+                write!(f, "invalid trace name '{name}' (use [A-Za-z0-9_-])")
+            }
+            StoreError::Unfreezable(algorithm) => write!(
+                f,
+                "{algorithm} has no frozen reachability form; the store only serves freezable algorithms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<TraceError> for StoreError {
+    fn from(e: TraceError) -> Self {
+        StoreError::Trace(e)
+    }
+}
+
+/// Hashes an event prefix (a word-folded FNV-style hash over a canonical
+/// field rendering, no allocation) — the binding between a sidecar and the
+/// trace it was frozen from. Runs on every [`Store::detect`], so it must be
+/// a small fraction of the detection it guards.
+pub fn hash_events(events: &[TraceEvent]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (events.len() as u64);
+    let mut fold = |word: u64| hash = (hash ^ word).wrapping_mul(PRIME);
+    let pair = |a: u32, b: u32| u64::from(a) | (u64::from(b) << 32);
+    for event in events {
+        match event {
+            TraceEvent::ProgramStart { root, first } => {
+                fold(0);
+                fold(pair(root.0, first.0));
+            }
+            TraceEvent::StrandStart { strand, function } => {
+                fold(1);
+                fold(pair(strand.0, function.0));
+            }
+            TraceEvent::Spawn(ev) => {
+                fold(2);
+                fold(pair(ev.parent.0, ev.child.0));
+                fold(pair(ev.fork_strand.0, ev.cont_strand.0));
+                fold(u64::from(ev.child_first_strand.0));
+            }
+            TraceEvent::CreateFuture(ev) => {
+                fold(3);
+                fold(pair(ev.parent.0, ev.child.0));
+                fold(pair(ev.creator_strand.0, ev.cont_strand.0));
+                fold(u64::from(ev.child_first_strand.0));
+            }
+            TraceEvent::Return { function, last } => {
+                fold(4);
+                fold(pair(function.0, last.0));
+            }
+            TraceEvent::Sync(ev) => {
+                fold(5);
+                fold(pair(ev.parent.0, ev.child.0));
+                fold(pair(ev.pre_join_strand.0, ev.join_strand.0));
+                fold(pair(ev.child_last_strand.0, ev.fork.pre_fork_strand.0));
+                fold(pair(ev.fork.child_first_strand.0, ev.fork.cont_strand.0));
+            }
+            TraceEvent::GetFuture(ev) => {
+                fold(6);
+                fold(pair(ev.parent.0, ev.future.0));
+                fold(pair(ev.pre_get_strand.0, ev.getter_strand.0));
+                fold(pair(ev.future_last_strand.0, ev.prior_touches));
+            }
+            TraceEvent::Read { strand, addr, size } => {
+                fold(7);
+                fold(pair(strand.0, *size));
+                fold(addr.0);
+            }
+            TraceEvent::Write { strand, addr, size } => {
+                fold(8);
+                fold(pair(strand.0, *size));
+                fold(addr.0);
+            }
+            TraceEvent::ProgramEnd { last } => {
+                fold(9);
+                fold(u64::from(last.0));
+            }
+        }
+    }
+    hash
+}
+
+/// How [`Store::detect`] served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionPath {
+    /// No usable sidecar: froze from scratch and ran full detection.
+    Cold,
+    /// Loaded the frozen index from the sidecar but had to run detection
+    /// (no cached outcomes).
+    WarmIndex,
+    /// Loaded the frozen index *and* cached detection outcomes — no freeze,
+    /// no detection, merge only.
+    WarmCached,
+    /// The trace grew since the sidecar was written: refroze the appended
+    /// suffix and re-ran only the touched partitions.
+    Incremental {
+        /// Events appended since the sidecar's frozen position.
+        appended_events: usize,
+        /// Partitions re-run because the suffix touched their granules.
+        rerun: usize,
+        /// Partitions whose cached outcomes were reused verbatim.
+        reused: usize,
+    },
+}
+
+impl DetectionPath {
+    /// True if the frozen index was loaded instead of recomputed.
+    pub fn is_warm(self) -> bool {
+        matches!(self, DetectionPath::WarmIndex | DetectionPath::WarmCached)
+    }
+}
+
+impl std::fmt::Display for DetectionPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectionPath::Cold => f.write_str("cold"),
+            DetectionPath::WarmIndex => f.write_str("warm-index"),
+            DetectionPath::WarmCached => f.write_str("warm-cached"),
+            DetectionPath::Incremental {
+                appended_events,
+                rerun,
+                reused,
+            } => write!(
+                f,
+                "incremental(+{appended_events}ev, {rerun} rerun / {reused} reused)"
+            ),
+        }
+    }
+}
+
+/// The result of one [`Store::detect`] request.
+#[derive(Debug, Clone)]
+pub struct StoreDetection {
+    /// The race report — byte-identical to cold full detection of the same
+    /// trace, whatever path produced it.
+    pub report: RaceReport,
+    /// Per-construct totals of the (possibly still growing) trace.
+    pub counts: TraceCounts,
+    /// True if the trace has reached its `ProgramEnd`.
+    pub complete: bool,
+    /// Number of events in the trace.
+    pub events: usize,
+    /// How the request was served.
+    pub path: DetectionPath,
+}
+
+/// Work counters accumulated by a [`Store`] — the cold/warm/incremental
+/// economics of the detection service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Full freezes (cold path).
+    pub cold_freezes: u64,
+    /// Sidecar index loads that still ran detection.
+    pub warm_index_loads: u64,
+    /// Fully cached hits (index + outcomes reused).
+    pub warm_cached_hits: u64,
+    /// Incremental refreezes (suffix only).
+    pub incremental_refreezes: u64,
+    /// Detection partitions re-run during incremental requests.
+    pub partitions_rerun: u64,
+    /// Detection partitions reused verbatim during incremental requests.
+    pub partitions_reused: u64,
+    /// Sidecars discarded as corrupt, stale or mismatched.
+    pub invalidated_sidecars: u64,
+}
+
+/// One queued batch job: replay `trace` under `algorithm` with `threads`
+/// detection workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchJob {
+    /// Store-relative trace name (no extension).
+    pub trace: String,
+    /// The detection algorithm (must be freezable).
+    pub algorithm: ReplayAlgorithm,
+    /// Detection worker count.
+    pub threads: usize,
+}
+
+/// The summary of one completed batch job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// How the store served the job.
+    pub path: DetectionPath,
+    /// Distinct racy granules.
+    pub races: usize,
+    /// Total racing pairs observed.
+    pub observations: u64,
+    /// Events in the trace.
+    pub events: usize,
+    /// FNV-1a 64 digest of the rendered race report — the determinism
+    /// fingerprint compared across runs and machines.
+    pub digest: u64,
+}
+
+/// One line of the batch manifest: the job plus its summary or failure.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// The job as submitted.
+    pub job: BatchJob,
+    /// The outcome (a failure is recorded, not fatal to the batch).
+    pub outcome: Result<BatchSummary, String>,
+}
+
+/// The deterministic result manifest of one [`Store::run_batch`] run: jobs
+/// sorted by `(trace, algorithm, threads)`, each with its report digest.
+/// Rendered with [`std::fmt::Display`] and written to
+/// `batch-manifest.txt` inside the store.
+#[derive(Debug, Clone, Default)]
+pub struct BatchManifest {
+    /// One record per job, in manifest order.
+    pub records: Vec<BatchRecord>,
+}
+
+impl BatchManifest {
+    /// True if every job completed.
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.outcome.is_ok())
+    }
+}
+
+impl std::fmt::Display for BatchManifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "# futurerd-store batch manifest ({} jobs)",
+            self.records.len()
+        )?;
+        for record in &self.records {
+            let job = &record.job;
+            write!(f, "{} {} P={}: ", job.trace, job.algorithm, job.threads)?;
+            match &record.outcome {
+                Ok(s) => writeln!(
+                    f,
+                    "races={} pairs={} events={} digest={:016x} [{}]",
+                    s.races, s.observations, s.events, s.digest, s.path
+                )?,
+                Err(e) => writeln!(f, "FAILED {e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A persistent, versioned detection store rooted at a directory.
+///
+/// Layout: `<name>.trace` holds a recorded (possibly still growing) event
+/// stream; `<name>.<algorithm>.frdidx` holds the frozen index sidecar for
+/// one algorithm; `batch-manifest.txt` holds the last batch run's manifest.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    queue: Vec<BatchJob>,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Opens a store rooted at `root`, creating the directory if needed.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            queue: Vec::new(),
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Accumulated work counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn check_name(name: &str) -> Result<(), StoreError> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(StoreError::InvalidName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Path of the named trace file.
+    pub fn trace_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.trace"))
+    }
+
+    /// Path of the named trace's sidecar for `algorithm`.
+    pub fn sidecar_path(&self, name: &str, algorithm: ReplayAlgorithm) -> PathBuf {
+        self.root.join(format!("{name}.{algorithm}.frdidx"))
+    }
+
+    /// Names of every stored trace, sorted.
+    pub fn trace_names(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("trace") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Stores (or replaces) a trace under `name` after validating it as a
+    /// canonical prefix. Returns its counts and completeness.
+    pub fn put_trace(
+        &mut self,
+        name: &str,
+        trace: &Trace,
+    ) -> Result<(TraceCounts, bool), StoreError> {
+        Self::check_name(name)?;
+        let prefix = trace.validate_prefix()?;
+        trace.save(self.trace_path(name))?;
+        Ok(prefix)
+    }
+
+    /// Loads the named trace.
+    pub fn load_trace(&self, name: &str) -> Result<Trace, StoreError> {
+        Self::check_name(name)?;
+        let path = self.trace_path(name);
+        if !path.exists() {
+            return Err(StoreError::UnknownTrace(name.to_string()));
+        }
+        Ok(Trace::load(path)?)
+    }
+
+    /// Appends events to a stored trace, validating the extended stream as a
+    /// canonical prefix. The trace file is rewritten; its sidecars are *not*
+    /// touched — the next [`Store::detect`] notices the grown trace and
+    /// takes the incremental path.
+    pub fn append_events(
+        &mut self,
+        name: &str,
+        events: &[TraceEvent],
+    ) -> Result<(TraceCounts, bool), StoreError> {
+        let mut trace = self.load_trace(name)?;
+        trace.extend_events(events);
+        let prefix = trace.validate_prefix()?;
+        trace.save(self.trace_path(name))?;
+        Ok(prefix)
+    }
+
+    /// Detects races on the named trace under `algorithm` with `threads`
+    /// workers, serving the request from the cheapest valid path (warm →
+    /// incremental → cold; see the module docs for the invalidation rules)
+    /// and persisting the refreshed sidecar.
+    ///
+    /// The returned report is byte-identical to cold full detection of the
+    /// current trace — the path only changes the cost, never the answer.
+    pub fn detect(
+        &mut self,
+        name: &str,
+        algorithm: ReplayAlgorithm,
+        threads: usize,
+    ) -> Result<StoreDetection, StoreError> {
+        if !algorithm.freezable() {
+            return Err(StoreError::Unfreezable(algorithm));
+        }
+        let threads = threads.max(1);
+        let trace = self.load_trace(name)?;
+        let (counts, complete) = trace.validate_prefix()?;
+        let events = trace.len();
+
+        let loaded = self.load_sidecar(name, algorithm, &trace);
+        let (freezer, cached_outcomes, frozen_pos) = match loaded {
+            Some((freezer, outcomes)) => {
+                let pos = freezer.position() as usize;
+                (Some(freezer), outcomes, pos)
+            }
+            None => (None, None, 0),
+        };
+
+        let (sidecar, report, path) = match freezer {
+            Some(fz) if frozen_pos == events => {
+                // Warm: the index covers the whole trace.
+                if let Some(outcomes) = cached_outcomes {
+                    self.stats.warm_cached_hits += 1;
+                    let report = merge_outcomes(outcomes.iter().cloned());
+                    (None, report, DetectionPath::WarmCached)
+                } else {
+                    self.stats.warm_index_loads += 1;
+                    let index = fz.snapshot_index();
+                    let outcomes = full_outcomes(&index, fz.accesses(), threads);
+                    let report = merge_outcomes(outcomes.iter().cloned());
+                    (
+                        Some(self.make_sidecar(&trace, &fz, outcomes)),
+                        report,
+                        DetectionPath::WarmIndex,
+                    )
+                }
+            }
+            Some(mut fz) => {
+                // Incremental: refreeze the appended suffix only.
+                self.stats.incremental_refreezes += 1;
+                let appended_events = events - frozen_pos;
+                let old_access_count = fz.accesses().len();
+                fz.extend(&trace.events()[frozen_pos..]);
+                let index = fz.snapshot_index();
+                let accesses = fz.accesses();
+                let fresh = &accesses[old_access_count..];
+                let (outcomes, rerun, reused) = match cached_outcomes {
+                    Some(stored) if !stored.is_empty() => {
+                        incremental_outcomes(&index, accesses, fresh, stored, threads)
+                    }
+                    _ => {
+                        let outcomes = full_outcomes(&index, accesses, threads);
+                        let rerun = outcomes.len();
+                        (outcomes, rerun, 0)
+                    }
+                };
+                self.stats.partitions_rerun += rerun as u64;
+                self.stats.partitions_reused += reused as u64;
+                let report = merge_outcomes(outcomes.iter().cloned());
+                (
+                    Some(self.make_sidecar(&trace, &fz, outcomes)),
+                    report,
+                    DetectionPath::Incremental {
+                        appended_events,
+                        rerun,
+                        reused,
+                    },
+                )
+            }
+            None => {
+                // Cold: freeze from scratch.
+                self.stats.cold_freezes += 1;
+                let mut fz = IncrementalFreezer::new(algorithm).expect("freezable checked above");
+                fz.extend(trace.events());
+                let index = fz.snapshot_index();
+                let outcomes = full_outcomes(&index, fz.accesses(), threads);
+                let report = merge_outcomes(outcomes.iter().cloned());
+                (
+                    Some(self.make_sidecar(&trace, &fz, outcomes)),
+                    report,
+                    DetectionPath::Cold,
+                )
+            }
+        };
+
+        if let Some(sidecar) = sidecar {
+            std::fs::write(
+                self.sidecar_path(name, algorithm),
+                codec::encode_sidecar(&sidecar),
+            )?;
+        }
+        Ok(StoreDetection {
+            report,
+            counts,
+            complete,
+            events,
+            path,
+        })
+    }
+
+    /// Queues a batch job (run later by [`Store::run_batch`]).
+    pub fn submit(&mut self, job: BatchJob) {
+        self.queue.push(job);
+    }
+
+    /// Number of queued jobs.
+    pub fn pending_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs every queued job in deterministic `(trace, algorithm, threads)`
+    /// order over the shared worker pools, writes the manifest to
+    /// `batch-manifest.txt` inside the store, and returns it. Job failures
+    /// are recorded in the manifest, not raised.
+    pub fn run_batch(&mut self) -> Result<BatchManifest, StoreError> {
+        let mut jobs = std::mem::take(&mut self.queue);
+        jobs.sort_by(|a, b| {
+            (a.trace.as_str(), a.algorithm.name(), a.threads).cmp(&(
+                b.trace.as_str(),
+                b.algorithm.name(),
+                b.threads,
+            ))
+        });
+        let mut records = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let outcome = self
+                .detect(&job.trace, job.algorithm, job.threads)
+                .map(|d| BatchSummary {
+                    path: d.path,
+                    races: d.report.race_count(),
+                    observations: d.report.total_observations(),
+                    events: d.events,
+                    digest: fnv1a64(d.report.to_string().as_bytes()),
+                })
+                .map_err(|e| e.to_string());
+            records.push(BatchRecord { job, outcome });
+        }
+        let manifest = BatchManifest { records };
+        std::fs::write(self.root.join("batch-manifest.txt"), manifest.to_string())?;
+        Ok(manifest)
+    }
+
+    /// Loads, verifies and binds the sidecar for `(name, algorithm)` against
+    /// the current trace. Any mismatch (corrupt bytes, wrong algorithm,
+    /// rewritten prefix) invalidates it — the caller then goes cold.
+    fn load_sidecar(
+        &mut self,
+        name: &str,
+        algorithm: ReplayAlgorithm,
+        trace: &Trace,
+    ) -> Option<(IncrementalFreezer, Option<Vec<PartitionOutcome>>)> {
+        let bytes = match std::fs::read(self.sidecar_path(name, algorithm)) {
+            Ok(bytes) => bytes,
+            Err(_) => return None,
+        };
+        let sidecar = match codec::decode_sidecar(&bytes) {
+            Ok(sidecar) => sidecar,
+            Err(_) => {
+                self.stats.invalidated_sidecars += 1;
+                return None;
+            }
+        };
+        let pos = sidecar.freeze.pos as usize;
+        if sidecar.freeze.algorithm != algorithm
+            || pos > trace.len()
+            || sidecar.trace_hash != hash_events(&trace.events()[..pos])
+        {
+            self.stats.invalidated_sidecars += 1;
+            return None;
+        }
+        match IncrementalFreezer::from_raw(sidecar.freeze) {
+            Ok(freezer) => Some((freezer, sidecar.outcomes)),
+            Err(_) => {
+                self.stats.invalidated_sidecars += 1;
+                None
+            }
+        }
+    }
+
+    fn make_sidecar(
+        &self,
+        trace: &Trace,
+        freezer: &IncrementalFreezer,
+        outcomes: Vec<PartitionOutcome>,
+    ) -> Sidecar {
+        let pos = freezer.position() as usize;
+        Sidecar {
+            trace_hash: hash_events(&trace.events()[..pos]),
+            freeze: freezer.to_raw(),
+            outcomes: Some(outcomes),
+        }
+    }
+}
+
+/// Runs full sharded detection over a frozen index, on the shared pool when
+/// `threads > 1`.
+fn full_outcomes(
+    index: &ReachIndex,
+    accesses: &[GranuleAccess],
+    threads: usize,
+) -> Vec<PartitionOutcome> {
+    if threads > 1 {
+        let pool = ThreadPool::shared(threads);
+        parallel::detect_frozen_outcomes(index, accesses, threads, &PoolExec(&pool))
+    } else {
+        parallel::detect_frozen_outcomes(index, accesses, 1, &StdExecutor)
+    }
+}
+
+/// Incremental pass 2: given the cached outcomes of a previous detection and
+/// the accesses appended since, re-runs only partitions whose granule range
+/// the suffix touched and reuses the rest verbatim. Boundary ranges are
+/// widened to absorb granules outside the old coverage.
+fn incremental_outcomes(
+    index: &ReachIndex,
+    accesses: &[GranuleAccess],
+    fresh: &[GranuleAccess],
+    stored: Vec<PartitionOutcome>,
+    threads: usize,
+) -> (Vec<PartitionOutcome>, usize, usize) {
+    if fresh.is_empty() {
+        let reused = stored.len();
+        return (stored, 0, reused);
+    }
+    let mut ranges: Vec<Range<u64>> = stored.iter().map(|o| o.range.clone()).collect();
+    let min_new = fresh.iter().map(|a| a.granule).min().expect("non-empty");
+    let max_new = fresh.iter().map(|a| a.granule).max().expect("non-empty");
+    if let Some(first) = ranges.first_mut() {
+        first.start = first.start.min(min_new);
+    }
+    if let Some(last) = ranges.last_mut() {
+        last.end = last.end.max(max_new + 1);
+    }
+    let touched: Vec<bool> = ranges
+        .iter()
+        .map(|r| fresh.iter().any(|a| r.contains(&a.granule)))
+        .collect();
+
+    // Re-run the touched ranges (over the *full* access stream — shadow
+    // state must be rebuilt from the beginning), in parallel on the shared
+    // pool when it pays.
+    let rerun_ranges: Vec<(usize, Range<u64>)> = touched
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t)
+        .map(|(i, _)| (i, ranges[i].clone()))
+        .collect();
+    let mut rerun_results: Vec<Option<PartitionOutcome>> = vec![None; rerun_ranges.len()];
+    if threads > 1 && rerun_ranges.len() > 1 {
+        let pool = ThreadPool::shared(threads);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = rerun_results
+            .iter_mut()
+            .zip(&rerun_ranges)
+            .map(|(slot, (_, range))| {
+                let range = range.clone();
+                Box::new(move || *slot = Some(run_partition(index, range, accesses)))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(tasks);
+    } else {
+        for (slot, (_, range)) in rerun_results.iter_mut().zip(&rerun_ranges) {
+            *slot = Some(run_partition(index, range.clone(), accesses));
+        }
+    }
+
+    let rerun = rerun_ranges.len();
+    let reused = ranges.len() - rerun;
+    let mut fresh_by_index: Vec<Option<PartitionOutcome>> = vec![None; ranges.len()];
+    for ((i, _), result) in rerun_ranges.into_iter().zip(rerun_results) {
+        fresh_by_index[i] = Some(result.expect("partition task ran"));
+    }
+    let outcomes = stored
+        .into_iter()
+        .zip(fresh_by_index)
+        .map(|(old, new)| new.unwrap_or(old))
+        .collect();
+    (outcomes, rerun, reused)
+}
+
+/// [`parallel::DetectExecutor`] over the shared work-stealing pool.
+struct PoolExec<'p>(&'p ThreadPool);
+
+impl parallel::DetectExecutor for PoolExec<'_> {
+    fn run_batch<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        self.0.run_batch(tasks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_dag::events::SpawnEvent;
+    use futurerd_dag::trace::TraceEvent;
+    use futurerd_dag::{FunctionId, MemAddr, StrandId};
+
+    fn temp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("futurerd-store-test-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        Store::open(dir).expect("store opens")
+    }
+
+    fn racy_trace() -> Trace {
+        let root = FunctionId(0);
+        let child = FunctionId(1);
+        let x = MemAddr(0x1000);
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root,
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: root,
+        });
+        t.push(TraceEvent::Spawn(SpawnEvent {
+            parent: root,
+            child,
+            fork_strand: StrandId(0),
+            cont_strand: StrandId(2),
+            child_first_strand: StrandId(1),
+        }));
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(1),
+            function: child,
+        });
+        t.push(TraceEvent::Write {
+            strand: StrandId(1),
+            addr: x,
+            size: 4,
+        });
+        t.push(TraceEvent::Return {
+            function: child,
+            last: StrandId(1),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(2),
+            function: root,
+        });
+        t.push(TraceEvent::Read {
+            strand: StrandId(2),
+            addr: x,
+            size: 4,
+        });
+        t
+    }
+
+    #[test]
+    fn warm_path_reuses_the_sidecar() {
+        let mut store = temp_store("warm");
+        store.put_trace("t", &racy_trace()).expect("stores");
+        let cold = store
+            .detect("t", ReplayAlgorithm::MultiBags, 1)
+            .expect("cold");
+        assert_eq!(cold.path, DetectionPath::Cold);
+        assert_eq!(cold.report.race_count(), 1);
+        assert!(!cold.complete, "trace is a prefix");
+        let warm = store
+            .detect("t", ReplayAlgorithm::MultiBags, 1)
+            .expect("warm");
+        assert_eq!(warm.path, DetectionPath::WarmCached);
+        assert_eq!(warm.report, cold.report);
+        assert_eq!(store.stats().cold_freezes, 1);
+        assert_eq!(store.stats().warm_cached_hits, 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn append_triggers_the_incremental_path() {
+        let mut store = temp_store("incr");
+        store.put_trace("t", &racy_trace()).expect("stores");
+        store
+            .detect("t", ReplayAlgorithm::MultiBagsPlus, 1)
+            .expect("cold");
+        // Append a second racy read on a *different* granule plus the rest
+        // of the program.
+        let suffix = [
+            TraceEvent::Read {
+                strand: StrandId(2),
+                addr: MemAddr(0x9000),
+                size: 4,
+            },
+            TraceEvent::Sync(futurerd_dag::events::SyncEvent {
+                parent: FunctionId(0),
+                child: FunctionId(1),
+                pre_join_strand: StrandId(2),
+                join_strand: StrandId(3),
+                child_last_strand: StrandId(1),
+                fork: futurerd_dag::events::ForkInfo {
+                    pre_fork_strand: StrandId(0),
+                    child_first_strand: StrandId(1),
+                    cont_strand: StrandId(2),
+                },
+            }),
+            TraceEvent::StrandStart {
+                strand: StrandId(3),
+                function: FunctionId(0),
+            },
+            TraceEvent::Return {
+                function: FunctionId(0),
+                last: StrandId(3),
+            },
+            TraceEvent::ProgramEnd { last: StrandId(3) },
+        ];
+        let (_, complete) = store.append_events("t", &suffix).expect("appends");
+        assert!(complete);
+        let inc = store
+            .detect("t", ReplayAlgorithm::MultiBagsPlus, 1)
+            .expect("incremental");
+        assert!(
+            matches!(
+                inc.path,
+                DetectionPath::Incremental {
+                    appended_events: 5,
+                    ..
+                }
+            ),
+            "{:?}",
+            inc.path
+        );
+        // Byte-identical to cold full detection of the extended trace.
+        let mut cold_store = temp_store("incr-cold");
+        let full = store.load_trace("t").expect("loads");
+        cold_store.put_trace("t", &full).expect("stores");
+        let cold = cold_store
+            .detect("t", ReplayAlgorithm::MultiBagsPlus, 1)
+            .expect("cold");
+        assert_eq!(inc.report, cold.report);
+        assert_eq!(inc.report.to_string(), cold.report.to_string());
+        std::fs::remove_dir_all(store.root()).ok();
+        std::fs::remove_dir_all(cold_store.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_sidecars_invalidate_to_cold() {
+        let mut store = temp_store("corrupt");
+        store.put_trace("t", &racy_trace()).expect("stores");
+        let first = store
+            .detect("t", ReplayAlgorithm::MultiBags, 1)
+            .expect("cold");
+        let sidecar = store.sidecar_path("t", ReplayAlgorithm::MultiBags);
+        let mut bytes = std::fs::read(&sidecar).expect("sidecar written");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&sidecar, &bytes).expect("rewrites");
+        let again = store
+            .detect("t", ReplayAlgorithm::MultiBags, 1)
+            .expect("re-detects");
+        assert_eq!(again.path, DetectionPath::Cold);
+        assert_eq!(again.report, first.report);
+        assert_eq!(store.stats().invalidated_sidecars, 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn store_rejects_bad_names_and_unfreezable_algorithms() {
+        let mut store = temp_store("names");
+        assert!(matches!(
+            store.put_trace("../evil", &Trace::new()),
+            Err(StoreError::InvalidName(_))
+        ));
+        assert!(matches!(
+            store.detect("nope", ReplayAlgorithm::MultiBags, 1),
+            Err(StoreError::UnknownTrace(_))
+        ));
+        store.put_trace("t", &racy_trace()).expect("stores");
+        assert!(matches!(
+            store.detect("t", ReplayAlgorithm::GraphOracle, 1),
+            Err(StoreError::Unfreezable(_))
+        ));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn batch_runs_jobs_in_deterministic_order() {
+        let mut store = temp_store("batch");
+        store.put_trace("b", &racy_trace()).expect("stores");
+        store.put_trace("a", &racy_trace()).expect("stores");
+        for (trace, algorithm, threads) in [
+            ("b", ReplayAlgorithm::MultiBagsPlus, 2),
+            ("a", ReplayAlgorithm::MultiBags, 1),
+            ("missing", ReplayAlgorithm::MultiBags, 1),
+            ("a", ReplayAlgorithm::MultiBagsPlus, 2),
+        ] {
+            store.submit(BatchJob {
+                trace: trace.to_string(),
+                algorithm,
+                threads,
+            });
+        }
+        assert_eq!(store.pending_jobs(), 4);
+        let manifest = store.run_batch().expect("batch runs");
+        assert_eq!(store.pending_jobs(), 0);
+        assert!(!manifest.all_ok(), "the missing trace must be recorded");
+        let order: Vec<&str> = manifest
+            .records
+            .iter()
+            .map(|r| r.job.trace.as_str())
+            .collect();
+        assert_eq!(order, ["a", "a", "b", "missing"]);
+        let rendered = manifest.to_string();
+        assert!(rendered.contains("digest="), "{rendered}");
+        assert!(rendered.contains("FAILED"), "{rendered}");
+        let on_disk =
+            std::fs::read_to_string(store.root().join("batch-manifest.txt")).expect("manifest");
+        assert_eq!(on_disk, rendered);
+        // Re-running the same jobs yields the same digests (warm paths).
+        for record in &manifest.records {
+            store.submit(record.job.clone());
+        }
+        let again = store.run_batch().expect("batch reruns");
+        for (a, b) in manifest.records.iter().zip(&again.records) {
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.digest, y.digest);
+                    assert!(y.path.is_warm(), "{:?}", y.path);
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("outcome class changed: {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn hash_events_distinguishes_prefixes() {
+        let t = racy_trace();
+        let h_full = hash_events(t.events());
+        let h_prefix = hash_events(&t.events()[..t.len() - 1]);
+        assert_ne!(h_full, h_prefix);
+        assert_eq!(h_full, hash_events(t.events()));
+    }
+}

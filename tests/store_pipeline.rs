@@ -1,0 +1,179 @@
+//! Facade-level exercise of the detection store: `Config::store`, warm
+//! replay via `Config::replay_stored`, append → incremental re-detection,
+//! and the batch replay service — all against real recorded programs.
+
+use futurerd::{
+    Algorithm, BatchJob, Config, DetectionPath, ShadowArray, ShadowCell, Store, StoreError,
+};
+use futurerd_core::replay::ReplayAlgorithm;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "futurerd-store-pipeline-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn racy_program(cx: &mut futurerd::Cx) -> u32 {
+    let mut buffer = ShadowArray::new(cx, 8, 0u32);
+    let producer = cx.create_future(|cx| {
+        for i in 0..8 {
+            buffer.set(cx, i, i as u32);
+        }
+    });
+    let early = buffer.get(cx, 0); // races with the producer's writes
+    cx.get_future(producer);
+    early
+}
+
+/// Warm replay through the store is byte-identical to direct (cold) replay
+/// for every freezable algorithm at P ∈ {1, 2, 8}.
+#[test]
+fn warm_replay_matches_cold_replay_across_thread_counts() {
+    let recorded = futurerd::record(racy_program);
+    let dir = temp_dir("warm");
+    let mut store = Config::store(&dir).expect("store opens");
+    store.put_trace("racy", &recorded.trace).expect("stores");
+
+    for algorithm in [Algorithm::MultiBags, Algorithm::MultiBagsPlus] {
+        for threads in [1usize, 2, 8] {
+            let config = Config::new().algorithm(algorithm).threads(threads);
+            let cold = config.replay(&recorded.trace).expect("direct replay");
+            let stored = config
+                .replay_stored(&mut store, "racy")
+                .expect("stored replay");
+            assert_eq!(
+                stored.report().witnesses(),
+                cold.report().witnesses(),
+                "{algorithm:?} P={threads}"
+            );
+            assert_eq!(
+                stored.report().to_string(),
+                cold.report().to_string(),
+                "{algorithm:?} P={threads} (rendered)"
+            );
+            assert_eq!(stored.summary, cold.summary);
+        }
+    }
+    // 2 algorithms × 3 thread counts: first request per algorithm is cold,
+    // the rest are served from the sidecar.
+    assert_eq!(store.stats().cold_freezes, 2);
+    assert_eq!(store.stats().warm_cached_hits, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unfreezable_algorithms_are_typed_errors() {
+    let recorded = futurerd::record(racy_program);
+    let dir = temp_dir("unfreezable");
+    let mut store = Config::store(&dir).expect("store opens");
+    store.put_trace("racy", &recorded.trace).expect("stores");
+    for algorithm in [
+        Algorithm::SpBags,
+        Algorithm::SpBagsConservative,
+        Algorithm::GraphOracle,
+    ] {
+        let err = Config::new()
+            .algorithm(algorithm)
+            .replay_stored(&mut store, "racy")
+            .expect_err("no frozen form");
+        assert!(matches!(err, StoreError::Unfreezable(_)), "{algorithm:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Record a program in two stages (simulating a growing execution): the
+/// store re-detects incrementally after the append and matches a
+/// from-scratch replay of the full trace.
+#[test]
+fn append_and_incremental_redetect_through_the_facade() {
+    let recorded = futurerd::record(|cx| {
+        let mut cell = ShadowCell::new(cx, 0u32);
+        cx.spawn(|cx| cell.set(cx, 1));
+        let racy = cell.get(cx);
+        cx.sync();
+        racy
+    });
+    let full = &recorded.trace;
+    let cut = full.len() / 2;
+    let mut prefix = futurerd::Trace::new();
+    prefix.extend_events(&full.events()[..cut]);
+
+    let dir = temp_dir("append");
+    let mut store = Config::store(&dir).expect("store opens");
+    store.put_trace("grow", &prefix).expect("prefix stores");
+    let first = store
+        .detect("grow", ReplayAlgorithm::MultiBags, 2)
+        .expect("prefix detects");
+    assert_eq!(first.path, DetectionPath::Cold);
+    assert!(!first.complete);
+
+    store
+        .append_events("grow", &full.events()[cut..])
+        .expect("append validates");
+    let incremental = store
+        .detect("grow", ReplayAlgorithm::MultiBags, 2)
+        .expect("incremental");
+    assert!(matches!(
+        incremental.path,
+        DetectionPath::Incremental { .. }
+    ));
+    assert!(incremental.complete);
+
+    let direct = Config::structured().replay(full).expect("direct");
+    assert_eq!(incremental.report.witnesses(), direct.report().witnesses());
+    assert_eq!(incremental.report.to_string(), direct.report().to_string());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The batch service runs a queue of (trace, algorithm, threads) jobs over
+/// the shared pool and renders a deterministic manifest.
+#[test]
+fn batch_service_produces_a_deterministic_manifest() {
+    let racy = futurerd::record(racy_program);
+    let clean = futurerd::record(|cx| {
+        let cell = ShadowCell::new(cx, 3u32);
+        let fut = cx.create_future(|cx| cell.get(cx));
+        cx.get_future(fut)
+    });
+    let dir = temp_dir("batch");
+    let mut store = Store::open(&dir).expect("store opens");
+    store.put_trace("racy", &racy.trace).expect("stores");
+    store.put_trace("clean", &clean.trace).expect("stores");
+
+    let submit_all = |store: &mut Store| {
+        for name in ["racy", "clean"] {
+            for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+                for threads in [1usize, 4] {
+                    store.submit(BatchJob {
+                        trace: name.to_string(),
+                        algorithm,
+                        threads,
+                    });
+                }
+            }
+        }
+    };
+    submit_all(&mut store);
+    let first = store.run_batch().expect("batch runs");
+    assert!(first.all_ok(), "{first}");
+    assert_eq!(first.records.len(), 8);
+
+    // Same queue again: everything warm, digests identical.
+    submit_all(&mut store);
+    let second = store.run_batch().expect("batch reruns");
+    for (a, b) in first.records.iter().zip(&second.records) {
+        let (a, b) = (
+            a.outcome.as_ref().expect("first run ok"),
+            b.outcome.as_ref().expect("second run ok"),
+        );
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.races, b.races);
+        assert!(b.path.is_warm(), "{:?}", b.path);
+    }
+    let manifest_file = std::fs::read_to_string(dir.join("batch-manifest.txt")).expect("written");
+    assert_eq!(manifest_file, second.to_string());
+    std::fs::remove_dir_all(&dir).ok();
+}
