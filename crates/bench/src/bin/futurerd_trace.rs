@@ -37,7 +37,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: futurerd-trace <record|replay|diff|batch> [options]\n\
+        "usage: futurerd-trace <record|replay|diff|batch|follow> [options]\n\
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
@@ -45,6 +45,8 @@ fn usage() -> ! {
         \x20       [--threads <n>]\n\
          diff   --workload <name> --mode <mode> [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          batch  <dir> [--algorithm <multibags|multibags+|all>] [--threads <n>]\n\
+         follow --workload <name> --mode <mode> [--algorithm <multibags|multibags+>]\n\
+        \x20       [--threads <n>] [--chunks <n>] [--store <dir>] [--size ...] [--seed ...] [--racy]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
          recorded trace then carries a real determinacy race to detect.\n\
@@ -55,7 +57,14 @@ fn usage() -> ! {
          *.trace in it is queued against the selected freezable algorithms\n\
          and served warm from its FRDIDX sidecar when one is valid; the\n\
          deterministic result manifest is printed and written to\n\
-         <dir>/batch-manifest.txt.",
+         <dir>/batch-manifest.txt.\n\
+         follow simulates a growing execution: the workload's event stream\n\
+         is fed to one long-lived detection session in --chunks appends\n\
+         (default 8), re-detecting after each — the first report freezes\n\
+         cold, every later one is incremental (only partitions the appended\n\
+         suffix touched re-run). With --store the session is persistent:\n\
+         state resumes from and refreshes the trace's FRDIDX sidecar. The\n\
+         final verdict is cross-checked against one-shot replay.",
         names = WorkloadKind::ALL.map(|k| k.name()).join("|")
     );
     std::process::exit(2);
@@ -92,6 +101,8 @@ struct Options {
     params: WorkloadParams,
     racy: bool,
     threads: usize,
+    chunks: usize,
+    store: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -104,6 +115,8 @@ fn parse_options(args: &[String]) -> Options {
         params: WorkloadParams::tiny(),
         racy: false,
         threads: 1,
+        chunks: 8,
+        store: None,
     };
     let mut size_default = false;
     let mut seed = None;
@@ -136,6 +149,17 @@ fn parse_options(args: &[String]) -> Options {
                 }))
             }
             "--racy" => opts.racy = true,
+            "--store" => opts.store = Some(value()),
+            "--chunks" => {
+                opts.chunks = value()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--chunks needs a positive integer");
+                        usage()
+                    })
+            }
             "--threads" => {
                 opts.threads = value()
                     .parse::<usize>()
@@ -574,6 +598,163 @@ fn cmd_diff(opts: &Options) -> ExitCode {
     }
 }
 
+/// Drives one long-lived detection session over a growing execution: the
+/// recorded event stream is ingested in `--chunks` appends, re-detecting
+/// after each. Prints one line per append with the serving path, then
+/// cross-checks the final verdict against one-shot replay.
+fn cmd_follow(opts: &Options) -> ExitCode {
+    let Some(workload) = opts.workload else {
+        eprintln!("follow needs --workload");
+        usage()
+    };
+    let algorithm = match opts.algorithm.as_deref() {
+        None | Some("multibags") => futurerd::Algorithm::MultiBags,
+        Some("multibags+") => futurerd::Algorithm::MultiBagsPlus,
+        Some(other) => {
+            eprintln!("follow serves the freezable algorithms only (got '{other}')");
+            usage()
+        }
+    };
+    let (trace, _, record_time) = record_trace(workload, opts.mode, &opts.params, opts.racy);
+    if let Err(e) = trace.validate() {
+        eprintln!("recorded trace failed validation (bug): {e}");
+        return ExitCode::FAILURE;
+    }
+    let events = trace.events();
+    println!(
+        "{workload} ({mode}): recorded {n} events in {record_time:.2?}; following in {chunks} chunk(s), {algorithm:?} P={threads}",
+        mode = opts.mode,
+        n = events.len(),
+        chunks = opts.chunks,
+        threads = opts.threads,
+    );
+
+    let config = futurerd::Config::new()
+        .algorithm(algorithm)
+        .threads(opts.threads);
+    let mut store;
+    let mut session = match &opts.store {
+        Some(dir) => {
+            store = match futurerd::Config::store(dir) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("cannot open store at {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let name = format!("follow-{}-{}", workload.name(), opts.mode);
+            // Seed an empty entry only on first use — an existing entry is
+            // the previous run's persisted state and the session resumes
+            // from it (warm, from the FRDIDX sidecar).
+            let seed_empty = |store: &mut futurerd::Store| {
+                store.put_trace(&name, &futurerd_dag::trace::Trace::new())
+            };
+            if !store.trace_path(&name).exists() {
+                if let Err(e) = seed_empty(&mut store) {
+                    eprintln!("cannot seed store entry '{name}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // The stored stream must be a prefix of this recording (the
+            // workloads are deterministic, so a matching run resumes); a
+            // diverged entry — different params under the same name — is
+            // reset rather than poisoned. Check the trace file directly so
+            // the reset happens before the (borrowing) session opens.
+            match store.load_trace(&name) {
+                Ok(stored)
+                    if stored.len() > events.len()
+                        || stored.events() != &events[..stored.len()] =>
+                {
+                    println!("  stored entry '{name}' diverged from this recording; resetting");
+                    if let Err(e) = seed_empty(&mut store) {
+                        eprintln!("cannot reset store entry '{name}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("cannot read store entry '{name}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match config.open_session(&mut store, &name) {
+                Ok(session) => session,
+                Err(e) => {
+                    eprintln!("cannot open stored session '{name}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => config.session(),
+    };
+    if !session.is_empty() {
+        println!(
+            "  resuming stored session at {} event(s) already ingested",
+            session.len()
+        );
+    }
+
+    let chunk_len = events.len().div_ceil(opts.chunks);
+    let start = Instant::now();
+    let events = &events[session.len()..]; // only the part not yet ingested
+    for (i, chunk) in events.chunks(chunk_len.max(1)).enumerate() {
+        let ingest_start = Instant::now();
+        if let Err(e) = session.ingest(chunk) {
+            eprintln!("append {i} refused: {e}");
+            return ExitCode::FAILURE;
+        }
+        let detection = match session.report() {
+            Ok(detection) => detection,
+            Err(e) => {
+                eprintln!("report after append {i} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  +{:>6} ev → {:>7} total: {:>3} racy granules   [{}]   ({:.2?})",
+            chunk.len(),
+            session.len(),
+            detection.race_count(),
+            detection
+                .path
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "unrouted".into()),
+            ingest_start.elapsed(),
+        );
+    }
+    let follow_time = start.elapsed();
+
+    // The whole point of sessions: the final incremental verdict is
+    // byte-identical to one-shot replay of the full trace.
+    let one_shot = match config.replay(&trace) {
+        Ok(detection) => detection,
+        Err(e) => {
+            eprintln!("one-shot replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let last = match session.report() {
+        Ok(detection) => detection,
+        Err(e) => {
+            eprintln!("final report failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if last.report().to_string() != one_shot.report().to_string() {
+        eprintln!(
+            "MISMATCH: followed session found {} racy granules, one-shot replay {}",
+            last.race_count(),
+            one_shot.race_count()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "followed {} events in {follow_time:.2?}; final verdict == one-shot replay ✓",
+        events.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -587,6 +768,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(&opts),
         "replay" => cmd_replay(&opts),
         "diff" => cmd_diff(&opts),
+        "follow" => cmd_follow(&opts),
         _ => usage(),
     }
 }

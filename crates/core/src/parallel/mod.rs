@@ -38,8 +38,8 @@ pub use freeze::{
     RawIndexError, RawNsp, RawNspSet, ReachIndex, RAW_NONE,
 };
 pub use shard::{
-    bucket_accesses, merge_outcomes, partition_ranges, run_partition, PartitionOutcome,
-    ShadowPartition,
+    bucket_accesses, incremental_outcomes, merge_outcomes, merge_outcomes_stats, partition_ranges,
+    run_partition, IncrementalOutcomes, PartitionOutcome, ShadowPartition, REBALANCE_DRIFT_FACTOR,
 };
 
 use crate::races::RaceReport;

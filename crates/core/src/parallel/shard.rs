@@ -13,9 +13,10 @@
 //! races.
 
 use super::freeze::{GranuleAccess, IndexCursor};
-use super::ReachIndex;
+use super::{DetectExecutor, ReachIndex};
 use crate::races::{AccessKind, Race, RaceReport};
 use crate::shadow::AccessHistory;
+use crate::stats::DetectorStats;
 use futurerd_dag::MemAddr;
 use std::collections::HashSet;
 use std::ops::Range;
@@ -101,6 +102,13 @@ impl ShadowPartition {
         // (writer check, then readers in list order) matches the sequential
         // detector, so the first witness per granule is the same race.
         let mut races: Vec<Race> = Vec::new();
+        // Access-history counters accumulate in locals while the shadow
+        // state is borrowed, then fold into the partition's stats — the
+        // same quantities the sequential detector counts, so summing them
+        // across partitions reproduces its totals (minus `shadow_pages`,
+        // which is per-partition table occupancy).
+        let mut readers_recorded = 0u64;
+        let mut readers_cleared = 0u64;
         let state = self.history.get_mut(acc.granule);
         if acc.is_write {
             if let Some(writer) = state.last_writer {
@@ -125,6 +133,7 @@ impl ShadowPartition {
                     });
                 }
             }
+            readers_cleared = state.readers.len() as u64;
             state.readers.clear();
             state.last_writer = Some(acc.strand);
         } else {
@@ -143,8 +152,18 @@ impl ShadowPartition {
             // sequential detector.
             if state.readers.last() != Some(&acc.strand) {
                 state.readers.push(acc.strand);
+                readers_recorded = 1;
             }
         }
+        let stats = self.history.stats_mut();
+        if acc.is_write {
+            stats.write_checks += 1;
+        } else {
+            stats.read_checks += 1;
+        }
+        stats.readers_recorded += readers_recorded;
+        stats.readers_cleared += readers_cleared;
+        stats.races_found += races.len() as u64;
         for race in races {
             self.found(acc.pos, race);
         }
@@ -158,13 +177,21 @@ impl ShadowPartition {
         }
     }
 
+    /// Access-history counters accumulated so far (the partition's share of
+    /// the sequential detector's [`DetectorStats`]).
+    pub fn stats(&self) -> DetectorStats {
+        self.history.stats()
+    }
+
     /// Extracts the partition's result (range, witnesses, observation
-    /// count) — the unit a persistent detection store caches and merges.
+    /// count, access-history counters) — the unit a persistent detection
+    /// store caches and merges.
     pub fn into_outcome(self) -> PartitionOutcome {
         PartitionOutcome {
             range: self.range,
             witnesses: self.witnesses,
             observations: self.observations,
+            stats: self.history.stats(),
         }
     }
 }
@@ -186,6 +213,10 @@ pub struct PartitionOutcome {
     pub witnesses: Vec<(u32, Race)>,
     /// Every racing pair observed, including repeats per granule.
     pub observations: u64,
+    /// The partition's access-history counters. `read_checks +
+    /// write_checks` is the number of granule accesses this partition
+    /// processed — the load figure incremental re-balancing steers by.
+    pub stats: DetectorStats,
 }
 
 /// Runs detection over one granule range of the access stream against a
@@ -290,10 +321,32 @@ pub fn bucket_accesses(
 /// store can mix cached outcomes (from an earlier partitioning) with freshly
 /// recomputed ones.
 pub fn merge_outcomes(outcomes: impl IntoIterator<Item = PartitionOutcome>) -> RaceReport {
+    merge_outcomes_stats(outcomes).0
+}
+
+/// As [`merge_outcomes`], but also sums the per-partition access-history
+/// counters into one [`DetectorStats`] — what a multi-threaded detection
+/// reports instead of dropping the counters.
+///
+/// The summed counters equal the sequential detector's on every field
+/// except `shadow_pages`: pages are per-partition tables, so a page whose
+/// granules straddle a partition boundary is counted once per partition
+/// that touched it.
+pub fn merge_outcomes_stats(
+    outcomes: impl IntoIterator<Item = PartitionOutcome>,
+) -> (RaceReport, DetectorStats) {
     let mut total = 0u64;
+    let mut stats = DetectorStats::default();
     let mut all: Vec<(u32, Race)> = Vec::new();
     for outcome in outcomes {
         total += outcome.observations;
+        let s = &outcome.stats;
+        stats.read_checks += s.read_checks;
+        stats.write_checks += s.write_checks;
+        stats.readers_recorded += s.readers_recorded;
+        stats.readers_cleared += s.readers_cleared;
+        stats.races_found += s.races_found;
+        stats.shadow_pages += s.shadow_pages;
         all.extend(outcome.witnesses);
     }
     all.sort_by_key(|&(pos, race)| (pos, race.addr.granule()));
@@ -304,7 +357,171 @@ pub fn merge_outcomes(outcomes: impl IntoIterator<Item = PartitionOutcome>) -> R
         recorded += 1;
     }
     report.add_observations(total - recorded);
-    report
+    (report, stats)
+}
+
+/// Re-balancing trigger for incremental pass 2: re-partition when the most
+/// loaded stored range carries more than this many times its fair share of
+/// the (grown) access stream.
+pub const REBALANCE_DRIFT_FACTOR: u64 = 2;
+
+/// The result of [`incremental_outcomes`]: the merged-ready outcome set
+/// plus how it was assembled.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcomes {
+    /// One outcome per partition, in granule order (cached ones reused
+    /// verbatim, touched ones recomputed).
+    pub outcomes: Vec<PartitionOutcome>,
+    /// Partitions recomputed because the appended suffix touched their
+    /// granules (or because their range changed in a re-balance).
+    pub rerun: usize,
+    /// Partitions whose cached outcomes were reused verbatim.
+    pub reused: usize,
+    /// True if the access histogram drifted past
+    /// [`REBALANCE_DRIFT_FACTOR`] and the partition ranges were recomputed
+    /// from the full stream.
+    pub rebalanced: bool,
+}
+
+/// Incremental pass 2: given the cached outcomes of a previous detection
+/// and the accesses appended since, re-runs only partitions whose granule
+/// range the suffix touched and reuses the rest verbatim. Boundary ranges
+/// are widened to absorb granules outside the old coverage.
+///
+/// Long append chains unbalance a partitioning that was computed for a
+/// younger trace: appends concentrated on a few granules pile work onto one
+/// partition until the P-way speedup collapses. Each call therefore checks
+/// the access histogram against the stored ranges — using the per-outcome
+/// check counters, so no pass over the full stream is needed — and once the
+/// most loaded range exceeds [`REBALANCE_DRIFT_FACTOR`] times its fair
+/// share, re-partitions from the full stream ([`partition_ranges`]) and
+/// recomputes whatever the new boundaries invalidate. Cached outcomes whose
+/// exact range survives a re-balance untouched are still reused: the merge
+/// is range-agnostic.
+///
+/// Re-runs replay their range over the **full** access stream (shadow state
+/// must be rebuilt from the beginning), in parallel on `executor`.
+pub fn incremental_outcomes(
+    index: &ReachIndex,
+    accesses: &[GranuleAccess],
+    fresh: &[GranuleAccess],
+    stored: Vec<PartitionOutcome>,
+    parts: usize,
+    executor: &impl DetectExecutor,
+) -> IncrementalOutcomes {
+    if fresh.is_empty() || stored.is_empty() {
+        let reused = stored.len();
+        return IncrementalOutcomes {
+            outcomes: stored,
+            rerun: 0,
+            reused,
+            rebalanced: false,
+        };
+    }
+    // Widen the boundary ranges so appended granules outside the old
+    // coverage belong somewhere (widening implies the range is touched, so
+    // it is recomputed below either way).
+    let mut ranges: Vec<Range<u64>> = stored.iter().map(|o| o.range.clone()).collect();
+    let min_new = fresh.iter().map(|a| a.granule).min().expect("non-empty");
+    let max_new = fresh.iter().map(|a| a.granule).max().expect("non-empty");
+    if let Some(first) = ranges.first_mut() {
+        first.start = first.start.min(min_new);
+    }
+    if let Some(last) = ranges.last_mut() {
+        last.end = last.end.max(max_new + 1);
+    }
+
+    // Bin the suffix into the (widened) stored ranges once — the same pass
+    // feeds the drift check (per-range load = the accesses the cached
+    // detection processed, via its check counters, plus this suffix's
+    // share) and the touched test below.
+    let bin = |ranges: &[Range<u64>], fresh: &[GranuleAccess]| -> Vec<u64> {
+        let ends: Vec<u64> = ranges.iter().map(|r| r.end).collect();
+        let mut counts = vec![0u64; ranges.len()];
+        let last = counts.len() - 1;
+        for acc in fresh {
+            let idx = ends.partition_point(|&end| end <= acc.granule);
+            counts[idx.min(last)] += 1;
+        }
+        counts
+    };
+    let mut fresh_counts = bin(&ranges, fresh);
+    let total: u64 = fresh_counts
+        .iter()
+        .zip(&stored)
+        .map(|(f, o)| f + o.stats.read_checks + o.stats.write_checks)
+        .sum();
+    let max_load = fresh_counts
+        .iter()
+        .zip(&stored)
+        .map(|(f, o)| f + o.stats.read_checks + o.stats.write_checks)
+        .max()
+        .unwrap_or(0);
+    let drifted = parts > 1
+        && ranges.len() > 1
+        && max_load * (ranges.len() as u64) > REBALANCE_DRIFT_FACTOR * total;
+
+    let (target, rebalanced) = if drifted {
+        let fresh_ranges = partition_ranges(accesses, parts);
+        let rebalanced = fresh_ranges != ranges;
+        if rebalanced {
+            // The touched test below is per *target* range: re-bin once.
+            fresh_counts = bin(&fresh_ranges, fresh);
+        }
+        (fresh_ranges, rebalanced)
+    } else {
+        (ranges, false)
+    };
+
+    // A cached outcome survives iff its exact range reappears in the target
+    // partitioning and the suffix did not touch it.
+    let by_range: std::collections::HashMap<(u64, u64), &PartitionOutcome> = stored
+        .iter()
+        .map(|o| ((o.range.start, o.range.end), o))
+        .collect();
+    let mut outcomes: Vec<Option<PartitionOutcome>> = target
+        .iter()
+        .zip(&fresh_counts)
+        .map(|(r, &fresh_in_range)| {
+            if fresh_in_range == 0 {
+                by_range.get(&(r.start, r.end)).map(|&o| o.clone())
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let rerun_ranges: Vec<(usize, Range<u64>)> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_none())
+        .map(|(i, _)| (i, target[i].clone()))
+        .collect();
+    let rerun = rerun_ranges.len();
+    let reused = target.len() - rerun;
+    let mut slots: Vec<Option<PartitionOutcome>> = vec![None; rerun];
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter_mut()
+        .zip(&rerun_ranges)
+        .map(|(slot, (_, range))| {
+            let range = range.clone();
+            Box::new(move || *slot = Some(run_partition(index, range, accesses)))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    executor.run_batch(tasks);
+    for ((i, _), slot) in rerun_ranges.into_iter().zip(slots) {
+        outcomes[i] = Some(slot.expect("partition task ran"));
+    }
+    IncrementalOutcomes {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect(),
+        rerun,
+        reused,
+        rebalanced,
+    }
 }
 
 /// Merges finished partitions into one report (see [`merge_outcomes`]).

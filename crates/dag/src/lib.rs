@@ -40,6 +40,7 @@ pub mod graph;
 pub mod ids;
 pub mod reachability;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod trace;
 
@@ -50,4 +51,5 @@ pub use graph::{Dag, EdgeKind};
 pub use ids::{FunctionId, MemAddr, StrandId};
 pub use reachability::ReachabilityOracle;
 pub use record::DagRecorder;
-pub use trace::{Trace, TraceCounts, TraceError, TraceEvent};
+pub use source::{ChunkedEvents, EventSource};
+pub use trace::{PrefixValidator, Trace, TraceCounts, TraceError, TraceEvent};

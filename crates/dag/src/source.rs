@@ -1,0 +1,162 @@
+//! Streaming event sources: one abstraction over "where do trace events
+//! come from".
+//!
+//! A detection session consumes a canonical serial-DF event stream, but that
+//! stream arrives in three shapes: a complete recorded [`Trace`], a sequence
+//! of appended chunks (a stored trace growing on disk, or a client pushing
+//! increments over a wire), and the live buffer of a recorder observing a
+//! program as it runs. [`EventSource`] unifies them behind one pull
+//! operation — [`take_events`](EventSource::take_events) — so a session can
+//! `ingest_from` any of them without caring which one it was handed.
+//!
+//! Sources are *draining*: taken events are owned by the consumer and are
+//! gone from the source, which is what keeps a long-lived session's memory
+//! bounded by the trace itself rather than by trace-plus-source copies.
+
+use crate::trace::{Trace, TraceEvent};
+use std::collections::VecDeque;
+
+/// A pull-based supplier of canonical trace events.
+///
+/// Implementations hand over events in stream order and never re-deliver an
+/// event. An empty return means the source has nothing *right now*; live
+/// sources (a recorder mid-run) may produce more events later, finite
+/// sources (a [`Trace`], a [`ChunkedEvents`] queue) are exhausted.
+pub trait EventSource {
+    /// Removes and returns the events accumulated since the last take, in
+    /// stream order. Returns an empty vector when nothing is pending.
+    fn take_events(&mut self) -> Vec<TraceEvent>;
+}
+
+/// A whole recorded trace is a one-chunk source: the first take returns
+/// every event, later takes return nothing.
+impl EventSource for Trace {
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        Trace::take_events(self)
+    }
+}
+
+/// A bare event vector is a one-chunk source (the in-memory form of one
+/// append).
+impl EventSource for Vec<TraceEvent> {
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(self)
+    }
+}
+
+/// A queue of pre-split chunks — the [`EventSource`] form of a sequence of
+/// appends, preserving the chunk boundaries the producer chose.
+///
+/// ```
+/// use futurerd_dag::source::{ChunkedEvents, EventSource};
+/// use futurerd_dag::trace::TraceEvent;
+/// use futurerd_dag::{FunctionId, StrandId};
+///
+/// let mut chunks = ChunkedEvents::new();
+/// chunks.push_chunk(vec![TraceEvent::ProgramStart {
+///     root: FunctionId(0),
+///     first: StrandId(0),
+/// }]);
+/// chunks.push_chunk(vec![TraceEvent::StrandStart {
+///     strand: StrandId(0),
+///     function: FunctionId(0),
+/// }]);
+/// assert_eq!(chunks.take_events().len(), 1);
+/// assert_eq!(chunks.take_events().len(), 1);
+/// assert!(chunks.take_events().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ChunkedEvents {
+    chunks: VecDeque<Vec<TraceEvent>>,
+}
+
+impl ChunkedEvents {
+    /// An empty chunk queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one chunk of events (kept as its own take unit).
+    pub fn push_chunk(&mut self, chunk: Vec<TraceEvent>) {
+        if !chunk.is_empty() {
+            self.chunks.push_back(chunk);
+        }
+    }
+
+    /// True when no chunks are pending.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Number of pending chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+impl EventSource for ChunkedEvents {
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.chunks.pop_front().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionId, StrandId};
+
+    fn tiny_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ProgramStart {
+            root: FunctionId(0),
+            first: StrandId(0),
+        });
+        t.push(TraceEvent::StrandStart {
+            strand: StrandId(0),
+            function: FunctionId(0),
+        });
+        t.push(TraceEvent::Return {
+            function: FunctionId(0),
+            last: StrandId(0),
+        });
+        t.push(TraceEvent::ProgramEnd { last: StrandId(0) });
+        t
+    }
+
+    #[test]
+    fn trace_drains_in_one_chunk() {
+        let mut t = tiny_trace();
+        let n = t.len();
+        let taken = EventSource::take_events(&mut t);
+        assert_eq!(taken.len(), n);
+        assert!(t.is_empty());
+        assert!(EventSource::take_events(&mut t).is_empty());
+    }
+
+    #[test]
+    fn chunked_source_preserves_boundaries_and_order() {
+        let events = tiny_trace().take_events();
+        let mut chunks = ChunkedEvents::new();
+        chunks.push_chunk(events[..2].to_vec());
+        chunks.push_chunk(Vec::new()); // empty chunks are dropped
+        chunks.push_chunk(events[2..].to_vec());
+        assert_eq!(chunks.len(), 2);
+        let mut collected = Vec::new();
+        loop {
+            let chunk = chunks.take_events();
+            if chunk.is_empty() {
+                break;
+            }
+            collected.extend(chunk);
+        }
+        assert_eq!(collected, events);
+        assert!(chunks.is_empty());
+    }
+
+    #[test]
+    fn vec_source_drains_once() {
+        let mut events = tiny_trace().take_events();
+        assert_eq!(events.take_events().len(), 4);
+        assert!(events.take_events().is_empty());
+    }
+}

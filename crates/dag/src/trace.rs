@@ -521,7 +521,8 @@ impl Trace {
     /// Returns the per-construct totals of the prefix plus `true` when the
     /// stream is actually complete (ends with `ProgramEnd`).
     pub fn validate_prefix(&self) -> Result<(TraceCounts, bool), TraceError> {
-        Validator::default().run_prefix(&self.events)
+        let mut validator = PrefixValidator::new();
+        validator.extend(&self.events)
     }
 
     /// Appends every event of `suffix`, in order. Like [`Trace::push`], the
@@ -530,6 +531,14 @@ impl Trace {
     /// stream.
     pub fn extend_events(&mut self, suffix: &[TraceEvent]) {
         self.events.extend_from_slice(suffix);
+    }
+
+    /// Removes and returns every event, leaving the trace empty — the
+    /// drain used by the [`EventSource`](crate::source::EventSource)
+    /// implementation, which hands a whole recorded trace to a streaming
+    /// consumer in one chunk.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -1058,18 +1067,93 @@ impl Default for Validator {
     }
 }
 
-impl Validator {
-    /// Validates `events` as a canonical *prefix*: every step must be legal,
-    /// but the stream may stop anywhere. Returns the counts plus whether the
-    /// stream is complete (reached `ProgramEnd`).
-    fn run_prefix(mut self, events: &[TraceEvent]) -> Result<(TraceCounts, bool), TraceError> {
-        for (index, event) in events.iter().enumerate() {
-            self.step(index, event)
-                .map_err(|message| TraceError::Invariant { index, message })?;
-        }
-        Ok((self.counts, self.expect == Expect::Done))
+/// Incremental canonical-prefix validation: the state of
+/// [`Trace::validate_prefix`] kept alive between appends.
+///
+/// A consumer of a *growing* event stream (a detection session ingesting
+/// chunks as an execution runs) feeds each chunk through
+/// [`extend`](PrefixValidator::extend) exactly once — total validation work
+/// stays linear in the stream length no matter how many chunks it arrives
+/// in, instead of quadratic from revalidating the whole prefix per append.
+///
+/// ```
+/// use futurerd_dag::trace::{PrefixValidator, Trace, TraceEvent};
+/// use futurerd_dag::{FunctionId, StrandId};
+///
+/// let mut t = Trace::new();
+/// t.push(TraceEvent::ProgramStart { root: FunctionId(0), first: StrandId(0) });
+/// t.push(TraceEvent::StrandStart { strand: StrandId(0), function: FunctionId(0) });
+/// t.push(TraceEvent::Return { function: FunctionId(0), last: StrandId(0) });
+/// t.push(TraceEvent::ProgramEnd { last: StrandId(0) });
+///
+/// let mut v = PrefixValidator::new();
+/// for event in t.events() {
+///     // One event at a time is the worst case — still linear overall.
+///     let (_, complete) = v.extend(std::slice::from_ref(event)).unwrap();
+///     assert_eq!(complete, v.is_complete());
+/// }
+/// assert!(v.is_complete());
+/// assert_eq!(v.position(), t.len());
+/// ```
+#[derive(Debug, Default)]
+pub struct PrefixValidator {
+    inner: Validator,
+    position: usize,
+    poisoned: bool,
+}
+
+impl PrefixValidator {
+    /// A validator that has accepted no events yet.
+    pub fn new() -> Self {
+        Self::default()
     }
 
+    /// Number of events accepted so far — the stream position the next
+    /// [`extend`](PrefixValidator::extend) continues from.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Per-construct totals of the accepted prefix.
+    pub fn counts(&self) -> TraceCounts {
+        self.inner.counts
+    }
+
+    /// True once the stream has reached its `ProgramEnd`.
+    pub fn is_complete(&self) -> bool {
+        self.inner.expect == Expect::Done
+    }
+
+    /// Validates the next chunk of the stream, continuing from where the
+    /// previous call stopped. Returns the totals of the whole accepted
+    /// prefix plus whether the stream is now complete.
+    ///
+    /// On an invariant failure the reported index is the *global* stream
+    /// position of the offending event, and the validator is poisoned:
+    /// every later call returns the same class of error instead of
+    /// accepting events after a known-corrupt point.
+    pub fn extend(&mut self, events: &[TraceEvent]) -> Result<(TraceCounts, bool), TraceError> {
+        if self.poisoned {
+            return Err(TraceError::Invariant {
+                index: self.position,
+                message: "stream already failed validation at this position".to_string(),
+            });
+        }
+        for event in events {
+            if let Err(message) = self.inner.step(self.position, event) {
+                self.poisoned = true;
+                return Err(TraceError::Invariant {
+                    index: self.position,
+                    message,
+                });
+            }
+            self.position += 1;
+        }
+        Ok((self.inner.counts, self.is_complete()))
+    }
+}
+
+impl Validator {
     fn current(&self) -> Result<(FunctionId, StrandId), String> {
         self.current
             .ok_or_else(|| "no strand executing".to_string())

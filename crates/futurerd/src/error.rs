@@ -1,0 +1,129 @@
+//! The facade's single error type.
+//!
+//! The crates underneath keep their own precise errors
+//! ([`TraceError`](futurerd_dag::trace::TraceError) for event streams,
+//! [`StoreError`](futurerd_store::StoreError) for the persistent store), but
+//! every fallible `futurerd` entry point — sessions, the `replay*`
+//! wrappers, the store helpers — returns one [`Error`] with typed kinds, so
+//! callers match on *what went wrong* without knowing *which layer* a
+//! request was routed through.
+
+use futurerd_dag::trace::TraceError;
+use futurerd_store::StoreError;
+
+/// Everything that can go wrong at the facade boundary.
+///
+/// Constructed by `From` conversions from the layer errors; the
+/// [`Trace`](Error::Trace) and [`Store`](Error::Store) kinds carry the
+/// precise underlying error, while configuration-level refusals (an
+/// algorithm that cannot consume the trace, an analysis level a path cannot
+/// serve) normalize to [`Unsupported`](Error::Unsupported) regardless of
+/// which layer noticed them.
+#[derive(Debug)]
+pub enum Error {
+    /// The event stream is invalid: a codec failure, or a violation of the
+    /// canonical serial-DF ordering invariant (with the global stream
+    /// position of the offending event).
+    Trace(TraceError),
+    /// The persistent store refused the request: I/O, a corrupt sidecar, an
+    /// unknown trace name, or an algorithm without a frozen form.
+    Store(StoreError),
+    /// The configuration cannot serve this request — e.g. SP-Bags asked to
+    /// consume a trace that contains futures.
+    Unsupported {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+}
+
+impl Error {
+    /// A configuration-level refusal.
+    pub(crate) fn unsupported(message: impl Into<String>) -> Self {
+        Error::Unsupported {
+            message: message.into(),
+        }
+    }
+
+    /// True if this is a trace-validity error (kind [`Error::Trace`]).
+    pub fn is_trace(&self) -> bool {
+        matches!(self, Error::Trace(_))
+    }
+
+    /// True if this is a store error (kind [`Error::Store`]).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Error::Store(_))
+    }
+
+    /// True if this is a configuration refusal (kind
+    /// [`Error::Unsupported`]).
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, Error::Unsupported { .. })
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Trace(e) => write!(f, "trace error: {e}"),
+            Error::Store(e) => write!(f, "store error: {e}"),
+            Error::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Trace(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            // An algorithm × trace mismatch is a configuration refusal, not
+            // a malformed stream — normalize it.
+            TraceError::Unsupported { message } => Error::Unsupported { message },
+            other => Error::Trace(other),
+        }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            // The store wraps stream problems in its own error; unwrap them
+            // so callers see one Trace kind wherever the stream was bad.
+            StoreError::Trace(trace) => Error::from(trace),
+            other => Error::Store(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_and_normalize() {
+        let trace_err = Error::from(TraceError::TrailingData);
+        assert!(trace_err.is_trace() && !trace_err.is_store());
+
+        // TraceError::Unsupported normalizes to the Unsupported kind...
+        let unsupported = Error::from(TraceError::Unsupported {
+            message: "no futures".into(),
+        });
+        assert!(unsupported.is_unsupported());
+
+        // ...and StoreError::Trace unwraps to the Trace kind.
+        let wrapped = Error::from(StoreError::Trace(TraceError::TrailingData));
+        assert!(wrapped.is_trace());
+
+        let store_err = Error::from(StoreError::UnknownTrace("x".into()));
+        assert!(store_err.is_store());
+        assert!(store_err.to_string().contains("no trace named"));
+    }
+}

@@ -66,14 +66,55 @@
 //! assert!(detection.reach_stats.unwrap().dsu_ops() > 0);
 //! ```
 //!
+//! ## Sessions: detect while the execution grows
+//!
+//! Offline detection is a **[`Session`]**: open one (ephemeral via
+//! [`Config::session`], or persistent on a [`Store`] entry via
+//! [`Config::open_session`]), [`ingest`](Session::ingest) event chunks as
+//! the observed execution grows, and ask for a [`report`](Session::report)
+//! at any point. The session validates each event exactly once, keeps the
+//! reachability freeze *resident* (appends extend it, never repeat it), and
+//! serves every report from the cheapest valid path — fully cached, touched
+//! partitions only, or cold — reporting which via [`Detection::path`]. The
+//! answer is byte-identical to replaying the whole trace from scratch, for
+//! any chunking, at any thread count:
+//!
+//! ```
+//! use futurerd::{Config, DetectionPath};
+//!
+//! let recorded = futurerd::record(|cx| {
+//!     let mut cell = futurerd::ShadowCell::new(cx, 0u32);
+//!     cx.spawn(|cx| cell.set(cx, 1));
+//!     let racy = cell.get(cx);
+//!     cx.sync();
+//!     racy
+//! });
+//! let events = recorded.trace.events();
+//!
+//! let mut session = Config::structured().session();
+//! session.ingest(&events[..4]).unwrap();
+//! let early = session.report().unwrap(); // verdict on the prefix so far
+//! assert_eq!(early.path, Some(DetectionPath::Cold));
+//!
+//! session.ingest(&events[4..]).unwrap(); // the execution grew
+//! let full = session.report().unwrap();  // only the suffix is new work
+//! assert!(matches!(full.path, Some(DetectionPath::Incremental { .. })));
+//! assert_eq!(full.race_count(), 1);
+//!
+//! // Byte-identical to one-shot replay of the concatenated trace.
+//! let one_shot = Config::structured().replay(&recorded.trace).unwrap();
+//! assert_eq!(full.report().to_string(), one_shot.report().to_string());
+//! ```
+//!
 //! ## Record once, detect many times
 //!
 //! [`record`] captures an execution as a persistent [`Trace`] without any
-//! detection state; [`Config::replay`] feeds a trace back through any
-//! detector. Traces serialize ([`Trace::save`] / [`Trace::load`]), so
-//! detection can happen offline, repeatedly, across algorithms — see the
-//! `futurerd-trace` CLI in `futurerd-bench` for the command-line version of
-//! this workflow:
+//! detection state; [`Config::replay`] — a single-shot session — feeds a
+//! trace back through any detector. Traces serialize ([`Trace::save`] /
+//! [`Trace::load`]), so detection can happen offline, repeatedly, across
+//! algorithms — see the `futurerd-trace` CLI in `futurerd-bench` for the
+//! command-line version of this workflow (including `follow`, the
+//! append-and-redetect loop over a stored session):
 //!
 //! ```
 //! let recorded = futurerd::record(|cx| {
@@ -91,17 +132,26 @@
 //! assert_eq!(structured.race_count(), 1);
 //! assert_eq!(general.race_count(), 1);
 //! ```
+//!
+//! Every fallible entry point returns the single [`Error`] type with typed
+//! kinds ([`Error::Trace`], [`Error::Store`], [`Error::Unsupported`]) —
+//! callers match on what went wrong, not on which layer noticed.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod error;
+mod session;
+
+pub use error::Error;
 pub use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
 pub use futurerd_core::parallel;
 pub use futurerd_core::parallel::{par_replay_detect, DetectExecutor, ReachIndex};
 pub use futurerd_core::replay;
 pub use futurerd_core::stats::{DetectorStats, ReachStats};
 pub use futurerd_core::{AccessKind, Race, RaceReport};
-pub use futurerd_dag::trace::{Trace, TraceCounts, TraceError, TraceEvent};
+pub use futurerd_dag::source::{ChunkedEvents, EventSource};
+pub use futurerd_dag::trace::{PrefixValidator, Trace, TraceCounts, TraceError, TraceEvent};
 pub use futurerd_dag::{FunctionId, MemAddr, NullObserver, Observer, StrandId};
 pub use futurerd_runtime::exec::{ExecutionSummary, FutureHandle};
 pub use futurerd_runtime::trace::TraceRecorder;
@@ -110,12 +160,11 @@ pub use futurerd_store as store;
 pub use futurerd_store::{
     BatchJob, BatchManifest, DetectionPath, Store, StoreDetection, StoreError, StoreStats,
 };
+pub use session::Session;
 
-use futurerd_core::parallel::par_replay_detect_with;
 use futurerd_core::reachability::{
     GraphOracle, MultiBags, MultiBagsPlus, SpBags, SpBagsConservative,
 };
-use futurerd_core::replay::ReplayAlgorithm;
 use futurerd_dag::events::{CreateFutureEvent, GetFutureEvent, SpawnEvent, SyncEvent};
 use futurerd_runtime::run_program;
 
@@ -219,25 +268,26 @@ impl Config {
         self
     }
 
-    /// Number of detection threads used by [`Config::replay`] (default 1).
+    /// Number of detection threads used by sessions and the `replay*`
+    /// wrappers (default 1).
     ///
-    /// With more than one thread, replay of a full-detection MultiBags /
-    /// MultiBags+ configuration runs through the two-pass parallel engine
-    /// (`futurerd-core::parallel`): reachability is frozen into an immutable
-    /// index in one pass, then the granule space is sharded across workers
-    /// on a work-stealing [`ThreadPool`], and the per-partition reports are
-    /// merged deterministically — the [`RaceReport`] is identical to a
-    /// single-threaded replay at any thread count. Other algorithms and
-    /// partial analyses replay sequentially regardless of this setting.
+    /// With more than one thread, full-detection MultiBags / MultiBags+
+    /// requests run pass 2 of the parallel engine
+    /// (`futurerd-core::parallel`) sharded across workers on a
+    /// work-stealing [`ThreadPool`]: the granule space is split into
+    /// contiguous ranges balanced by access count and the per-partition
+    /// reports are merged deterministically — the [`RaceReport`] is
+    /// identical to a single-threaded replay at any thread count. Other
+    /// algorithms and partial analyses replay sequentially regardless of
+    /// this setting.
     ///
     /// Workers come from the **process-shared** pool of this size
     /// ([`ThreadPool::shared`]), so repeated replays and batch jobs pay the
-    /// worker spawn cost once; use [`Config::replay_on`] to supply a pool
-    /// explicitly.
+    /// worker spawn cost once; use [`Config::replay_on`] (or
+    /// [`Session::on_pool`]) to supply a pool explicitly.
     ///
-    /// The parallel path reports the race verdict only: `reach_stats` and
-    /// `detector_stats` are `None` (per-shard work counters are not
-    /// aggregated).
+    /// Engine paths report the summed per-partition `detector_stats` but no
+    /// `reach_stats` (the freeze does not meter its reachability work).
     ///
     /// # Example
     ///
@@ -349,21 +399,25 @@ impl Config {
             report,
             reach_stats,
             detector_stats,
+            path: None,
         }
     }
 
-    /// Replays a recorded [`Trace`] through the configured observer instead
-    /// of executing a program — offline detection on a trace captured by
-    /// [`record`] (or loaded from disk with [`Trace::load`]).
+    /// Replays a complete recorded [`Trace`] through this configuration —
+    /// offline detection on a trace captured by [`record`] (or loaded from
+    /// disk with [`Trace::load`]).
     ///
-    /// The trace is validated against the canonical serial-DF ordering
-    /// invariant first; the detectors' correctness depends on it. The
-    /// returned [`Detection`] carries no program value, and its summary's
-    /// `bytes_allocated` is zero (traces do not record allocations).
+    /// This is the single-shot form of a [`Session`]: the trace is ingested
+    /// into a fresh session (validating the canonical serial-DF ordering
+    /// invariant, which the detectors' correctness depends on, and
+    /// requiring a complete stream) and reported once. The returned
+    /// [`Detection`] carries no program value, its summary's
+    /// `bytes_allocated` is zero (traces do not record allocations), and
+    /// its [`path`](Detection::path) records how the request was served.
     ///
     /// [`Algorithm::SpBags`] has no transition for future constructs, so
     /// replaying a futures-bearing trace under it returns
-    /// [`TraceError::Unsupported`] instead of running.
+    /// [`Error::Unsupported`] instead of running.
     ///
     /// # Example
     ///
@@ -379,8 +433,11 @@ impl Config {
     /// assert!(detection.is_race_free());
     /// assert_eq!(detection.summary.gets, recorded.summary.gets);
     /// ```
-    pub fn replay(self, trace: &Trace) -> Result<Detection<()>, TraceError> {
-        self.replay_impl(trace, None)
+    pub fn replay(self, trace: &Trace) -> Result<Detection<()>, Error> {
+        let mut session = self.session();
+        session.ingest(trace.events())?;
+        require_complete(&session, trace.len())?;
+        session.report()
     }
 
     /// As [`Config::replay`], but parallel detection workers run on the
@@ -407,73 +464,11 @@ impl Config {
     ///     .unwrap();
     /// assert_eq!(d.race_count(), 1);
     /// ```
-    pub fn replay_on(self, trace: &Trace, pool: &ThreadPool) -> Result<Detection<()>, TraceError> {
-        self.replay_impl(trace, Some(pool))
-    }
-
-    fn replay_impl(
-        self,
-        trace: &Trace,
-        pool: Option<&ThreadPool>,
-    ) -> Result<Detection<()>, TraceError> {
-        let counts = trace.validate()?;
-        if self.algorithm == Algorithm::SpBags && trace.has_futures() {
-            return Err(TraceError::Unsupported {
-                message: "SP-Bags cannot consume traces that contain futures".to_string(),
-            });
-        }
-        let summary = summary_from_counts(&counts);
-        if self.analysis == Analysis::Full && self.threads > 1 {
-            if let Some(algorithm) = match self.algorithm {
-                Algorithm::MultiBags => Some(ReplayAlgorithm::MultiBags),
-                Algorithm::MultiBagsPlus => Some(ReplayAlgorithm::MultiBagsPlus),
-                // No frozen reachability form: replay sequentially below.
-                Algorithm::SpBags | Algorithm::SpBagsConservative | Algorithm::GraphOracle => None,
-            } {
-                // Reuse the process-shared pool of this size (workers spawn
-                // once and then serve every replay and batch job) unless the
-                // caller provided one.
-                let shared;
-                let pool = match pool {
-                    Some(pool) => pool,
-                    None => {
-                        shared = ThreadPool::shared(self.threads);
-                        &shared
-                    }
-                };
-                let report =
-                    par_replay_detect_with(trace, algorithm, self.threads, &PoolExecutor(pool))?;
-                return Ok(Detection {
-                    value: (),
-                    summary,
-                    config: self,
-                    report: Some(report),
-                    reach_stats: None,
-                    detector_stats: None,
-                });
-            }
-        }
-        let observer = trace.replay(self.build_observer());
-        let Outcome {
-            mut report,
-            reach_stats,
-            detector_stats,
-        } = observer.into_outcome();
-        if self.algorithm == Algorithm::SpBagsConservative && trace.has_futures() {
-            // The conservative fallback folded futures into fork-join
-            // constructs: the verdict is approximate by construction.
-            if let Some(report) = report.as_mut() {
-                report.mark_approximate();
-            }
-        }
-        Ok(Detection {
-            value: (),
-            summary,
-            config: self,
-            report,
-            reach_stats,
-            detector_stats,
-        })
+    pub fn replay_on(self, trace: &Trace, pool: &ThreadPool) -> Result<Detection<()>, Error> {
+        let mut session = self.session().on_pool(pool);
+        session.ingest(trace.events())?;
+        require_complete(&session, trace.len())?;
+        session.report()
     }
 
     /// Opens (or creates) a persistent detection [`Store`] rooted at `path`
@@ -485,16 +480,22 @@ impl Config {
         Store::open(path)
     }
 
-    /// Replays a trace *stored* in `store` under this configuration,
-    /// serving the freeze from the trace's `FRDIDX` sidecar when it is
-    /// valid (warm replay) and refreezing only the appended suffix when the
-    /// trace has grown. The report is byte-identical to [`Config::replay`]
-    /// on the same trace.
+    /// Replays a trace *stored* in `store` under this configuration — the
+    /// single-shot form of a persistent [`Session`]
+    /// ([`Config::open_session`]): the freeze is served from the trace's
+    /// `FRDIDX` sidecar when it is valid (warm replay), only the appended
+    /// suffix is refrozen when the trace has grown, and the refreshed state
+    /// is persisted back. The report is byte-identical to
+    /// [`Config::replay`] on the same trace, and
+    /// [`Detection::path`] records which path served it.
     ///
     /// Only the freezable algorithms ([`Algorithm::MultiBags`] and
     /// [`Algorithm::MultiBagsPlus`]) have a persistent index; other
-    /// algorithms return [`StoreError::Unfreezable`]. The analysis level is
-    /// ignored — stored detection is always full detection.
+    /// algorithms return the store's
+    /// [`Unfreezable`](StoreError::Unfreezable) error. A partial
+    /// [`Analysis`] level is honored by replaying the stored trace
+    /// sequentially (no index is read or written): the result has the same
+    /// shape as [`Config::replay`] — no silent upgrade to full detection.
     ///
     /// # Example
     ///
@@ -519,23 +520,30 @@ impl Config {
     /// assert_eq!(store.stats().warm_cached_hits, 1);
     /// # std::fs::remove_dir_all(&dir).ok();
     /// ```
-    pub fn replay_stored(self, store: &mut Store, name: &str) -> Result<Detection<()>, StoreError> {
-        let algorithm = match self.algorithm {
-            Algorithm::MultiBags => ReplayAlgorithm::MultiBags,
-            Algorithm::MultiBagsPlus => ReplayAlgorithm::MultiBagsPlus,
-            Algorithm::SpBags => ReplayAlgorithm::SpBags,
-            Algorithm::SpBagsConservative => ReplayAlgorithm::SpBagsConservative,
-            Algorithm::GraphOracle => ReplayAlgorithm::GraphOracle,
-        };
-        let detection = store.detect(name, algorithm, self.threads)?;
-        Ok(Detection {
-            value: (),
-            summary: summary_from_counts(&detection.counts),
-            config: self,
-            report: Some(detection.report),
-            reach_stats: None,
-            detector_stats: None,
-        })
+    pub fn replay_stored(self, store: &mut Store, name: &str) -> Result<Detection<()>, Error> {
+        if self.analysis != Analysis::Full {
+            // A stored index only exists for full detection; honor the
+            // requested partial analysis by replaying the trace itself.
+            let trace = store.load_trace(name)?;
+            let mut session = self.session();
+            session.ingest(trace.events())?;
+            return session.report();
+        }
+        let mut session = self.open_session(store, name)?;
+        session.report()
+    }
+}
+
+/// Rejects a stream that stopped before `ProgramEnd` — the one-shot
+/// `replay*` wrappers require complete traces (sessions accept prefixes).
+fn require_complete(session: &Session<'_>, len: usize) -> Result<(), Error> {
+    if session.is_complete() {
+        Ok(())
+    } else {
+        Err(Error::Trace(TraceError::Invariant {
+            index: len,
+            message: "stream ended before ProgramEnd".to_string(),
+        }))
     }
 }
 
@@ -686,10 +694,18 @@ pub struct Detection<T> {
     pub config: Config,
     /// The race report — present only under [`Analysis::Full`].
     pub report: Option<RaceReport>,
-    /// Reachability work counters — absent under [`Analysis::Baseline`].
+    /// Reachability work counters — absent under [`Analysis::Baseline`]
+    /// and on the frozen-engine replay paths (the freeze does not meter its
+    /// reachability work).
     pub reach_stats: Option<ReachStats>,
     /// Access-history counters — present only under [`Analysis::Full`].
+    /// On engine paths these are the per-partition counters summed (equal
+    /// to a sequential replay's on every field except `shadow_pages`,
+    /// which counts per-partition tables).
     pub detector_stats: Option<DetectorStats>,
+    /// How a replay/session/store request was served (`None` for live
+    /// [`Config::run`] executions, which have nothing to route).
+    pub path: Option<DetectionPath>,
 }
 
 impl<T> Detection<T> {
@@ -971,7 +987,7 @@ mod tests {
             .algorithm(Algorithm::SpBags)
             .replay(&recorded.trace)
             .unwrap_err();
-        assert!(matches!(err, TraceError::Unsupported { .. }), "{err}");
+        assert!(err.is_unsupported(), "{err}");
         // The same trace replays fine on a fork-join-capable algorithm.
         assert!(Config::general().replay(&recorded.trace).is_ok());
     }

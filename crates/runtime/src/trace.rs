@@ -75,6 +75,21 @@ impl TraceRecorder {
     pub fn into_trace(self) -> Trace {
         self.trace
     }
+
+    /// Removes and returns the events recorded since the last take, in
+    /// stream order — the live end of the
+    /// [`EventSource`](futurerd_dag::source::EventSource) abstraction: a
+    /// recorder can be polled *while its program is still running* and the
+    /// drained increments fed straight into a detection session.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take_events()
+    }
+}
+
+impl futurerd_dag::source::EventSource for TraceRecorder {
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        TraceRecorder::take_events(self)
+    }
 }
 
 impl Observer for TraceRecorder {

@@ -34,13 +34,17 @@ use futurerd_core::parallel::{
     GranuleAccess, PartitionOutcome, RawBagSet, RawBags, RawFreeze, RawNsp, RawNspSet, RAW_NONE,
 };
 use futurerd_core::replay::ReplayAlgorithm;
+use futurerd_core::stats::DetectorStats;
 use futurerd_core::{AccessKind, Race};
 use futurerd_dag::{MemAddr, StrandId};
 
 /// Magic bytes identifying an `FRDIDX` sidecar file.
 pub const INDEX_MAGIC: [u8; 8] = *b"FRDIDX\0\0";
-/// Current sidecar format version.
-pub const INDEX_VERSION: u32 = 1;
+/// Current sidecar format version. Version 2 added the per-partition
+/// access-history counters ([`DetectorStats`]) to cached outcomes; v1
+/// sidecars are rejected as [`StoreError::UnsupportedVersion`], which the
+/// store treats as a routine invalidation (refreeze cold, rewrite).
+pub const INDEX_VERSION: u32 = 2;
 
 /// The sidecar checksum: FNV-style multiply-xor folded over 8-byte
 /// little-endian words (plus a length-salted tail), ~8× faster than
@@ -390,6 +394,17 @@ fn put_outcomes(out: &mut Vec<u8>, outcomes: &[PartitionOutcome]) {
             put_varint(out, race.current_strand.0.into());
             out.push(access_kind_tag(race.current_kind));
         }
+        let s = &outcome.stats;
+        for field in [
+            s.read_checks,
+            s.write_checks,
+            s.readers_recorded,
+            s.readers_cleared,
+            s.races_found,
+            s.shadow_pages,
+        ] {
+            put_varint(out, field);
+        }
     }
 }
 
@@ -425,10 +440,24 @@ fn get_outcomes(r: &mut Reader<'_>) -> Result<Vec<PartitionOutcome>, StoreError>
                 "more witnesses than observations".to_string(),
             ));
         }
+        let stats = DetectorStats {
+            read_checks: r.varint()?,
+            write_checks: r.varint()?,
+            readers_recorded: r.varint()?,
+            readers_cleared: r.varint()?,
+            races_found: r.varint()?,
+            shadow_pages: r.varint()?,
+        };
+        if stats.races_found < observations {
+            return Err(StoreError::Corrupt(
+                "fewer races counted than observations".to_string(),
+            ));
+        }
         outcomes.push(PartitionOutcome {
             range: start..end,
             witnesses,
             observations,
+            stats,
         });
     }
     Ok(outcomes)
@@ -560,6 +589,14 @@ mod tests {
                     },
                 )],
                 observations: 3,
+                stats: DetectorStats {
+                    read_checks: 5,
+                    write_checks: 2,
+                    readers_recorded: 4,
+                    readers_cleared: 1,
+                    races_found: 3,
+                    shadow_pages: 1,
+                },
             }]),
         }
     }

@@ -69,7 +69,7 @@
 pub mod codec;
 
 use futurerd_core::parallel::{
-    self, merge_outcomes, run_partition, GranuleAccess, IncrementalFreezer, PartitionOutcome,
+    self, merge_outcomes, GranuleAccess, IncrementalFreezer, IncrementalOutcomes, PartitionOutcome,
     ReachIndex, StdExecutor,
 };
 use futurerd_core::replay::ReplayAlgorithm;
@@ -77,7 +77,6 @@ use futurerd_core::RaceReport;
 use futurerd_dag::trace::{fnv1a64, Trace, TraceCounts, TraceError, TraceEvent};
 use futurerd_runtime::ThreadPool;
 use std::io;
-use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 pub use codec::{decode_sidecar, encode_sidecar, Sidecar, INDEX_MAGIC, INDEX_VERSION};
@@ -256,6 +255,10 @@ pub enum DetectionPath {
         rerun: usize,
         /// Partitions whose cached outcomes were reused verbatim.
         reused: usize,
+        /// True if the access histogram drifted past the threshold and the
+        /// partition ranges were recomputed from the full stream (see
+        /// [`parallel::REBALANCE_DRIFT_FACTOR`]).
+        rebalanced: bool,
     },
 }
 
@@ -276,9 +279,11 @@ impl std::fmt::Display for DetectionPath {
                 appended_events,
                 rerun,
                 reused,
+                rebalanced,
             } => write!(
                 f,
-                "incremental(+{appended_events}ev, {rerun} rerun / {reused} reused)"
+                "incremental(+{appended_events}ev, {rerun} rerun / {reused} reused{})",
+                if *rebalanced { ", rebalanced" } else { "" }
             ),
         }
     }
@@ -316,6 +321,9 @@ pub struct StoreStats {
     pub partitions_rerun: u64,
     /// Detection partitions reused verbatim during incremental requests.
     pub partitions_reused: u64,
+    /// Incremental requests that re-balanced the partition ranges because
+    /// the access histogram had drifted.
+    pub rebalances: u64,
     /// Sidecars discarded as corrupt, stale or mismatched.
     pub invalidated_sidecars: u64,
 }
@@ -540,11 +548,9 @@ impl Store {
             Some(fz) if frozen_pos == events => {
                 // Warm: the index covers the whole trace.
                 if let Some(outcomes) = cached_outcomes {
-                    self.stats.warm_cached_hits += 1;
                     let report = merge_outcomes(outcomes.iter().cloned());
                     (None, report, DetectionPath::WarmCached)
                 } else {
-                    self.stats.warm_index_loads += 1;
                     let index = fz.snapshot_index();
                     let outcomes = full_outcomes(&index, fz.accesses(), threads);
                     let report = merge_outcomes(outcomes.iter().cloned());
@@ -557,25 +563,32 @@ impl Store {
             }
             Some(mut fz) => {
                 // Incremental: refreeze the appended suffix only.
-                self.stats.incremental_refreezes += 1;
                 let appended_events = events - frozen_pos;
                 let old_access_count = fz.accesses().len();
                 fz.extend(&trace.events()[frozen_pos..]);
                 let index = fz.snapshot_index();
                 let accesses = fz.accesses();
                 let fresh = &accesses[old_access_count..];
-                let (outcomes, rerun, reused) = match cached_outcomes {
+                let IncrementalOutcomes {
+                    outcomes,
+                    rerun,
+                    reused,
+                    rebalanced,
+                } = match cached_outcomes {
                     Some(stored) if !stored.is_empty() => {
-                        incremental_outcomes(&index, accesses, fresh, stored, threads)
+                        incremental_on_pool(&index, accesses, fresh, stored, threads)
                     }
                     _ => {
                         let outcomes = full_outcomes(&index, accesses, threads);
                         let rerun = outcomes.len();
-                        (outcomes, rerun, 0)
+                        IncrementalOutcomes {
+                            outcomes,
+                            rerun,
+                            reused: 0,
+                            rebalanced: false,
+                        }
                     }
                 };
-                self.stats.partitions_rerun += rerun as u64;
-                self.stats.partitions_reused += reused as u64;
                 let report = merge_outcomes(outcomes.iter().cloned());
                 (
                     Some(self.make_sidecar(&trace, &fz, outcomes)),
@@ -584,12 +597,12 @@ impl Store {
                         appended_events,
                         rerun,
                         reused,
+                        rebalanced,
                     },
                 )
             }
             None => {
                 // Cold: freeze from scratch.
-                self.stats.cold_freezes += 1;
                 let mut fz = IncrementalFreezer::new(algorithm).expect("freezable checked above");
                 fz.extend(trace.events());
                 let index = fz.snapshot_index();
@@ -603,6 +616,7 @@ impl Store {
             }
         };
 
+        self.record_path(path);
         if let Some(sidecar) = sidecar {
             std::fs::write(
                 self.sidecar_path(name, algorithm),
@@ -710,6 +724,89 @@ impl Store {
             outcomes: Some(outcomes),
         }
     }
+
+    /// Opens the raw state a long-lived detection session resumes from: the
+    /// named trace plus — when a valid bound sidecar exists for `algorithm`
+    /// — the resident freezer and any cached partition outcomes.
+    ///
+    /// A session keeps the freezer *in memory* across appends instead of
+    /// round-tripping it through the sidecar per request; it writes state
+    /// back with [`Store::persist_session`] so a later open resumes warm.
+    pub fn open_session_state(
+        &mut self,
+        name: &str,
+        algorithm: ReplayAlgorithm,
+    ) -> Result<SessionState, StoreError> {
+        if !algorithm.freezable() {
+            return Err(StoreError::Unfreezable(algorithm));
+        }
+        let trace = self.load_trace(name)?;
+        let (freezer, outcomes) = match self.load_sidecar(name, algorithm, &trace) {
+            Some((freezer, outcomes)) => (Some(freezer), outcomes),
+            None => (None, None),
+        };
+        Ok(SessionState {
+            trace,
+            freezer,
+            outcomes,
+        })
+    }
+
+    /// Persists a session's current state: rewrites the trace file and the
+    /// freezer's algorithm sidecar (with its cached outcomes), so the next
+    /// [`Store::detect`] or session open is served warm.
+    pub fn persist_session(
+        &mut self,
+        name: &str,
+        trace: &Trace,
+        freezer: &IncrementalFreezer,
+        outcomes: Vec<PartitionOutcome>,
+    ) -> Result<(), StoreError> {
+        Self::check_name(name)?;
+        trace.save(self.trace_path(name))?;
+        let sidecar = self.make_sidecar(trace, freezer, outcomes);
+        std::fs::write(
+            self.sidecar_path(name, freezer.algorithm()),
+            codec::encode_sidecar(&sidecar),
+        )?;
+        Ok(())
+    }
+
+    /// Folds one session-served detection into the store's work counters.
+    /// Sessions route requests through their resident state, so the store
+    /// only sees the resulting [`DetectionPath`]; this keeps the
+    /// cold/warm/incremental economics in [`Store::stats`] accurate for
+    /// session traffic too.
+    pub fn record_path(&mut self, path: DetectionPath) {
+        match path {
+            DetectionPath::Cold => self.stats.cold_freezes += 1,
+            DetectionPath::WarmIndex => self.stats.warm_index_loads += 1,
+            DetectionPath::WarmCached => self.stats.warm_cached_hits += 1,
+            DetectionPath::Incremental {
+                rerun,
+                reused,
+                rebalanced,
+                ..
+            } => {
+                self.stats.incremental_refreezes += 1;
+                self.stats.partitions_rerun += rerun as u64;
+                self.stats.partitions_reused += reused as u64;
+                self.stats.rebalances += u64::from(rebalanced);
+            }
+        }
+    }
+}
+
+/// The raw state of a store-backed detection session (see
+/// [`Store::open_session_state`]).
+#[derive(Debug)]
+pub struct SessionState {
+    /// The stored trace as currently on disk.
+    pub trace: Trace,
+    /// The resident freezer resumed from the sidecar, if one was valid.
+    pub freezer: Option<IncrementalFreezer>,
+    /// Cached per-partition outcomes, if the sidecar carried them.
+    pub outcomes: Option<Vec<PartitionOutcome>>,
 }
 
 /// Runs full sharded detection over a frozen index, on the shared pool when
@@ -727,75 +824,21 @@ fn full_outcomes(
     }
 }
 
-/// Incremental pass 2: given the cached outcomes of a previous detection and
-/// the accesses appended since, re-runs only partitions whose granule range
-/// the suffix touched and reuses the rest verbatim. Boundary ranges are
-/// widened to absorb granules outside the old coverage.
-fn incremental_outcomes(
+/// Incremental pass 2 ([`parallel::incremental_outcomes`]) on the shared
+/// worker pool when it pays, the calling thread otherwise.
+fn incremental_on_pool(
     index: &ReachIndex,
     accesses: &[GranuleAccess],
     fresh: &[GranuleAccess],
     stored: Vec<PartitionOutcome>,
     threads: usize,
-) -> (Vec<PartitionOutcome>, usize, usize) {
-    if fresh.is_empty() {
-        let reused = stored.len();
-        return (stored, 0, reused);
-    }
-    let mut ranges: Vec<Range<u64>> = stored.iter().map(|o| o.range.clone()).collect();
-    let min_new = fresh.iter().map(|a| a.granule).min().expect("non-empty");
-    let max_new = fresh.iter().map(|a| a.granule).max().expect("non-empty");
-    if let Some(first) = ranges.first_mut() {
-        first.start = first.start.min(min_new);
-    }
-    if let Some(last) = ranges.last_mut() {
-        last.end = last.end.max(max_new + 1);
-    }
-    let touched: Vec<bool> = ranges
-        .iter()
-        .map(|r| fresh.iter().any(|a| r.contains(&a.granule)))
-        .collect();
-
-    // Re-run the touched ranges (over the *full* access stream — shadow
-    // state must be rebuilt from the beginning), in parallel on the shared
-    // pool when it pays.
-    let rerun_ranges: Vec<(usize, Range<u64>)> = touched
-        .iter()
-        .enumerate()
-        .filter(|&(_, &t)| t)
-        .map(|(i, _)| (i, ranges[i].clone()))
-        .collect();
-    let mut rerun_results: Vec<Option<PartitionOutcome>> = vec![None; rerun_ranges.len()];
-    if threads > 1 && rerun_ranges.len() > 1 {
+) -> IncrementalOutcomes {
+    if threads > 1 {
         let pool = ThreadPool::shared(threads);
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = rerun_results
-            .iter_mut()
-            .zip(&rerun_ranges)
-            .map(|(slot, (_, range))| {
-                let range = range.clone();
-                Box::new(move || *slot = Some(run_partition(index, range, accesses)))
-                    as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        pool.run_batch(tasks);
+        parallel::incremental_outcomes(index, accesses, fresh, stored, threads, &PoolExec(&pool))
     } else {
-        for (slot, (_, range)) in rerun_results.iter_mut().zip(&rerun_ranges) {
-            *slot = Some(run_partition(index, range.clone(), accesses));
-        }
+        parallel::incremental_outcomes(index, accesses, fresh, stored, 1, &StdExecutor)
     }
-
-    let rerun = rerun_ranges.len();
-    let reused = ranges.len() - rerun;
-    let mut fresh_by_index: Vec<Option<PartitionOutcome>> = vec![None; ranges.len()];
-    for ((i, _), result) in rerun_ranges.into_iter().zip(rerun_results) {
-        fresh_by_index[i] = Some(result.expect("partition task ran"));
-    }
-    let outcomes = stored
-        .into_iter()
-        .zip(fresh_by_index)
-        .map(|(old, new)| new.unwrap_or(old))
-        .collect();
-    (outcomes, rerun, reused)
 }
 
 /// [`parallel::DetectExecutor`] over the shared work-stealing pool.

@@ -1,0 +1,194 @@
+//! Session-equivalence properties: `Session::ingest` over **any** chunking
+//! of an event stream — including one event at a time — followed by
+//! `report()` yields a detection byte-identical to one-shot
+//! `Config::replay` of the concatenated trace, at P ∈ {1, 4}, for both
+//! paper algorithms, over seeded generated programs in both regimes.
+//!
+//! Also asserts the session cost model: a session kept live across appends
+//! pays the freeze exactly once — every report after the first is served
+//! warm or incrementally (`DetectionPath` never returns to `Cold`), and a
+//! store-backed session accounts exactly one cold freeze across its whole
+//! life, reopen included.
+
+use futurerd::{Algorithm, Config, DetectionPath};
+use futurerd_dag::genprog::{generate_program, GenConfig};
+use futurerd_runtime::trace::record_spec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: u64 = 6;
+const ALGORITHMS: [Algorithm; 2] = [Algorithm::MultiBags, Algorithm::MultiBagsPlus];
+const THREADS: [usize; 2] = [1, 4];
+
+/// Splits `len` into random chunk lengths (1 ≤ chunk ≤ 7, biased small so
+/// single-event chunks are common).
+fn random_chunking(rng: &mut StdRng, len: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut rest = len;
+    while rest > 0 {
+        let take = rng.gen_range(1usize..8).min(rest);
+        sizes.push(take);
+        rest -= take;
+    }
+    sizes
+}
+
+fn seeded_traces() -> Vec<(String, futurerd::Trace)> {
+    let mut traces = Vec::new();
+    for (tag, config) in [
+        ("structured", GenConfig::structured()),
+        ("general", GenConfig::general()),
+    ] {
+        for seed in 0..SEEDS {
+            let spec = generate_program(&config, seed);
+            let (trace, _) = record_spec(&spec);
+            traces.push((format!("{tag} seed {seed}"), trace));
+        }
+    }
+    traces
+}
+
+#[test]
+fn session_ingest_over_any_chunking_matches_one_shot_replay() {
+    let mut rng = StdRng::seed_from_u64(0x5e55_10e5);
+    for (tag, trace) in seeded_traces() {
+        for algorithm in ALGORITHMS {
+            for threads in THREADS {
+                let config = Config::new().algorithm(algorithm).threads(threads);
+                let one_shot = config.replay(&trace).expect("canonical trace");
+                // Three random chunkings plus the all-singletons worst case.
+                let mut chunkings: Vec<Vec<usize>> = (0..3)
+                    .map(|_| random_chunking(&mut rng, trace.len()))
+                    .collect();
+                chunkings.push(vec![1; trace.len()]);
+                for (case, chunking) in chunkings.iter().enumerate() {
+                    let mut session = config.session();
+                    let mut at = 0;
+                    for &size in chunking {
+                        session
+                            .ingest(&trace.events()[at..at + size])
+                            .expect("canonical prefix");
+                        at += size;
+                    }
+                    assert!(session.is_complete(), "{tag}: chunking consumed the trace");
+                    let detection = session.report().expect("session reports");
+                    assert_eq!(
+                        detection.report().to_string(),
+                        one_shot.report().to_string(),
+                        "{tag}: {algorithm:?} P={threads} chunking #{case} diverged"
+                    );
+                    assert_eq!(detection.summary, one_shot.summary, "{tag}");
+                    assert_eq!(
+                        detection.detector_stats, one_shot.detector_stats,
+                        "{tag}: aggregated stats must not depend on chunking"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn live_sessions_never_pay_a_second_freeze() {
+    let mut rng = StdRng::seed_from_u64(0xf00d_f00d);
+    for (tag, trace) in seeded_traces() {
+        for algorithm in ALGORITHMS {
+            let config = Config::new().algorithm(algorithm).threads(4);
+            let one_shot = config.replay(&trace).expect("canonical trace");
+            let mut session = config.session();
+            let mut at = 0;
+            let mut reports = 0;
+            for size in random_chunking(&mut rng, trace.len()) {
+                session
+                    .ingest(&trace.events()[at..at + size])
+                    .expect("canonical prefix");
+                at += size;
+                // Report on roughly every third chunk: each report must be
+                // cold exactly once (the first), then strictly warm or
+                // incremental — a live session re-freezes nothing.
+                if reports == 0 || rng.gen_range(0u32..3) == 0 {
+                    let detection = session.report().expect("prefix reports");
+                    let path = detection.path.expect("replay paths are routed");
+                    if reports == 0 {
+                        assert_eq!(path, DetectionPath::Cold, "{tag}");
+                    } else {
+                        assert_ne!(path, DetectionPath::Cold, "{tag}: report #{reports}");
+                    }
+                    reports += 1;
+                }
+            }
+            let last = session.report().expect("final report");
+            if reports > 0 {
+                assert_ne!(last.path, Some(DetectionPath::Cold), "{tag}");
+            }
+            assert_eq!(
+                last.report().to_string(),
+                one_shot.report().to_string(),
+                "{tag}: {algorithm:?} final report diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn stored_sessions_account_one_cold_freeze_across_reopens() {
+    let spec = generate_program(&GenConfig::general(), 11);
+    let (trace, _) = record_spec(&spec);
+    let one_shot = Config::general().replay(&trace).expect("canonical");
+
+    let dir = std::env::temp_dir().join(format!(
+        "futurerd-session-equiv-{}-reopen",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut store = Config::store(&dir).expect("store opens");
+    let cut = trace.len() / 3;
+    let mut prefix = futurerd::Trace::new();
+    prefix.extend_events(&trace.events()[..cut]);
+    store.put_trace("grow", &prefix).expect("stores");
+
+    // Session 1: cold freeze of the prefix, one incremental append.
+    let mut session = Config::general()
+        .threads(4)
+        .open_session(&mut store, "grow")
+        .expect("opens");
+    assert_eq!(
+        session.report().expect("prefix").path,
+        Some(DetectionPath::Cold)
+    );
+    let mid = 2 * trace.len() / 3;
+    session.ingest(&trace.events()[cut..mid]).expect("appends");
+    assert!(matches!(
+        session.report().expect("incremental").path,
+        Some(DetectionPath::Incremental { .. })
+    ));
+    drop(session);
+
+    // Session 2 resumes from the persisted sidecar: warm, then incremental.
+    let mut session = Config::general()
+        .threads(4)
+        .open_session(&mut store, "grow")
+        .expect("reopens");
+    assert_eq!(
+        session.report().expect("warm").path,
+        Some(DetectionPath::WarmCached)
+    );
+    session.ingest(&trace.events()[mid..]).expect("appends");
+    let last = session.report().expect("final");
+    assert!(matches!(last.path, Some(DetectionPath::Incremental { .. })));
+    drop(session);
+
+    assert_eq!(
+        last.report().to_string(),
+        one_shot.report().to_string(),
+        "stored session diverged from one-shot replay"
+    );
+    let stats = store.stats();
+    assert_eq!(
+        stats.cold_freezes, 1,
+        "the freeze must be paid exactly once across the entry's life: {stats:?}"
+    );
+    assert_eq!(stats.incremental_refreezes, 2);
+    assert_eq!(stats.warm_cached_hits, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -79,7 +79,10 @@ fn unfreezable_algorithms_are_typed_errors() {
             .algorithm(algorithm)
             .replay_stored(&mut store, "racy")
             .expect_err("no frozen form");
-        assert!(matches!(err, StoreError::Unfreezable(_)), "{algorithm:?}");
+        assert!(
+            matches!(err, futurerd::Error::Store(StoreError::Unfreezable(_))),
+            "{algorithm:?}"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }
