@@ -1,0 +1,37 @@
+//! Adversarial `k ≈ n` sweep: detection cost when the number of `get_fut`
+//! operations `k` tracks the number of parallel constructs `n` (here
+//! `k = 2n - 2`, the fuzz generator's worst-case chain). This is the regime
+//! where MultiBags+'s attached-bag machinery pays its O(k²) reachability
+//! maintenance, while plain MultiBags (approximate on these multi-touch
+//! traces) and conservative SP-Bags stay near-linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_runtime::trace::record_spec;
+use futurerd_workloads::fuzzgen::adversarial_kn;
+use std::time::Duration;
+
+fn fig_kn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_kn_adversarial");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for n in [16usize, 32, 64, 128] {
+        let program = adversarial_kn(n, 0xbead);
+        let (trace, _) = record_spec(&program.spec);
+        for (alg, label) in [
+            (ReplayAlgorithm::MultiBags, "multibags"),
+            (ReplayAlgorithm::MultiBagsPlus, "multibags_plus"),
+            (ReplayAlgorithm::SpBagsConservative, "spbags_cons"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("n{n}"), label), &alg, |b, &alg| {
+                b.iter(|| replay_detect_unchecked(&trace, alg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_kn);
+criterion_main!(benches);

@@ -13,6 +13,10 @@
 //! # Record + replay + cross-check against in-process detection:
 //! cargo run --release -p futurerd-bench --bin futurerd-trace -- \
 //!     diff --workload bst --mode general
+//!
+//! # Differentially fuzz the whole detector matrix on generated programs:
+//! cargo run --release -p futurerd-bench --bin futurerd-trace -- \
+//!     fuzz --seeds 500
 //! ```
 //!
 //! `diff` exits non-zero if any replayed verdict differs from the verdict of
@@ -20,6 +24,14 @@
 //! disagrees with the ground-truth oracle. SP-Bags aborts on futures by
 //! design, so for the futures-based workloads it is reported as
 //! not-runnable (identically in-process and on replay) rather than run.
+//!
+//! `fuzz` generates seeded racy programs (see `futurerd_workloads::fuzzgen`)
+//! and runs every detector through every serving path — sequential replay,
+//! the sharded parallel engine, streaming sessions under random chunkings,
+//! and persistent-store round-trips — against the ground-truth oracle. Every
+//! divergence is classified: known approximations (the fork-join baseline on
+//! futures, MultiBags on multi-touch traces) are quantified, anything else
+//! is a real bug and the command exits non-zero.
 
 use futurerd_core::detector::RaceDetector;
 use futurerd_core::parallel::par_replay_detect;
@@ -29,15 +41,16 @@ use futurerd_core::reachability::{
 use futurerd_core::replay::{replay_detect_unchecked, ApproximationError, ReplayAlgorithm};
 use futurerd_core::RaceReport;
 use futurerd_dag::trace::{Trace, TRACE_VERSION, TRACE_VERSION_V1, TRACE_VERSION_V2};
+use futurerd_fuzz::{run_fuzz, FuzzOptions};
 use futurerd_runtime::trace::TraceRecorder;
 use futurerd_store::{BatchJob, Store};
 use futurerd_workloads::{lcs, run_workload, FutureMode, WorkloadKind, WorkloadParams};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: futurerd-trace <record|replay|diff|batch|follow> [options]\n\
+        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz> [options]\n\
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
@@ -47,6 +60,7 @@ fn usage() -> ! {
          batch  <dir> [--algorithm <multibags|multibags+|all>] [--threads <n>]\n\
          follow --workload <name> --mode <mode> [--algorithm <multibags|multibags+>]\n\
         \x20       [--threads <n>] [--chunks <n>] [--store <dir>] [--size ...] [--seed ...] [--racy]\n\
+         fuzz   [--seeds <n>] [--minutes <m>] [--emit-corpus <dir> [--per-shape <n>]]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
          recorded trace then carries a real determinacy race to detect.\n\
@@ -64,7 +78,12 @@ fn usage() -> ! {
          cold, every later one is incremental (only partitions the appended\n\
          suffix touched re-run). With --store the session is persistent:\n\
          state resumes from and refreshes the trace's FRDIDX sidecar. The\n\
-         final verdict is cross-checked against one-shot replay.",
+         final verdict is cross-checked against one-shot replay.\n\
+         fuzz differentially checks every detector × serving path on seeded\n\
+         generated programs (default 100 seeds; --minutes caps wall-clock).\n\
+         Divergences are classified; any real bug makes the exit non-zero.\n\
+         --emit-corpus shrinks the first racy seeds of every generator shape\n\
+         into tests/fixtures-style regression fixtures instead of fuzzing.",
         names = WorkloadKind::ALL.map(|k| k.name()).join("|")
     );
     std::process::exit(2);
@@ -547,16 +566,24 @@ fn cmd_diff(opts: &Options) -> ExitCode {
             approximate_reports.push((algorithm, replayed));
         }
     }
-    // The oracle replays last; compare the sound algorithms against it once
+    // The oracle replays last; compare the other algorithms against it once
     // its verdict is in (replaying it eagerly up front would pay the most
     // expensive detector twice). Counts alone cannot distinguish equal-sized
-    // but different racy-granule sets, so also check every oracle witness.
+    // but different racy-granule sets, so every comparison measures the full
+    // sets: granules the oracle found that the algorithm missed, and
+    // granules the algorithm reported that the oracle did not.
+    let mut genuine_missed = 0usize;
+    let mut genuine_spurious = 0usize;
+    let mut approx_missed = 0usize;
+    let mut approx_spurious = 0usize;
     if let Some(oracle) = &oracle_report {
         // Approximate baselines (conservative SP-Bags on futures, MultiBags
         // on multi-touch traces) are not held to agreement — quantify their
         // error instead, the number the paper's algorithms exist to remove.
         for (algorithm, report) in &approximate_reports {
             let error = ApproximationError::measure(*algorithm, report, oracle);
+            approx_missed += error.missed;
+            approx_spurious += error.spurious;
             println!(
                 "  {:<11} approximate vs oracle: {} racy granule(s) missed, {} spurious (by design, not a failure)",
                 algorithm.name(),
@@ -564,33 +591,30 @@ fn cmd_diff(opts: &Options) -> ExitCode {
                 error.spurious,
             );
         }
-    }
-    if let Some(oracle) = oracle_report {
-        for (algorithm, report) in sound_reports {
-            if report.race_count() != oracle.race_count() {
-                println!(
-                    "  {:<11} MISMATCH vs oracle: {} racy granules, oracle found {}",
-                    algorithm.name(),
-                    report.race_count(),
-                    oracle.race_count()
-                );
-                failures += 1;
+        // A sound algorithm must agree with the oracle exactly: any missed
+        // or spurious granule is a genuine divergence, not an approximation.
+        for (algorithm, report) in &sound_reports {
+            let error = ApproximationError::measure(*algorithm, report, oracle);
+            if error.missed == 0 && error.spurious == 0 {
                 continue;
             }
-            for witness in oracle.witnesses() {
-                if !report.is_racy(witness.addr) {
-                    println!(
-                        "  {:<11} MISMATCH vs oracle: missed the race on {} ({witness})",
-                        algorithm.name(),
-                        witness.addr
-                    );
-                    failures += 1;
-                }
-            }
+            println!(
+                "  {:<11} MISMATCH vs oracle: {} racy granule(s) missed, {} spurious",
+                algorithm.name(),
+                error.missed,
+                error.spurious,
+            );
+            genuine_missed += error.missed;
+            genuine_spurious += error.spurious;
+            failures += 1;
         }
     }
+    println!(
+        "diff: {failures} genuine divergence(s) ({genuine_missed} missed / {genuine_spurious} spurious racy granules), {} known approximation(s) ({approx_missed} missed / {approx_spurious} spurious) => {}",
+        approximate_reports.len(),
+        if failures == 0 { "AGREE" } else { "DIVERGED" },
+    );
     if failures == 0 {
-        println!("all verdicts agree");
         ExitCode::SUCCESS
     } else {
         eprintln!("{failures} verdict mismatch(es)");
@@ -755,6 +779,77 @@ fn cmd_follow(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Differentially fuzzes the detector matrix on seeded generated programs,
+/// or (with `--emit-corpus`) regenerates the minimized fixture corpus.
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let mut seeds: u64 = 100;
+    let mut minutes: Option<u64> = None;
+    let mut emit: Option<String> = None;
+    let mut per_shape: usize = 2;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                usage()
+            })
+        };
+        let parse_count = |flag: &str, value: String| {
+            value
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a positive integer");
+                    usage()
+                })
+        };
+        match flag.as_str() {
+            "--seeds" => seeds = parse_count(flag, value()),
+            "--minutes" => minutes = Some(parse_count(flag, value())),
+            "--emit-corpus" => emit = Some(value()),
+            "--per-shape" => per_shape = parse_count(flag, value()) as usize,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    if let Some(dir) = emit {
+        let start = Instant::now();
+        return match futurerd_fuzz::fixture::emit_corpus(std::path::Path::new(&dir), per_shape) {
+            Ok(written) => {
+                println!(
+                    "wrote {} minimized fixture(s) to {dir} in {:.2?}: {}",
+                    written.len(),
+                    start.elapsed(),
+                    written.join(" ")
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot emit corpus into {dir}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let opts = FuzzOptions {
+        deadline: minutes.map(|m| Instant::now() + Duration::from_secs(m * 60)),
+        ..FuzzOptions::default()
+    };
+    let start = Instant::now();
+    let summary = run_fuzz(0..seeds, &opts);
+    for bug in &summary.real_bugs {
+        eprintln!("  {bug}");
+    }
+    println!("{} ({:.2?})", summary.summary_line(), start.elapsed());
+    if summary.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -762,6 +857,9 @@ fn main() -> ExitCode {
     };
     if command == "batch" {
         return cmd_batch(rest);
+    }
+    if command == "fuzz" {
+        return cmd_fuzz(rest);
     }
     let opts = parse_options(rest);
     match command.as_str() {

@@ -73,13 +73,15 @@ impl ReplayAlgorithm {
     }
 
     /// True if the algorithm's race verdict is trustworthy for this trace.
-    /// Unsound-but-runnable combinations (MultiBags on a multi-touch trace,
-    /// conservative SP-Bags on any futures trace) still replay, but may
-    /// report false positives, so [`differential`] excludes them from
-    /// agreement checks and quantifies their error instead.
+    /// Unsound-but-runnable combinations (MultiBags outside the structured
+    /// regime — a multi-touch handle, or a single-touch handle escaping its
+    /// creating task's scope — and conservative SP-Bags on any futures
+    /// trace) still replay, but may report false positives, so
+    /// [`differential`] excludes them from agreement checks and quantifies
+    /// their error instead.
     pub fn sound_for(self, trace: &Trace) -> bool {
         match self {
-            ReplayAlgorithm::MultiBags => trace.is_single_touch(),
+            ReplayAlgorithm::MultiBags => trace.is_structured(),
             ReplayAlgorithm::MultiBagsPlus | ReplayAlgorithm::GraphOracle => true,
             ReplayAlgorithm::SpBags | ReplayAlgorithm::SpBagsConservative => !trace.has_futures(),
         }

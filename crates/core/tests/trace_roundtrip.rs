@@ -123,10 +123,11 @@ fn differential_driver_agrees_on_random_programs() {
                 "{tag} seed {seed}: {:?}",
                 outcome.disagreements
             );
-            // Structured generator output must be single-touch, so MultiBags
-            // stays a sound (and checked) participant.
+            // Structured generator output must stay in the structured
+            // regime, so MultiBags stays a sound (and checked) participant.
             if *tag.as_bytes() == *b"structured" {
                 assert!(trace.is_single_touch(), "{tag} seed {seed}");
+                assert!(trace.is_structured(), "{tag} seed {seed}");
             }
         }
     }
@@ -141,7 +142,23 @@ fn multibags_soundness_flag_tracks_multi_touch_traces() {
         .map(|seed| record_spec(&generate_program(&config, seed)).0)
         .find(|trace| !trace.is_single_touch())
         .expect("general generator eventually multi-touches");
+    assert!(!multi.is_structured());
     assert!(!ReplayAlgorithm::MultiBags.sound_for(&multi));
     assert!(ReplayAlgorithm::MultiBagsPlus.sound_for(&multi));
     assert!(!ReplayAlgorithm::SpBags.sound_for(&multi));
+}
+
+#[test]
+fn multibags_soundness_requires_creator_scope_gets() {
+    // Single-touch is not enough: a handle that escapes upward (the
+    // creating task returns before the get) puts strands that precede the
+    // future in never-joined P-bags, and MultiBags reports false positives.
+    // The fuzzer found this; the general generator reproduces it.
+    let config = GenConfig::general();
+    let escaped = (0..400)
+        .map(|seed| record_spec(&generate_program(&config, seed)).0)
+        .find(|trace| trace.is_single_touch() && !trace.is_structured())
+        .expect("general generator eventually leaks a single-touch handle upward");
+    assert!(!ReplayAlgorithm::MultiBags.sound_for(&escaped));
+    assert!(ReplayAlgorithm::MultiBagsPlus.sound_for(&escaped));
 }

@@ -326,11 +326,48 @@ impl Trace {
             .any(|e| matches!(e, TraceEvent::CreateFuture(_)))
     }
 
-    /// True if no future is consumed more than once — the *structured*
-    /// futures regime MultiBags requires.
+    /// True if no future is consumed more than once. Necessary but not
+    /// sufficient for the *structured* regime ([`Trace::is_structured`]):
+    /// a single-touch handle can still escape its creating task's scope.
     pub fn is_single_touch(&self) -> bool {
         self.events.iter().all(|e| match e {
             TraceEvent::GetFuture(ev) => ev.prior_touches == 0,
+            _ => true,
+        })
+    }
+
+    /// True if the trace uses futures in the *structured* regime MultiBags
+    /// is sound for: every future is consumed at most once, by a `get_fut`
+    /// positioned like a join within the creating task's scope.
+    ///
+    /// Under the canonical depth-first eager order a task's scope is its
+    /// span on the call stack, so "within the creating task's scope" is
+    /// checkable directly: at each `get_fut` the task that performed the
+    /// `create_fut` must not have returned yet (the toucher is then the
+    /// creator or one of its still-active descendants, which is exactly the
+    /// handle-flows-down discipline). An upward escape — a handle returned
+    /// to an ancestor and touched after its creator completed — leaves
+    /// strands that precede the future stranded in never-joined P-bags, and
+    /// MultiBags would report false positives.
+    pub fn is_structured(&self) -> bool {
+        let mut creating_task: std::collections::HashMap<FunctionId, FunctionId> =
+            std::collections::HashMap::new();
+        let mut returned: std::collections::HashSet<FunctionId> = std::collections::HashSet::new();
+        self.events.iter().all(|e| match e {
+            TraceEvent::CreateFuture(ev) => {
+                creating_task.insert(ev.child, ev.parent);
+                true
+            }
+            TraceEvent::Return { function, .. } => {
+                returned.insert(*function);
+                true
+            }
+            TraceEvent::GetFuture(ev) => {
+                ev.prior_touches == 0
+                    && creating_task
+                        .get(&ev.future)
+                        .is_some_and(|creator| !returned.contains(creator))
+            }
             _ => true,
         })
     }

@@ -1,0 +1,268 @@
+//! Self-contained regression fixtures: FRDTRACE bytes + expected verdict.
+//!
+//! A fixture is a pair of files in `tests/fixtures/`:
+//!
+//! * `<name>.frdtrace` — the minimized trace, in the versioned FRDTRACE
+//!   container ([`Trace::save`]);
+//! * `<name>.expect` — a small `key = value` text file with the expected
+//!   ground-truth verdict (oracle racy-granule set) and provenance (seed,
+//!   generator shape).
+//!
+//! The corpus regression test replays every fixture through the full
+//! detector matrix on each `cargo test` run; [`emit_corpus`] regenerates
+//! the committed corpus (see `tests/fixtures/README.md`).
+
+use crate::shrink::shrink_failing_program;
+use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
+use futurerd_dag::trace::Trace;
+use futurerd_runtime::trace::record_spec;
+use futurerd_workloads::fuzzgen::{generate_shaped, FuzzShape};
+use std::io;
+use std::path::Path;
+
+/// The expected verdict (and provenance) of one fixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expect {
+    /// Seed the program was generated from.
+    pub seed: u64,
+    /// Generator shape name (see [`FuzzShape::name`]).
+    pub shape: String,
+    /// Events in the fixture trace.
+    pub events: usize,
+    /// Distinct racy granules per the ground-truth oracle.
+    pub oracle_races: usize,
+    /// The oracle's racy granules, sorted ascending.
+    pub racy_granules: Vec<u64>,
+}
+
+impl Expect {
+    /// Computes the expected verdict of `trace` from the ground-truth
+    /// oracle.
+    pub fn from_trace(seed: u64, shape: FuzzShape, trace: &Trace) -> Expect {
+        let oracle = replay_detect_unchecked(trace, ReplayAlgorithm::GraphOracle);
+        let mut racy_granules: Vec<u64> = oracle.racy_granules().collect();
+        racy_granules.sort_unstable();
+        Expect {
+            seed,
+            shape: shape.name().to_string(),
+            events: trace.len(),
+            oracle_races: oracle.race_count(),
+            racy_granules,
+        }
+    }
+}
+
+/// One loaded fixture.
+#[derive(Debug)]
+pub struct Fixture {
+    /// Fixture name (file stem).
+    pub name: String,
+    /// The trace.
+    pub trace: Trace,
+    /// The expected verdict.
+    pub expect: Expect,
+}
+
+/// Writes `<name>.frdtrace` + `<name>.expect` into `dir`.
+pub fn write_fixture(dir: &Path, name: &str, trace: &Trace, expect: &Expect) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    trace
+        .save(dir.join(format!("{name}.frdtrace")))
+        .map_err(io::Error::other)?;
+    let granules: Vec<String> = expect.racy_granules.iter().map(u64::to_string).collect();
+    let text = format!(
+        "# futurerd-fuzz regression fixture; see tests/fixtures/README.md\n\
+         seed = {}\n\
+         shape = {}\n\
+         events = {}\n\
+         oracle_races = {}\n\
+         racy_granules = {}\n",
+        expect.seed,
+        expect.shape,
+        expect.events,
+        expect.oracle_races,
+        granules.join(",")
+    );
+    std::fs::write(dir.join(format!("{name}.expect")), text)
+}
+
+/// Parses a `.expect` file.
+pub fn read_expect(path: &Path) -> io::Result<Expect> {
+    let text = std::fs::read_to_string(path)?;
+    let mut expect = Expect {
+        seed: 0,
+        shape: String::new(),
+        events: 0,
+        oracle_races: 0,
+        racy_granules: Vec::new(),
+    };
+    let bad = |line: &str| io::Error::other(format!("malformed expect line: {line:?}"));
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| bad(line))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "seed" => expect.seed = value.parse().map_err(|_| bad(line))?,
+            "shape" => expect.shape = value.to_string(),
+            "events" => expect.events = value.parse().map_err(|_| bad(line))?,
+            "oracle_races" => expect.oracle_races = value.parse().map_err(|_| bad(line))?,
+            "racy_granules" => {
+                expect.racy_granules = if value.is_empty() {
+                    Vec::new()
+                } else {
+                    value
+                        .split(',')
+                        .map(|g| g.trim().parse().map_err(|_| bad(line)))
+                        .collect::<io::Result<Vec<u64>>>()?
+                };
+            }
+            _ => return Err(bad(line)),
+        }
+    }
+    Ok(expect)
+}
+
+/// Loads every `*.frdtrace` + `*.expect` pair in `dir`, sorted by name.
+pub fn load_fixtures(dir: &Path) -> io::Result<Vec<Fixture>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "frdtrace")
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let trace =
+                Trace::load(dir.join(format!("{name}.frdtrace"))).map_err(io::Error::other)?;
+            let expect = read_expect(&dir.join(format!("{name}.expect")))?;
+            Ok(Fixture {
+                name,
+                trace,
+                expect,
+            })
+        })
+        .collect()
+}
+
+/// Regenerates the fixture corpus: for every generator shape, takes the
+/// first `per_shape` seeds whose program races, shrinks each trace as far
+/// as the oracle's exact racy-granule set (and the shape's regime — futures
+/// present, multi-touch preserved) allows, and writes the minimized
+/// fixtures into `dir`. Returns the fixture names written.
+pub fn emit_corpus(dir: &Path, per_shape: usize) -> io::Result<Vec<String>> {
+    let mut written = Vec::new();
+    for shape in FuzzShape::ALL {
+        let mut emitted = 0;
+        for seed in 0..200u64 {
+            if emitted == per_shape {
+                break;
+            }
+            let program = generate_shaped(shape, seed);
+            let (trace, _) = record_spec(&program.spec);
+            if trace.validate().is_err() {
+                continue;
+            }
+            let want = {
+                let mut g: Vec<u64> = replay_detect_unchecked(&trace, ReplayAlgorithm::GraphOracle)
+                    .racy_granules()
+                    .collect();
+                g.sort_unstable();
+                g
+            };
+            if want.is_empty() {
+                continue; // a race-free draw is not an interesting fixture
+            }
+            // Preserve the verdict exactly, and keep the trace inside the
+            // regime the fixture is meant to cover.
+            let keep_futures = shape != FuzzShape::Structured;
+            let keep_multi_touch = matches!(shape, FuzzShape::Pipeline | FuzzShape::AdversarialKn);
+            let mut fails = |t: &Trace| {
+                let mut got: Vec<u64> = replay_detect_unchecked(t, ReplayAlgorithm::GraphOracle)
+                    .racy_granules()
+                    .collect();
+                got.sort_unstable();
+                got == want
+                    && (!keep_futures || t.has_futures())
+                    && (!keep_multi_touch || !t.is_single_touch())
+            };
+            if !fails(&trace) {
+                continue; // regime not exhibited by this draw
+            }
+            let result = shrink_failing_program(&program.spec, &mut fails);
+            let name = format!("{}-{seed:03}", shape.name());
+            let expect = Expect::from_trace(seed, shape, &result.trace);
+            write_fixture(dir, &name, &result.trace, &expect)?;
+            written.push(name);
+            emitted += 1;
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "futurerd-fuzz-fixture-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn fixtures_round_trip_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let program = generate_shaped(FuzzShape::Speculation, 1);
+        let (trace, _) = record_spec(&program.spec);
+        let expect = Expect::from_trace(1, FuzzShape::Speculation, &trace);
+        assert!(expect.oracle_races > 0);
+        write_fixture(&dir, "spec-001", &trace, &expect).unwrap();
+        let fixtures = load_fixtures(&dir).unwrap();
+        assert_eq!(fixtures.len(), 1);
+        assert_eq!(fixtures[0].name, "spec-001");
+        assert_eq!(fixtures[0].expect, expect);
+        assert_eq!(fixtures[0].trace.len(), trace.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emitted_corpus_verdicts_hold() {
+        let dir = temp_dir("emit");
+        let written = emit_corpus(&dir, 1).unwrap();
+        assert_eq!(written.len(), FuzzShape::ALL.len());
+        for fixture in load_fixtures(&dir).unwrap() {
+            let check = Expect::from_trace(
+                fixture.expect.seed,
+                FuzzShape::ALL
+                    .iter()
+                    .copied()
+                    .find(|s| s.name() == fixture.expect.shape)
+                    .unwrap(),
+                &fixture.trace,
+            );
+            assert_eq!(check, fixture.expect, "{}", fixture.name);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_expect_files_are_rejected() {
+        let dir = temp_dir("malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.expect");
+        std::fs::write(&path, "seed = not-a-number\n").unwrap();
+        assert!(read_expect(&path).is_err());
+        std::fs::write(&path, "unknown_key = 3\n").unwrap();
+        assert!(read_expect(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

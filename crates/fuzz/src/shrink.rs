@@ -1,0 +1,308 @@
+//! Failing-trace minimization.
+//!
+//! Shrinking happens at two levels, both re-validating the canonical
+//! serial-DF order after every candidate:
+//!
+//! 1. **Spec-level strand pruning** — delta-debugging over the generated
+//!    program's action tree: contiguous action ranges are removed from each
+//!    function body (removing a `Spawn`/`CreateFuture` prunes the whole
+//!    strand subtree), dangling `get_fut`s of removed futures are dropped,
+//!    and the candidate is re-recorded; it is kept only when its trace is
+//!    canonical and the failure predicate still fires.
+//! 2. **Event-range bisection** — contiguous ranges of memory-access events
+//!    are removed from the recorded trace directly (structural events stay,
+//!    so the stream remains canonical by construction, which
+//!    [`Trace::validate`] re-confirms).
+//!
+//! The result is a minimal self-contained trace suitable for a committed
+//! regression fixture (see [`crate::fixture`]).
+
+use futurerd_dag::genprog::{Action, FunctionSpec, FutId, ProgramSpec};
+use futurerd_dag::trace::{Trace, TraceEvent};
+use futurerd_runtime::trace::record_spec;
+use std::collections::HashSet;
+
+/// The outcome of shrinking one failing program.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The minimized program spec.
+    pub spec: ProgramSpec,
+    /// The minimized trace recorded from it (after access bisection).
+    pub trace: Trace,
+    /// Events in the original recorded trace.
+    pub original_events: usize,
+}
+
+/// Minimizes a failing program against `fails` (a predicate that re-runs
+/// whatever check originally failed — e.g.
+/// [`has_real_bug`](crate::has_real_bug)). The input program's recorded
+/// trace must satisfy `fails`; the returned trace still does, is canonical,
+/// and is at most as long as the input's.
+pub fn shrink_failing_program(
+    spec: &ProgramSpec,
+    fails: &mut dyn FnMut(&Trace) -> bool,
+) -> ShrinkResult {
+    let (original, _) = record_spec(spec);
+    debug_assert!(
+        fails(&original),
+        "shrink_failing_program: the input must fail the predicate"
+    );
+    let spec = shrink_spec(spec.clone(), fails);
+    let (trace, _) = record_spec(&spec);
+    let trace = shrink_trace_accesses(&trace, fails);
+    ShrinkResult {
+        spec,
+        trace,
+        original_events: original.len(),
+    }
+}
+
+/// Spec-level pass: remove action ranges (largest first) from every
+/// function body until no removal keeps the failure alive.
+fn shrink_spec(mut spec: ProgramSpec, fails: &mut dyn FnMut(&Trace) -> bool) -> ProgramSpec {
+    'restart: loop {
+        for path in body_paths(&spec) {
+            let len = body_at(&spec, &path).actions.len();
+            let mut chunk = (len / 2).max(1);
+            loop {
+                let mut start = 0;
+                while start < body_at(&spec, &path).actions.len() {
+                    if let Some(candidate) = remove_range(&spec, &path, start, chunk) {
+                        let (trace, _) = record_spec(&candidate);
+                        if trace.validate().is_ok() && fails(&trace) {
+                            spec = candidate;
+                            // The tree changed shape: recompute the paths.
+                            continue 'restart;
+                        }
+                    }
+                    start += chunk;
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+        return spec;
+    }
+}
+
+/// Trace-level pass: bisect away contiguous ranges of `Read`/`Write`
+/// events. Structural events are never touched, so candidates stay
+/// canonical; `validate` re-confirms before the predicate runs.
+pub fn shrink_trace_accesses(trace: &Trace, fails: &mut dyn FnMut(&Trace) -> bool) -> Trace {
+    let mut best = trace.clone();
+    let mut chunk = (access_positions(&best).len() / 2).max(1);
+    loop {
+        let accesses = access_positions(&best);
+        if accesses.is_empty() {
+            return best;
+        }
+        let chunk_now = chunk.min(accesses.len());
+        let mut progressed = false;
+        let mut start = 0;
+        while start < access_positions(&best).len() {
+            let accesses = access_positions(&best);
+            let drop: HashSet<usize> = accesses[start..(start + chunk_now).min(accesses.len())]
+                .iter()
+                .copied()
+                .collect();
+            let mut candidate = Trace::new();
+            let kept: Vec<TraceEvent> = best
+                .events()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(i))
+                .map(|(_, e)| *e)
+                .collect();
+            candidate.extend_events(&kept);
+            if candidate.validate().is_ok() && fails(&candidate) {
+                best = candidate;
+                progressed = true;
+                // Indices shifted: re-enter at the same start.
+            } else {
+                start += chunk_now;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                return best;
+            }
+            chunk /= 2;
+        }
+    }
+}
+
+/// Indices of the memory-access events in a trace.
+fn access_positions(trace: &Trace) -> Vec<usize> {
+    trace
+        .events()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, TraceEvent::Read { .. } | TraceEvent::Write { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Paths (sequences of action indices through nested `Spawn`/`CreateFuture`
+/// bodies) of every function body in the spec, root first.
+fn body_paths(spec: &ProgramSpec) -> Vec<Vec<usize>> {
+    let mut paths = Vec::new();
+    collect_paths(&spec.root, Vec::new(), &mut paths);
+    paths
+}
+
+fn collect_paths(body: &FunctionSpec, path: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    out.push(path.clone());
+    for (index, action) in body.actions.iter().enumerate() {
+        if let Action::Spawn(child) | Action::CreateFuture(_, child) = action {
+            let mut child_path = path.clone();
+            child_path.push(index);
+            collect_paths(child, child_path, out);
+        }
+    }
+}
+
+fn body_at<'s>(spec: &'s ProgramSpec, path: &[usize]) -> &'s FunctionSpec {
+    let mut body = &spec.root;
+    for &index in path {
+        body = match &body.actions[index] {
+            Action::Spawn(child) | Action::CreateFuture(_, child) => child,
+            other => unreachable!("path step through a leaf action: {other:?}"),
+        };
+    }
+    body
+}
+
+fn body_at_mut<'s>(spec: &'s mut ProgramSpec, path: &[usize]) -> &'s mut FunctionSpec {
+    let mut body = &mut spec.root;
+    for &index in path {
+        body = match &mut body.actions[index] {
+            Action::Spawn(child) | Action::CreateFuture(_, child) => child,
+            other => unreachable!("path step through a leaf action: {other:?}"),
+        };
+    }
+    body
+}
+
+/// Removes `len` actions starting at `start` from the body at `path`, then
+/// drops every `get_fut` whose future no longer exists anywhere in the
+/// candidate (removing a `create_fut` prunes its strand *and* orphans its
+/// getters). Returns `None` when the range is empty or out of bounds.
+fn remove_range(
+    spec: &ProgramSpec,
+    path: &[usize],
+    start: usize,
+    len: usize,
+) -> Option<ProgramSpec> {
+    let mut candidate = spec.clone();
+    let body = body_at_mut(&mut candidate, path);
+    if start >= body.actions.len() || len == 0 {
+        return None;
+    }
+    let end = (start + len).min(body.actions.len());
+    body.actions.drain(start..end);
+    let mut created = HashSet::new();
+    collect_created(&candidate.root, &mut created);
+    drop_orphan_gets(&mut candidate.root, &created);
+    candidate.num_futures = created.len() as u32;
+    Some(candidate)
+}
+
+fn collect_created(body: &FunctionSpec, out: &mut HashSet<FutId>) {
+    for action in &body.actions {
+        match action {
+            Action::CreateFuture(id, child) => {
+                out.insert(*id);
+                collect_created(child, out);
+            }
+            Action::Spawn(child) => collect_created(child, out),
+            _ => {}
+        }
+    }
+}
+
+fn drop_orphan_gets(body: &mut FunctionSpec, created: &HashSet<FutId>) {
+    body.actions.retain(|action| match action {
+        Action::GetFuture(id) => created.contains(id),
+        _ => true,
+    });
+    for action in &mut body.actions {
+        if let Action::Spawn(child) | Action::CreateFuture(_, child) = action {
+            drop_orphan_gets(child, created);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{has_real_bug, Mutation};
+    use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
+    use futurerd_workloads::fuzzgen::{generate_shaped, FuzzShape};
+
+    #[test]
+    fn shrinks_a_planted_detector_bug_to_a_tiny_trace() {
+        let mutation = Some(Mutation::DropAllRaces(ReplayAlgorithm::MultiBagsPlus));
+        let program = generate_shaped(FuzzShape::PlantedRaces, 11);
+        let mut fails = |t: &Trace| has_real_bug(t, mutation);
+        let (original, _) = record_spec(&program.spec);
+        assert!(fails(&original), "the mutation must fire on a racy program");
+        let result = shrink_failing_program(&program.spec, &mut fails);
+        assert!(
+            result.trace.validate().is_ok(),
+            "shrunk trace stays canonical"
+        );
+        assert!(fails(&result.trace), "shrunk trace still fails");
+        assert!(
+            result.trace.len() <= 64,
+            "expected <= 64 events, got {} (from {})",
+            result.trace.len(),
+            result.original_events
+        );
+        assert!(result.trace.len() <= result.original_events);
+    }
+
+    #[test]
+    fn shrinking_preserves_the_oracle_verdict_when_asked_to() {
+        // Corpus-style predicate: the oracle's racy-granule set must stay
+        // exactly what it was.
+        let program = generate_shaped(FuzzShape::Pipeline, 3);
+        let (original, _) = record_spec(&program.spec);
+        let want: Vec<u64> = {
+            let mut g: Vec<u64> = replay_detect_unchecked(&original, ReplayAlgorithm::GraphOracle)
+                .racy_granules()
+                .collect();
+            g.sort_unstable();
+            g
+        };
+        assert!(!want.is_empty(), "pipeline seed 3 must race");
+        let mut fails = |t: &Trace| {
+            let mut got: Vec<u64> = replay_detect_unchecked(t, ReplayAlgorithm::GraphOracle)
+                .racy_granules()
+                .collect();
+            got.sort_unstable();
+            got == want
+        };
+        let result = shrink_failing_program(&program.spec, &mut fails);
+        let mut got: Vec<u64> =
+            replay_detect_unchecked(&result.trace, ReplayAlgorithm::GraphOracle)
+                .racy_granules()
+                .collect();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert!(result.trace.len() <= result.original_events);
+    }
+
+    #[test]
+    fn orphan_gets_are_dropped_with_their_create() {
+        // Removing the create of an adversarial chain's future must drop
+        // its gets everywhere instead of panicking the interpreter.
+        let program = futurerd_workloads::fuzzgen::adversarial_kn(6, 2);
+        let spec = &program.spec;
+        // Remove the first create (index 0 of the root body).
+        let candidate = remove_range(spec, &[], 0, 1).expect("non-empty range");
+        let (trace, _) = record_spec(&candidate); // must not panic
+        assert!(trace.validate().is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! The harness's self-test, end to end: plant a detector bug, let the fuzz
+//! matrix catch it, shrink the failing trace, and emit it as a regression
+//! fixture — the acceptance loop a real detector regression would follow.
+
+use futurerd_core::replay::ReplayAlgorithm;
+use futurerd_dag::trace::Trace;
+use futurerd_fuzz::fixture::{load_fixtures, write_fixture, Expect};
+use futurerd_fuzz::shrink::shrink_failing_program;
+use futurerd_fuzz::{has_real_bug, run_fuzz, DivergenceKind, FuzzOptions, Mutation};
+use futurerd_workloads::fuzzgen::generate_fuzz_program;
+
+#[test]
+fn planted_detector_bug_is_caught_and_shrunk_to_a_fixture() {
+    let mutation = Some(Mutation::DropAllRaces(ReplayAlgorithm::MultiBagsPlus));
+    let opts = FuzzOptions {
+        threads: vec![1],
+        chunkings: 0,
+        store_checks: false,
+        mutation,
+        ..FuzzOptions::default()
+    };
+
+    // 1. The matrix catches the planted bug.
+    let summary = run_fuzz(0..24, &opts);
+    assert!(
+        !summary.clean(),
+        "a detector that misses every race must not fuzz clean"
+    );
+    let bug = summary
+        .real_bugs
+        .iter()
+        .find(|d| d.algorithm == ReplayAlgorithm::MultiBagsPlus)
+        .expect("the mutated algorithm is the one that diverges");
+    assert_eq!(bug.kind, DivergenceKind::RealBug);
+    assert!(bug.missed > 0, "{bug}");
+
+    // 2. The shrinker minimizes the failing seed to a tiny canonical trace.
+    let program = generate_fuzz_program(bug.seed);
+    let mut fails = |t: &Trace| has_real_bug(t, mutation);
+    let result = shrink_failing_program(&program.spec, &mut fails);
+    assert!(
+        result.trace.validate().is_ok(),
+        "shrunk trace stays canonical"
+    );
+    assert!(has_real_bug(&result.trace, mutation), "still failing");
+    assert!(
+        result.trace.len() <= 64,
+        "shrunk to {} events (from {}), expected <= 64",
+        result.trace.len(),
+        result.original_events
+    );
+
+    // 3. The shrunk trace round-trips through a self-contained fixture that
+    //    still reproduces the failure.
+    let dir = std::env::temp_dir().join(format!("futurerd-fuzz-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let expect = Expect::from_trace(bug.seed, bug.shape, &result.trace);
+    assert!(expect.oracle_races > 0);
+    write_fixture(&dir, "mutation-smoke", &result.trace, &expect).unwrap();
+    let fixtures = load_fixtures(&dir).unwrap();
+    assert_eq!(fixtures.len(), 1);
+    assert_eq!(fixtures[0].expect, expect);
+    assert!(
+        has_real_bug(&fixtures[0].trace, mutation),
+        "the fixture reproduces the planted bug byte-for-byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,514 @@
+//! Seeded racy-program generator for the differential fuzzing subsystem.
+//!
+//! `futurerd-dag::genprog` draws uniformly-shaped random programs; real
+//! executions (and the paper's hard cases) are not uniform. This module
+//! generates [`ProgramSpec`]s in deliberately adversarial *shapes* that the
+//! fuzz driver in `futurerd-fuzz` differentials against the ground-truth
+//! graph oracle:
+//!
+//! * [`FuzzShape::Structured`] / [`FuzzShape::General`] — the baseline
+//!   genprog regimes with seed-varied depth and fanout, kept in the rotation
+//!   so the fuzzer never regresses on the bread-and-butter programs;
+//! * [`FuzzShape::Pipeline`] — producer/consumer stages communicating
+//!   through futures whose handles are touched by several consumers
+//!   (heavy multi-touch), with occasional consumers that skip the `get`
+//!   and race with the producer;
+//! * [`FuzzShape::Speculation`] — get-then-retry: a reader speculatively
+//!   reads a future's output location *before* the `get` (a race), then
+//!   gets and re-reads (settled), then retries the `get` (multi-touch);
+//! * [`FuzzShape::PlantedRaces`] — a random base program plus deliberately
+//!   planted races on dedicated locations the base program cannot touch, so
+//!   the expected racy-granule set is known *a priori* (see
+//!   [`FuzzProgram::planted`]);
+//! * [`FuzzShape::AdversarialKn`] — every strand a `create_fut`/`get_fut`
+//!   pair chained into one long dependence spine: `k ≈ 2n`, the regime
+//!   where MultiBags+'s O(k²) timed-closure construction dominates (the
+//!   paper only brushes it in the Figure 8 base-case sweep).
+//!
+//! All shapes are *forward-pointing* by construction (the creator executes
+//! before every getter in depth-first eager order), so the recorded traces
+//! are canonical serial-DF streams every detector can replay.
+
+use futurerd_dag::genprog::{
+    generate_program, Action, FunctionSpec, FutId, GenConfig, LocId, ProgramSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator families the fuzzer rotates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuzzShape {
+    /// Baseline structured-futures genprog (seed-varied shape).
+    Structured,
+    /// Baseline general-futures genprog (seed-varied shape).
+    General,
+    /// Producer/consumer pipeline with heavy multi-touch futures.
+    Pipeline,
+    /// Speculative get-then-retry readers.
+    Speculation,
+    /// Random base program plus planted races with a known granule set.
+    PlantedRaces,
+    /// Adversarial `k ≈ n` create/get chain stressing the O(k²) regime.
+    AdversarialKn,
+}
+
+impl FuzzShape {
+    /// Every shape, in rotation order.
+    pub const ALL: [FuzzShape; 6] = [
+        FuzzShape::Structured,
+        FuzzShape::General,
+        FuzzShape::Pipeline,
+        FuzzShape::Speculation,
+        FuzzShape::PlantedRaces,
+        FuzzShape::AdversarialKn,
+    ];
+
+    /// Short display name (used in fixture names and fuzz summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzShape::Structured => "structured",
+            FuzzShape::General => "general",
+            FuzzShape::Pipeline => "pipeline",
+            FuzzShape::Speculation => "speculation",
+            FuzzShape::PlantedRaces => "planted",
+            FuzzShape::AdversarialKn => "kn",
+        }
+    }
+}
+
+impl std::fmt::Display for FuzzShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated fuzz program: the spec plus what the generator knows about
+/// it.
+#[derive(Debug, Clone)]
+pub struct FuzzProgram {
+    /// The executable program.
+    pub spec: ProgramSpec,
+    /// The family it was drawn from.
+    pub shape: FuzzShape,
+    /// Locations carrying a deliberately planted race
+    /// ([`FuzzShape::PlantedRaces`] only). The base program never touches
+    /// these locations, so every one of them **must** appear in the
+    /// ground-truth oracle's racy set — a miss is a detector bug.
+    pub planted: Vec<LocId>,
+}
+
+/// Generates the fuzz program for `seed`, rotating through every
+/// [`FuzzShape`] (shape = `seed % 6`, shape-local randomness from the full
+/// seed). Deterministic: the same seed always yields the same program.
+pub fn generate_fuzz_program(seed: u64) -> FuzzProgram {
+    let shape = FuzzShape::ALL[(seed % FuzzShape::ALL.len() as u64) as usize];
+    generate_shaped(shape, seed)
+}
+
+/// Generates a program of the given shape from `seed`.
+pub fn generate_shaped(shape: FuzzShape, seed: u64) -> FuzzProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa55_0000);
+    match shape {
+        FuzzShape::Structured => base_program(&mut rng, false),
+        FuzzShape::General => base_program(&mut rng, true),
+        FuzzShape::Pipeline => pipeline(&mut rng),
+        FuzzShape::Speculation => speculation(&mut rng),
+        FuzzShape::PlantedRaces => planted_races(&mut rng),
+        FuzzShape::AdversarialKn => {
+            let n = rng.gen_range(12..=40);
+            adversarial_kn(n, seed)
+        }
+    }
+}
+
+/// The adversarial `k ≈ n` chain at an explicit size — exposed separately so
+/// the benchmark sweep can scale `n` past what the fuzz rotation uses.
+///
+/// The root creates `f_i` and gets `f_{i-1}` — one step behind — so
+/// adjacent futures are logically parallel (their random accesses race),
+/// and each future's body re-touches its grandparent (`get_fut(f_{i-2})`),
+/// making every future multi-touch. Every strand belongs to a
+/// `create_fut`/`get_fut` pair and the number of `get_fut`s `k = 2n - 2`
+/// tracks the number of parallel constructs `n` — the regime where
+/// MultiBags+'s O(k²) timed closure dominates.
+pub fn adversarial_kn(n: usize, seed: u64) -> FuzzProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa55_0001);
+    let num_locations = (n as u32 / 2).clamp(4, 64);
+    let mut actions = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let mut body = Vec::new();
+        if i >= 2 {
+            body.push(Action::GetFuture(FutId(i as u32 - 2)));
+        }
+        body.push(gen_compute(&mut rng, 0..num_locations, 2));
+        actions.push(Action::CreateFuture(
+            FutId(i as u32),
+            FunctionSpec { actions: body },
+        ));
+        if i >= 1 {
+            actions.push(Action::GetFuture(FutId(i as u32 - 1)));
+        }
+    }
+    actions.push(Action::GetFuture(FutId(n as u32 - 1)));
+    FuzzProgram {
+        spec: ProgramSpec {
+            root: FunctionSpec { actions },
+            num_locations,
+            num_futures: n as u32,
+            structured: false,
+        },
+        shape: FuzzShape::AdversarialKn,
+        planted: Vec::new(),
+    }
+}
+
+/// A baseline genprog program with seed-varied generator shape.
+fn base_program(rng: &mut StdRng, general: bool) -> FuzzProgram {
+    let cfg = GenConfig {
+        max_depth: rng.gen_range(2..7),
+        max_actions: rng.gen_range(3..10),
+        num_locations: rng.gen_range(4..24),
+        ..if general {
+            GenConfig::general()
+        } else {
+            GenConfig::structured()
+        }
+    };
+    FuzzProgram {
+        spec: generate_program(&cfg, rng.gen()),
+        shape: if general {
+            FuzzShape::General
+        } else {
+            FuzzShape::Structured
+        },
+        planted: Vec::new(),
+    }
+}
+
+/// Producer/consumer pipeline: one producer future per stage writes the
+/// stage's locations (after getting the previous stage — the pipeline
+/// spine), then a crowd of consumer tasks each re-touch a producer handle
+/// and read its stage. Some consumers skip the `get` before reading: those
+/// reads race with the producer's writes, and the oracle decides which.
+fn pipeline(rng: &mut StdRng) -> FuzzProgram {
+    let stages = rng.gen_range(2..=4u32);
+    let width = rng.gen_range(2..=4u32);
+    let num_locations = stages * width;
+    let loc = |s: u32, i: u32| LocId(s * width + i);
+
+    let mut actions = Vec::new();
+    // Producers: stage s writes loc(s, *); for s > 0 the body first gets
+    // stage s-1 and reads one of its cells (the pipeline dependence).
+    for s in 0..stages {
+        let mut body = Vec::new();
+        if s > 0 {
+            body.push(Action::GetFuture(FutId(s - 1)));
+            body.push(Action::Compute {
+                reads: vec![loc(s - 1, rng.gen_range(0..width))],
+                writes: Vec::new(),
+            });
+        }
+        for i in 0..width {
+            body.push(Action::Compute {
+                reads: Vec::new(),
+                writes: vec![loc(s, i)],
+            });
+        }
+        actions.push(Action::CreateFuture(
+            FutId(s),
+            FunctionSpec { actions: body },
+        ));
+    }
+    // Consumers: spawned tasks that each pick a stage; most get the
+    // producer's handle first (multi-touch — the same handle is touched by
+    // several consumers and by the pipeline spine), some skip the get and
+    // read the stage's cells unprotected.
+    let consumers = rng.gen_range(2..=5u32);
+    for _ in 0..consumers {
+        let s = rng.gen_range(0..stages);
+        let mut body = Vec::new();
+        if rng.gen_bool(0.7) {
+            body.push(Action::GetFuture(FutId(s)));
+        }
+        body.push(Action::Compute {
+            reads: (0..width).map(|i| loc(s, i)).collect(),
+            writes: Vec::new(),
+        });
+        actions.push(Action::Spawn(FunctionSpec { actions: body }));
+    }
+    actions.push(Action::Sync);
+    // The root drains every producer once more (another multi-touch layer).
+    for s in 0..stages {
+        actions.push(Action::GetFuture(FutId(s)));
+    }
+    FuzzProgram {
+        spec: ProgramSpec {
+            root: FunctionSpec { actions },
+            num_locations,
+            num_futures: stages,
+            structured: false,
+        },
+        shape: FuzzShape::Pipeline,
+        planted: Vec::new(),
+    }
+}
+
+/// Speculative get-then-retry: per round, a future writes its output
+/// location; the root reads it *before* the `get` (speculation — a race),
+/// gets, re-reads (settled), and sometimes retries the `get`. A closing
+/// "blind spot" exercises the conservative SP-Bags fallback's known error:
+/// a spawned writer left unjoined while an unrelated `get_fut` — which the
+/// fallback folds into a `sync` — falsely joins it, hiding the race from
+/// the baseline (but not from the oracle).
+fn speculation(rng: &mut StdRng) -> FuzzProgram {
+    let rounds = rng.gen_range(2..=5u32);
+    let num_locations = rounds + 1;
+    let blind = LocId(rounds);
+    let mut actions = Vec::new();
+    for r in 0..rounds {
+        let mut body = Vec::new();
+        if r > 0 && rng.gen_bool(0.5) {
+            // Later rounds may consume the previous round's settled value.
+            body.push(Action::GetFuture(FutId(r - 1)));
+        }
+        body.push(Action::Compute {
+            reads: Vec::new(),
+            writes: vec![LocId(r)],
+        });
+        actions.push(Action::CreateFuture(
+            FutId(r),
+            FunctionSpec { actions: body },
+        ));
+        // Speculative read before the get: races with the body's write.
+        actions.push(Action::Compute {
+            reads: vec![LocId(r)],
+            writes: Vec::new(),
+        });
+        actions.push(Action::GetFuture(FutId(r)));
+        // Settled re-read after the get: never a race.
+        actions.push(Action::Compute {
+            reads: vec![LocId(r)],
+            writes: Vec::new(),
+        });
+        if rng.gen_bool(0.5) {
+            // Retry: a second touch of the same handle.
+            actions.push(Action::GetFuture(FutId(r)));
+        }
+    }
+    // The blind spot: spawn a writer, "join" it only through an unrelated
+    // get, then read what it wrote — a real race the conservative fallback
+    // cannot see.
+    actions.push(Action::Spawn(FunctionSpec {
+        actions: vec![Action::Compute {
+            reads: Vec::new(),
+            writes: vec![blind],
+        }],
+    }));
+    actions.push(Action::CreateFuture(
+        FutId(rounds),
+        FunctionSpec {
+            actions: Vec::new(),
+        },
+    ));
+    actions.push(Action::GetFuture(FutId(rounds)));
+    actions.push(Action::Compute {
+        reads: vec![blind],
+        writes: Vec::new(),
+    });
+    actions.push(Action::Sync);
+    FuzzProgram {
+        spec: ProgramSpec {
+            root: FunctionSpec { actions },
+            num_locations,
+            num_futures: rounds + 1,
+            structured: false,
+        },
+        shape: FuzzShape::Speculation,
+        planted: Vec::new(),
+    }
+}
+
+/// A random base program plus planted races on dedicated locations the base
+/// program cannot reference: for each planted location, a spawned child
+/// writes it while the continuation reads it before the closing `sync`. The
+/// planted set is a *lower bound* on the ground-truth racy set.
+fn planted_races(rng: &mut StdRng) -> FuzzProgram {
+    let general = rng.gen_bool(0.5);
+    let base_cfg = GenConfig {
+        max_depth: rng.gen_range(2..5),
+        max_actions: rng.gen_range(3..8),
+        num_locations: rng.gen_range(4..16),
+        ..if general {
+            GenConfig::general()
+        } else {
+            GenConfig::structured()
+        }
+    };
+    let base = generate_program(&base_cfg, rng.gen());
+    let planted: Vec<LocId> = (0..rng.gen_range(1..=3u32))
+        .map(|i| LocId(base.num_locations + i))
+        .collect();
+
+    let mut root = base.root.clone();
+    for &loc in &planted {
+        root.actions.push(Action::Spawn(FunctionSpec {
+            actions: vec![Action::Compute {
+                reads: Vec::new(),
+                writes: vec![loc],
+            }],
+        }));
+        // Read in the continuation, racing with the spawned write.
+        root.actions.push(Action::Compute {
+            reads: vec![loc],
+            writes: Vec::new(),
+        });
+    }
+    root.actions.push(Action::Sync);
+    FuzzProgram {
+        spec: ProgramSpec {
+            root,
+            num_locations: base.num_locations + planted.len() as u32,
+            num_futures: base.num_futures,
+            structured: base.structured,
+        },
+        shape: FuzzShape::PlantedRaces,
+        planted,
+    }
+}
+
+/// A small random compute step over the given location range.
+fn gen_compute(rng: &mut StdRng, locs: std::ops::Range<u32>, max_accesses: u32) -> Action {
+    let n = rng.gen_range(1..=max_accesses);
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for _ in 0..n {
+        let loc = LocId(rng.gen_range(locs.clone()));
+        if rng.gen_bool(0.5) {
+            reads.push(loc);
+        } else {
+            writes.push(loc);
+        }
+    }
+    Action::Compute { reads, writes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_core::detector::RaceDetector;
+    use futurerd_core::reachability::GraphOracle;
+    use futurerd_dag::genprog::check_structured;
+    use futurerd_dag::NullObserver;
+    use futurerd_runtime::spec::run_spec;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for seed in 0..24 {
+            let a = generate_fuzz_program(seed);
+            let b = generate_fuzz_program(seed);
+            assert_eq!(a.spec, b.spec, "seed {seed}");
+            assert_eq!(a.shape, b.shape);
+            assert_eq!(a.planted, b.planted);
+        }
+    }
+
+    #[test]
+    fn rotation_covers_every_shape() {
+        let shapes: std::collections::HashSet<_> =
+            (0..12u64).map(|s| generate_fuzz_program(s).shape).collect();
+        assert_eq!(shapes.len(), FuzzShape::ALL.len());
+    }
+
+    #[test]
+    fn every_shape_executes_without_panicking() {
+        for seed in 0..60 {
+            let program = generate_fuzz_program(seed);
+            let (_, summary) = run_spec(&program.spec, NullObserver);
+            assert!(summary.strands >= 1, "seed {seed} ({})", program.shape);
+        }
+    }
+
+    #[test]
+    fn pipeline_and_kn_are_multi_touch() {
+        for shape in [FuzzShape::Pipeline, FuzzShape::AdversarialKn] {
+            let program = generate_shaped(shape, 7);
+            assert!(
+                !check_structured(&program.spec).is_empty(),
+                "{shape}: expected multi-touch futures"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_kn_gets_track_parallel_constructs() {
+        for n in [8usize, 16, 32] {
+            let program = adversarial_kn(n, 1);
+            let (_, summary) = run_spec(&program.spec, NullObserver);
+            assert_eq!(summary.creates, n as u64);
+            assert_eq!(summary.gets, 2 * n as u64 - 2, "k = 2n - 2");
+            // Every strand belongs to a create/get pair: strand count is
+            // linear in n with a small constant.
+            assert!(summary.strands >= 3 * n as u64);
+        }
+    }
+
+    #[test]
+    fn adversarial_kn_races_between_adjacent_futures() {
+        // Adjacent futures are logically parallel with random overlapping
+        // accesses: across a few seeds the oracle must find races.
+        let raced = (0..8u64).any(|seed| {
+            let program = adversarial_kn(24, seed);
+            let (det, _) = run_spec(&program.spec, RaceDetector::new(GraphOracle::new()));
+            det.into_report().race_count() > 0
+        });
+        assert!(raced, "the k≈n chain must be able to race");
+    }
+
+    #[test]
+    fn speculation_exposes_the_conservative_blind_spot() {
+        use futurerd_core::reachability::SpBagsConservative;
+        for seed in 0..10u64 {
+            let program = generate_shaped(FuzzShape::Speculation, seed);
+            let (oracle, _) = run_spec(&program.spec, RaceDetector::new(GraphOracle::new()));
+            let (cons, _) = run_spec(&program.spec, RaceDetector::new(SpBagsConservative::new()));
+            assert!(
+                cons.into_report().race_count() < oracle.into_report().race_count(),
+                "seed {seed}: the conservative fallback must miss the blind-spot race"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_races_are_found_by_the_oracle() {
+        for seed in 0..20u64 {
+            let program = generate_shaped(FuzzShape::PlantedRaces, seed);
+            assert!(!program.planted.is_empty());
+            let (det, _) = run_spec(&program.spec, RaceDetector::new(GraphOracle::new()));
+            let report = det.into_report();
+            assert!(
+                report.race_count() >= program.planted.len(),
+                "seed {seed}: {} planted, oracle saw {}",
+                program.planted.len(),
+                report.race_count()
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_always_races() {
+        for seed in 0..20u64 {
+            let program = generate_shaped(FuzzShape::Speculation, seed);
+            let (det, _) = run_spec(&program.spec, RaceDetector::new(GraphOracle::new()));
+            assert!(
+                det.into_report().race_count() >= 1,
+                "seed {seed}: the speculative read must race"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_names_are_unique() {
+        let names: std::collections::HashSet<_> = FuzzShape::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), FuzzShape::ALL.len());
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod bst;
 pub mod dedup;
+pub mod fuzzgen;
 pub mod harness;
 pub mod heartwall;
 pub mod lcs;
