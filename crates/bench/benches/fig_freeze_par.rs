@@ -1,0 +1,72 @@
+//! Pass-1 freeze cost, sequential vs work-assisted: builds the frozen
+//! `ReachIndex` for MultiBags+ on get-dense adversarial `k ≈ n` traces —
+//! the regime where timed-closure stamping (the `O(k²)` part of the freeze)
+//! dominates — and compares the classic sequential freeze against the
+//! work-assisted freeze at P ∈ {1, 2, 4, 8} pool workers.
+//!
+//! At P = 1 the assisted path must cost what the sequential path costs
+//! (the batch stage degenerates to the same loop, no pool round-trips); on
+//! a multi-core host P ≥ 2 should recover a slice of the stamping time. On
+//! a single-core host the P ≥ 2 rows measure pure scheduling overhead —
+//! still a useful regression signal, just not a speedup. Scale `n` with
+//! `FUTURERD_SCALE`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd::{PoolExecutor, ThreadPool};
+use futurerd_core::parallel::{FreezeAssist, ReachIndex};
+use futurerd_core::replay::ReplayAlgorithm;
+use futurerd_runtime::trace::record_spec;
+use futurerd_workloads::fuzzgen::adversarial_kn;
+use std::time::Duration;
+
+fn fig_freeze_par(c: &mut Criterion) {
+    let scale = std::env::var("FUTURERD_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let mut group = c.benchmark_group("fig_freeze_par");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    let algorithm = ReplayAlgorithm::MultiBagsPlus;
+    for n in [64usize, 128, 256] {
+        let n = n * scale;
+        let program = adversarial_kn(n, 0xfeed);
+        let (trace, _) = record_spec(&program.spec);
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), "seq"),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    ReachIndex::freeze(trace, algorithm)
+                        .expect("canonical trace")
+                        .expect("freezable algorithm")
+                        .num_attached_sets()
+                })
+            },
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::shared(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("assist/P{threads}")),
+                &trace,
+                |b, trace| {
+                    let executor = PoolExecutor(&pool);
+                    let assist = FreezeAssist::new(threads, &executor);
+                    b.iter(|| {
+                        ReachIndex::freeze_assisted(trace, algorithm, &assist)
+                            .expect("canonical trace")
+                            .expect("freezable algorithm")
+                            .num_attached_sets()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_freeze_par);
+criterion_main!(benches);

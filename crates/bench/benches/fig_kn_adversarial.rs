@@ -4,8 +4,15 @@
 //! where MultiBags+'s attached-bag machinery pays its O(k²) reachability
 //! maintenance, while plain MultiBags (approximate on these multi-touch
 //! traces) and conservative SP-Bags stay near-linear.
+//!
+//! Two extra rows per `n` isolate pass 1 of the parallel engine on the same
+//! trace: `freeze_seq` (classic sequential freeze) and `freeze_par` (the
+//! work-assisted freeze with a 2-worker pool) — see `fig_freeze_par` for
+//! the full worker-count sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futurerd::{PoolExecutor, ThreadPool};
+use futurerd_core::parallel::{FreezeAssist, ReachIndex};
 use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
 use futurerd_runtime::trace::record_spec;
 use futurerd_workloads::fuzzgen::adversarial_kn;
@@ -29,6 +36,36 @@ fn fig_kn(c: &mut Criterion) {
                 b.iter(|| replay_detect_unchecked(&trace, alg))
             });
         }
+        // Pass-1 freeze alone on the same trace: the closure stamping this
+        // regime maximizes, sequential vs work-assisted at P = 2.
+        let algorithm = ReplayAlgorithm::MultiBagsPlus;
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), "freeze_seq"),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    ReachIndex::freeze(trace, algorithm)
+                        .expect("canonical trace")
+                        .expect("freezable algorithm")
+                        .num_attached_sets()
+                })
+            },
+        );
+        let pool = ThreadPool::shared(2);
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), "freeze_par"),
+            &trace,
+            |b, trace| {
+                let executor = PoolExecutor(&pool);
+                let assist = FreezeAssist::new(2, &executor);
+                b.iter(|| {
+                    ReachIndex::freeze_assisted(trace, algorithm, &assist)
+                        .expect("canonical trace")
+                        .expect("freezable algorithm")
+                        .num_attached_sets()
+                })
+            },
+        );
     }
     group.finish();
 }

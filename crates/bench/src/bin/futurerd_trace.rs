@@ -66,7 +66,8 @@ fn usage() -> ! {
          recorded trace then carries a real determinacy race to detect.\n\
          --threads runs detection through the sharded parallel engine\n\
          (MultiBags / MultiBags+; the report is identical at any thread\n\
-         count).\n\
+         count). Pass 1 joins in: idle workers assist the freeze's\n\
+         closure stamping, leaving a byte-identical frozen index.\n\
          batch treats <dir> as a futurerd-store detection store: every\n\
          *.trace in it is queued against the selected freezable algorithms\n\
          and served warm from its FRDIDX sidecar when one is valid; the\n\

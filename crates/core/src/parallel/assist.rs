@@ -1,0 +1,411 @@
+//! Work-assisted scheduling for the pass-1 freeze: a shared self-scheduling
+//! chunk index that idle workers pull stamping batches from.
+//!
+//! The freeze replay is inherently task-ordered — reachability updates must
+//! be applied in trace order — but the *hot loop inside one update* is not:
+//! when [`add_arc`](super::freeze) stamps the earliest-connection closure,
+//! every (ancestor, descendant) pair gets the same position regardless of
+//! stamping order, and distinct closure rows (and distinct cells within one
+//! row) are written at most once per arc. That makes the stamping loop a
+//! *batch stage*: the coordinator publishes the batch as a list of work
+//! units, pushes their indexes through a [`ChunkIndex`], and keeps replaying
+//! nothing until the batch completes — while the pool's idle workers pull
+//! unit ranges from the shared atomic counter and stamp concurrently (the
+//! work-assisting design referenced from the ROADMAP: self-scheduling chunk
+//! claims instead of pure deque stealing). With no pool attached, the same
+//! units drain through the pull-based [`ChunkIter`] on the calling thread,
+//! so the chunked stage stays testable — and byte-identical — without any
+//! executor.
+//!
+//! Byte-identity is by construction, not by luck:
+//!
+//! * workers only ever write `pos` into cells that held the
+//!   never-connected sentinel, and every cell belongs to exactly one work
+//!   unit, claimed by exactly one puller (the `fetch_add` protocol below);
+//! * everything order-sensitive — adjacency pushes, the entry counter, row
+//!   growth bookkeeping — is applied by the coordinator afterwards, in
+//!   exactly the order the sequential loop uses, from the per-unit
+//!   `fresh` lists the workers report.
+
+use super::freeze::{Pos, NEVER};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Stamps one closure row for one arc batch: every `ancestors` cell of
+/// `row` still holding the never-connected sentinel (`Pos::MAX`) is set to
+/// `pos`, and the newly stamped ancestors are returned in input order.
+///
+/// This is the closure stamping loop of the freeze as a standalone batch
+/// stage — the unit of work the work-assisted executor hands to pullers,
+/// and deliberately a pure function of `(row, ancestors, pos)` so a future
+/// *remote* freeze worker can run the same stage against shipped row bytes
+/// (the ROADMAP's remote-freeze-worker direction). The caller owns the
+/// order-sensitive bookkeeping (adjacency pushes, entry counts) and applies
+/// it from the returned list in sequential order.
+pub fn stamp_closure_row(row: &mut [Pos], ancestors: &[u32], pos: Pos) -> Vec<u32> {
+    let mut fresh = Vec::new();
+    for &a in ancestors {
+        let cell = &mut row[a as usize];
+        if *cell == NEVER {
+            *cell = pos;
+            fresh.push(a);
+        }
+    }
+    fresh
+}
+
+/// Runs one pull-loop body on the calling thread and, concurrently, on up
+/// to `helpers` extra workers — the dispatch interface of the work-assisted
+/// freeze.
+///
+/// Unlike [`DetectExecutor`](super::DetectExecutor) (one closure per
+/// partition), every copy of `body` is the *same* closure: a loop claiming
+/// unit ranges from a shared [`ChunkIndex`] until it is drained. The
+/// coordinator always participates (it calls `body` itself), so a saturated
+/// pool degrades gracefully to the coordinator stamping everything alone —
+/// helpers accelerate the batch, they are never needed for progress.
+///
+/// Implementations must not return before every copy of `body` has
+/// returned.
+pub trait AssistExecutor {
+    /// Runs `body` on the calling thread and on up to `helpers` workers;
+    /// returns when all copies have finished.
+    fn assist(&self, helpers: usize, body: &(dyn Fn() + Sync));
+}
+
+impl AssistExecutor for super::StdExecutor {
+    fn assist(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        if helpers == 0 {
+            body();
+            return;
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..helpers {
+                scope.spawn(body);
+            }
+            body();
+        });
+    }
+}
+
+/// A shared self-scheduling chunk index: the coordinator publishes `len`
+/// work units, and every puller (coordinator included) claims disjoint
+/// `chunk`-sized ranges with one `fetch_add` until the units run out.
+///
+/// The protocol guarantees that over all pullers every unit index in
+/// `0..len` is claimed **exactly once**: `fetch_add` hands each caller a
+/// private starting offset, so ranges never overlap, and a puller stops
+/// only once its claimed start is past `len`, so nothing is dropped. The
+/// scheduler tests stress exactly this under thread contention.
+#[derive(Debug)]
+pub struct ChunkIndex {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkIndex {
+    /// Creates an index over `len` units, claimed `chunk` at a time.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+            chunk,
+        }
+    }
+
+    /// Claims the next unclaimed unit range, or `None` once the index is
+    /// drained. Safe to call from any number of threads concurrently.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Total number of work units published.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index was created over zero units.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-claim range size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+}
+
+/// The no-pool fallback: the same chunking as [`ChunkIndex`], as a plain
+/// pull-based iterator drained by a single thread via `.next()`.
+#[derive(Debug, Clone)]
+pub struct ChunkIter {
+    next: usize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkIter {
+    /// Creates an iterator over `len` units, yielded `chunk` at a time.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        Self {
+            next: 0,
+            len,
+            chunk,
+        }
+    }
+}
+
+impl Iterator for ChunkIter {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.len {
+            return None;
+        }
+        let start = self.next;
+        self.next = (start + self.chunk).min(self.len);
+        Some(start..self.next)
+    }
+}
+
+/// Default work threshold (in closure stamps, i.e. ancestors ×
+/// descendants) below which an arc is stamped sequentially even when an
+/// assist is attached: publishing a batch costs a dispatch round-trip, so
+/// tiny arcs never pay it.
+pub const DEFAULT_MIN_BATCH: usize = 4096;
+
+/// Default target number of stamps per work unit when splitting one
+/// closure row across pullers.
+const DEFAULT_UNIT_TARGET: usize = 512;
+
+/// Configuration + executor handle for work-assisted freezing: how many
+/// pullers a stamping batch may use, when a batch is worth publishing at
+/// all, and where the helper copies of the pull loop run.
+///
+/// Pass one to [`IncrementalFreezer::extend_assisted`](super::IncrementalFreezer::extend_assisted)
+/// or [`ReachIndex::freeze_assisted`](super::ReachIndex::freeze_assisted).
+/// Without an executor ([`FreezeAssist::sequential`]) batches drain through
+/// the pull-based [`ChunkIter`] on the calling thread — same chunked stage,
+/// no threads — which is the fallback the byte-identity suite pins at
+/// `P = 1`.
+#[derive(Clone, Copy)]
+pub struct FreezeAssist<'e> {
+    workers: usize,
+    min_batch: usize,
+    unit_target: usize,
+    executor: Option<&'e dyn AssistExecutor>,
+}
+
+impl std::fmt::Debug for FreezeAssist<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FreezeAssist")
+            .field("workers", &self.workers)
+            .field("min_batch", &self.min_batch)
+            .field("unit_target", &self.unit_target)
+            .field("executor", &self.executor.is_some())
+            .finish()
+    }
+}
+
+impl<'e> FreezeAssist<'e> {
+    /// An assist running stamping batches on `executor` with up to
+    /// `workers` concurrent pullers (the coordinator is one of them).
+    pub fn new(workers: usize, executor: &'e dyn AssistExecutor) -> Self {
+        Self {
+            workers: workers.max(1),
+            min_batch: DEFAULT_MIN_BATCH,
+            unit_target: DEFAULT_UNIT_TARGET,
+            executor: Some(executor),
+        }
+    }
+
+    /// The executor-free fallback: batches above the threshold still go
+    /// through the chunked batch stage, drained by [`ChunkIter`] on the
+    /// calling thread.
+    pub fn sequential() -> Self {
+        Self {
+            workers: 1,
+            min_batch: DEFAULT_MIN_BATCH,
+            unit_target: DEFAULT_UNIT_TARGET,
+            executor: None,
+        }
+    }
+
+    /// Overrides the work threshold (in stamps) above which an arc's
+    /// stamping is published as a batch. The property tests set `1` to
+    /// force every arc through the assisted stage.
+    pub fn with_min_batch(mut self, min_batch: usize) -> Self {
+        self.min_batch = min_batch.max(1);
+        self
+    }
+
+    /// Overrides the target number of stamps per work unit (smaller units
+    /// mean more claims and more contention — useful for stress tests).
+    pub fn with_unit_target(mut self, unit_target: usize) -> Self {
+        self.unit_target = unit_target.max(1);
+        self
+    }
+
+    /// Number of concurrent pullers this assist may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True if an arc stamping `work` pairs should go through the batch
+    /// stage. With an executor attached but only one worker, batching buys
+    /// nothing — no helper will ever pull a unit — so the arc stays on the
+    /// plain inline loops and a 1-thread assisted freeze costs exactly what
+    /// the sequential freeze costs. Executor-free assists keep batching:
+    /// that configuration exists precisely to exercise the [`ChunkIter`]
+    /// fallback stage.
+    pub(crate) fn should_assist(&self, work: usize) -> bool {
+        (self.workers > 1 || self.executor.is_none()) && work >= self.min_batch
+    }
+
+    /// Splits `targets` stamps into work units of roughly `unit_target`
+    /// stamps each, capped at `cap` units.
+    pub(crate) fn unit_count(&self, targets: usize, cap: usize) -> usize {
+        targets.div_ceil(self.unit_target).clamp(1, cap.max(1))
+    }
+
+    /// Runs `run_unit(u)` once for every `u in 0..n_units`: concurrently
+    /// via the executor and the shared [`ChunkIndex`] when one is attached
+    /// (units are claimed one at a time — each unit is already a batch),
+    /// via the pull-based [`ChunkIter`] otherwise.
+    pub(crate) fn dispatch(&self, n_units: usize, run_unit: &(impl Fn(usize) + Sync)) {
+        match self.executor {
+            Some(executor) if self.workers > 1 && n_units > 1 => {
+                let index = ChunkIndex::new(n_units, 1);
+                let helpers = self.workers.min(n_units) - 1;
+                executor.assist(helpers, &|| {
+                    while let Some(range) = index.claim() {
+                        for unit in range {
+                            run_unit(unit);
+                        }
+                    }
+                });
+            }
+            _ => {
+                for range in ChunkIter::new(n_units, 1) {
+                    for unit in range {
+                        run_unit(unit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::StdExecutor;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
+
+    #[test]
+    fn chunk_iter_yields_every_unit_once_in_order() {
+        let ranges: Vec<Range<usize>> = ChunkIter::new(10, 3).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..10]);
+        assert!(ChunkIter::new(0, 4).next().is_none());
+        // Chunk larger than the unit count: one full range.
+        assert_eq!(ChunkIter::new(3, 64).collect::<Vec<_>>(), vec![0..3]);
+    }
+
+    #[test]
+    fn chunk_index_single_thread_matches_the_iterator() {
+        let index = ChunkIndex::new(10, 3);
+        let mut claimed = Vec::new();
+        while let Some(range) = index.claim() {
+            claimed.push(range);
+        }
+        assert_eq!(claimed, ChunkIter::new(10, 3).collect::<Vec<_>>());
+        // Drained stays drained.
+        assert!(index.claim().is_none());
+    }
+
+    /// The scheduler's core guarantee: under thread contention every unit
+    /// is claimed exactly once — no range claimed twice, no range dropped.
+    #[test]
+    fn chunk_index_claims_are_exact_under_contention() {
+        let mut rng = StdRng::seed_from_u64(0xc1a1);
+        for trial in 0..20 {
+            let threads = [2, 3, 4, 8][trial % 4];
+            let len = rng.gen_range(1..5_000);
+            let chunk = rng.gen_range(1..64);
+            let index = ChunkIndex::new(len, chunk);
+            let mut per_thread: Vec<Vec<Range<usize>>> = vec![Vec::new(); threads];
+            std::thread::scope(|scope| {
+                for claimed in per_thread.iter_mut() {
+                    scope.spawn(|| {
+                        while let Some(range) = index.claim() {
+                            claimed.push(range);
+                        }
+                    });
+                }
+            });
+            let mut seen = vec![0u32; len];
+            for range in per_thread.iter().flatten() {
+                assert!(range.end <= len, "claim past the end: {range:?}");
+                assert_eq!(range.len().min(chunk), range.len(), "oversized claim");
+                for unit in range.clone() {
+                    seen[unit] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&count| count == 1),
+                "trial {trial} (len {len}, chunk {chunk}, {threads} threads): \
+                 some unit claimed {:?} times",
+                seen.iter().copied().filter(|&c| c != 1).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn std_executor_assist_runs_every_copy_and_the_coordinator() {
+        let hits = Mutex::new(Vec::new());
+        let body = || {
+            hits.lock().unwrap().push(std::thread::current().id());
+        };
+        StdExecutor.assist(3, &body);
+        let hits = hits.into_inner().unwrap();
+        assert_eq!(hits.len(), 4, "3 helpers + the coordinator");
+        assert!(
+            hits.contains(&std::thread::current().id()),
+            "the coordinator must participate"
+        );
+    }
+
+    #[test]
+    fn dispatch_without_executor_uses_the_pull_iterator() {
+        let assist = FreezeAssist::sequential().with_unit_target(1);
+        let hit = Mutex::new(vec![0u32; 7]);
+        assist.dispatch(7, &|unit| hit.lock().unwrap()[unit] += 1);
+        assert!(hit.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn dispatch_with_executor_runs_every_unit_exactly_once() {
+        let assist = FreezeAssist::new(4, &StdExecutor).with_unit_target(1);
+        let hit = Mutex::new(vec![0u32; 100]);
+        assist.dispatch(100, &|unit| hit.lock().unwrap()[unit] += 1);
+        assert!(hit.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn unit_count_respects_target_and_cap() {
+        let assist = FreezeAssist::sequential().with_unit_target(10);
+        assert_eq!(assist.unit_count(100, 1000), 10);
+        assert_eq!(assist.unit_count(5, 1000), 1);
+        assert_eq!(assist.unit_count(100, 3), 3);
+        assert_eq!(assist.unit_count(0, 1000), 1);
+    }
+}

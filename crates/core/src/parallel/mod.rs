@@ -30,9 +30,13 @@
 //! work-stealing pool of `futurerd-runtime` in instead (its `PoolExecutor`),
 //! so detection — not just capture — runs on the pool.
 
+mod assist;
 mod freeze;
 mod shard;
 
+pub use assist::{
+    stamp_closure_row, AssistExecutor, ChunkIndex, ChunkIter, FreezeAssist, DEFAULT_MIN_BATCH,
+};
 pub use freeze::{
     FrozenBags, FrozenNsp, GranuleAccess, IncrementalFreezer, Pos, RawBagSet, RawBags, RawFreeze,
     RawIndexError, RawNsp, RawNspSet, ReachIndex, RAW_NONE,
@@ -113,16 +117,22 @@ pub fn par_replay_detect(
     par_replay_detect_with(trace, algorithm, threads, &StdExecutor)
 }
 
-/// As [`par_replay_detect`], but the detection workers run on the given
-/// executor (e.g. the work-stealing pool of `futurerd-runtime`).
+/// As [`par_replay_detect`], but both passes run on the given executor
+/// (e.g. the work-stealing pool of `futurerd-runtime`): pass 2's detection
+/// partitions through [`DetectExecutor::run_batch`], and pass 1's large
+/// closure stamping batches through [`AssistExecutor::assist`] when
+/// `threads > 1`.
 pub fn par_replay_detect_with(
     trace: &Trace,
     algorithm: ReplayAlgorithm,
     threads: usize,
-    executor: &impl DetectExecutor,
+    executor: &(impl DetectExecutor + AssistExecutor),
 ) -> Result<RaceReport, TraceError> {
     trace.validate()?;
-    let Some((index, accesses)) = freeze::freeze_with_accesses(trace, algorithm) else {
+    let assist = (threads > 1).then(|| FreezeAssist::new(threads, executor));
+    let Some((index, accesses)) =
+        freeze::freeze_with_accesses_assisted(trace, algorithm, assist.as_ref())
+    else {
         // No frozen form for this algorithm: sequential replay gives the
         // same report by definition.
         return Ok(replay_detect_unchecked(trace, algorithm));

@@ -146,7 +146,9 @@ mod session;
 pub use error::Error;
 pub use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
 pub use futurerd_core::parallel;
-pub use futurerd_core::parallel::{par_replay_detect, DetectExecutor, ReachIndex};
+pub use futurerd_core::parallel::{
+    par_replay_detect, AssistExecutor, DetectExecutor, FreezeAssist, ReachIndex,
+};
 pub use futurerd_core::replay;
 pub use futurerd_core::stats::{DetectorStats, ReachStats};
 pub use futurerd_core::{AccessKind, Race, RaceReport};
@@ -581,6 +583,12 @@ impl std::fmt::Debug for PoolExecutor<'_> {
 impl DetectExecutor for PoolExecutor<'_> {
     fn run_batch<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
         self.0.run_batch(tasks);
+    }
+}
+
+impl AssistExecutor for PoolExecutor<'_> {
+    fn assist(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        self.0.run_assist(helpers, body);
     }
 }
 

@@ -5,8 +5,9 @@
 use crate::error::Error;
 use crate::{summary_from_counts, Algorithm, Analysis, Config, Detection, PoolExecutor};
 use futurerd_core::parallel::{
-    detect_frozen_outcomes, incremental_outcomes, merge_outcomes_stats, DetectExecutor,
-    IncrementalFreezer, IncrementalOutcomes, PartitionOutcome, StdExecutor,
+    detect_frozen_outcomes, incremental_outcomes, merge_outcomes_stats, AssistExecutor,
+    DetectExecutor, FreezeAssist, IncrementalFreezer, IncrementalOutcomes, PartitionOutcome,
+    StdExecutor,
 };
 use futurerd_core::replay::ReplayAlgorithm;
 use futurerd_dag::source::EventSource;
@@ -172,7 +173,12 @@ impl Config {
         };
         let mut validator = PrefixValidator::new();
         validator.extend(state.trace.events())?;
-        freezer.extend(&state.trace.events()[frozen_pos..]);
+        extend_freezer_pooled(
+            &mut freezer,
+            &state.trace.events()[frozen_pos..],
+            self.threads,
+            None,
+        );
         Ok(Session {
             config: self,
             validator,
@@ -255,8 +261,9 @@ impl<'s> Session<'s> {
         let accepted = &events[..self.validator.position() - before];
         if !accepted.is_empty() {
             self.trace.extend_events(accepted);
+            let (threads, pool) = (self.config.threads, self.pool);
             if let Some(engine) = &mut self.engine {
-                engine.freezer.extend(accepted);
+                extend_freezer_pooled(&mut engine.freezer, accepted, threads, pool);
             }
             self.dirty = true;
         }
@@ -470,6 +477,38 @@ impl DetectExecutor for AnyExec<'_> {
             AnyExec::Std(std) => std.run_batch(tasks),
         }
     }
+}
+
+impl AssistExecutor for AnyExec<'_> {
+    fn assist(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        match self {
+            AnyExec::Pool(pool) => pool.assist(helpers, body),
+            AnyExec::Std(std) => std.assist(helpers, body),
+        }
+    }
+}
+
+/// Extends a resident freezer with an event chunk, routing large
+/// closure-stamping batches through pool workers when the session is
+/// configured for parallel detection (`threads > 1`): the caller's pool if
+/// one was attached via [`Session::on_pool`], the process-shared pool of
+/// the configured size otherwise. At `threads == 1` this is a plain
+/// sequential [`IncrementalFreezer::extend`] — no batch dispatch at all.
+/// Either way the frozen state is byte-identical.
+fn extend_freezer_pooled(
+    freezer: &mut IncrementalFreezer,
+    events: &[TraceEvent],
+    threads: usize,
+    pool: Option<&ThreadPool>,
+) {
+    if threads <= 1 {
+        freezer.extend(events);
+        return;
+    }
+    let shared = pool.is_none().then(|| ThreadPool::shared(threads));
+    let pool = pool.unwrap_or_else(|| shared.as_deref().expect("just built"));
+    let executor = PoolExecutor(pool);
+    freezer.extend_assisted(events, &FreezeAssist::new(threads, &executor));
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! bugs on it, and the parallel engine must stay byte-identical to
 //! sequential replay.
 
-use futurerd_core::parallel::par_replay_detect;
+use futurerd_core::parallel::{par_replay_detect, FreezeAssist, IncrementalFreezer, StdExecutor};
 use futurerd_core::replay::{replay_detect_unchecked, ReplayAlgorithm};
 use futurerd_fuzz::classify_sequential;
 use futurerd_fuzz::fixture::load_fixtures;
@@ -79,6 +79,38 @@ fn every_fixture_fuzzes_clean_and_parallel_matches_sequential() {
             let parallel = par_replay_detect(&fixture.trace, algorithm, 2)
                 .unwrap_or_else(|e| panic!("{name}: parallel {algorithm} failed: {e}"));
             assert_eq!(parallel, sequential, "{name}: {algorithm} P=2 diverged");
+        }
+    }
+}
+
+#[test]
+fn every_fixture_freezes_byte_identically_under_assists() {
+    // The committed corpus doubles as a regression net for the
+    // work-assisted pass-1 freeze: every fixture trace, frozen with worker
+    // assists at P ∈ {2, 8} and single-stamp work units, must leave exactly
+    // the frozen state the sequential freeze leaves.
+    let executor = StdExecutor;
+    for fixture in load_fixtures(&corpus_dir()).expect("tests/fixtures must load") {
+        let name = &fixture.name;
+        for algorithm in ReplayAlgorithm::ALL {
+            if !algorithm.freezable() {
+                continue;
+            }
+            let mut seq = IncrementalFreezer::new(algorithm).expect("freezable algorithm");
+            seq.extend(fixture.trace.events());
+            let expected = seq.to_raw();
+            for workers in [2usize, 8] {
+                let assist = FreezeAssist::new(workers, &executor)
+                    .with_min_batch(1)
+                    .with_unit_target(1);
+                let mut par = IncrementalFreezer::new(algorithm).expect("freezable algorithm");
+                par.extend_assisted(fixture.trace.events(), &assist);
+                assert_eq!(
+                    par.to_raw(),
+                    expected,
+                    "{name}: {algorithm} assisted freeze diverged at P={workers}"
+                );
+            }
         }
     }
 }

@@ -565,7 +565,7 @@ impl Store {
                 // Incremental: refreeze the appended suffix only.
                 let appended_events = events - frozen_pos;
                 let old_access_count = fz.accesses().len();
-                fz.extend(&trace.events()[frozen_pos..]);
+                extend_freezer(&mut fz, &trace.events()[frozen_pos..], threads);
                 let index = fz.snapshot_index();
                 let accesses = fz.accesses();
                 let fresh = &accesses[old_access_count..];
@@ -604,7 +604,7 @@ impl Store {
             None => {
                 // Cold: freeze from scratch.
                 let mut fz = IncrementalFreezer::new(algorithm).expect("freezable checked above");
-                fz.extend(trace.events());
+                extend_freezer(&mut fz, trace.events(), threads);
                 let index = fz.snapshot_index();
                 let outcomes = full_outcomes(&index, fz.accesses(), threads);
                 let report = merge_outcomes(outcomes.iter().cloned());
@@ -847,6 +847,26 @@ struct PoolExec<'p>(&'p ThreadPool);
 impl parallel::DetectExecutor for PoolExec<'_> {
     fn run_batch<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
         self.0.run_batch(tasks);
+    }
+}
+
+impl parallel::AssistExecutor for PoolExec<'_> {
+    fn assist(&self, helpers: usize, body: &(dyn Fn() + Sync)) {
+        self.0.run_assist(helpers, body);
+    }
+}
+
+/// Extends a freezer (the cold and incremental pass-1 paths), routing large
+/// closure-stamping batches through the shared pool's idle workers when
+/// `threads > 1`. The frozen state — and therefore the sidecar bytes — is
+/// byte-identical at every thread count.
+fn extend_freezer(fz: &mut IncrementalFreezer, events: &[TraceEvent], threads: usize) {
+    if threads > 1 {
+        let pool = ThreadPool::shared(threads);
+        let executor = PoolExec(&pool);
+        fz.extend_assisted(events, &parallel::FreezeAssist::new(threads, &executor));
+    } else {
+        fz.extend(events);
     }
 }
 
