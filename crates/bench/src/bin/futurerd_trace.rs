@@ -50,17 +50,21 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz> [options]\n\
+        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz|profile> [options]\n\
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          replay --input <path> [--algorithm <multibags|multibags+|spbags|spbags-cons|oracle|all>]\n\
-        \x20       [--threads <n>]\n\
+        \x20       [--threads <n>] [--metrics[=text|json|prom]]\n\
          diff   --workload <name> --mode <mode> [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          batch  <dir> [--algorithm <multibags|multibags+|all>] [--threads <n>]\n\
+        \x20       [--metrics[=text|json|prom]]\n\
          follow --workload <name> --mode <mode> [--algorithm <multibags|multibags+>]\n\
         \x20       [--threads <n>] [--chunks <n>] [--store <dir>] [--size ...] [--seed ...] [--racy]\n\
+        \x20       [--metrics[=text|json|prom]]\n\
          fuzz   [--seeds <n>] [--minutes <m>] [--emit-corpus <dir> [--per-shape <n>]]\n\
+        \x20       [--metrics[=text|json|prom]] [--metrics-out <path>]\n\
+         profile <trace> [--algorithm <multibags|multibags+>] [--threads <n>]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
          recorded trace then carries a real determinacy race to detect.\n\
@@ -84,7 +88,17 @@ fn usage() -> ! {
          generated programs (default 100 seeds; --minutes caps wall-clock).\n\
          Divergences are classified; any real bug makes the exit non-zero.\n\
          --emit-corpus shrinks the first racy seeds of every generator shape\n\
-         into tests/fixtures-style regression fixtures instead of fuzzing.",
+         into tests/fixtures-style regression fixtures instead of fuzzing.\n\
+         --metrics turns the futurerd-obs span/metric recorder on for the\n\
+         run and prints the merged snapshot afterwards — as an aligned text\n\
+         table (default), JSON-lines, or a Prometheus exposition. Recording\n\
+         never changes verdicts: reports are byte-identical on and off.\n\
+         --metrics-out (fuzz) writes the snapshot to a file instead of\n\
+         stdout (JSON-lines unless --metrics says otherwise).\n\
+         profile replays <trace> through the sharded engine at P=1 and P=N\n\
+         (N from --threads, default the machine's parallelism) and prints\n\
+         the per-stage time breakdown: validate, freeze (with assist\n\
+         dispatch/stamp detail), detect, merge vs wall clock.",
         names = WorkloadKind::ALL.map(|k| k.name()).join("|")
     );
     std::process::exit(2);
@@ -111,6 +125,36 @@ fn parse_mode(name: &str) -> FutureMode {
     }
 }
 
+/// Export format selected by `--metrics[=text|json|prom]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Json,
+    Prom,
+}
+
+fn parse_metrics_format(name: &str) -> MetricsFormat {
+    match name {
+        "text" => MetricsFormat::Text,
+        "json" => MetricsFormat::Json,
+        "prom" => MetricsFormat::Prom,
+        other => {
+            eprintln!("unknown metrics format '{other}' (expected text, json or prom)");
+            usage()
+        }
+    }
+}
+
+/// Renders the current `futurerd-obs` snapshot in the selected format.
+fn render_metrics(format: MetricsFormat) -> String {
+    let snapshot = futurerd_obs::snapshot();
+    match format {
+        MetricsFormat::Text => futurerd_obs::export_text(&snapshot),
+        MetricsFormat::Json => futurerd_obs::export_json_lines(&snapshot),
+        MetricsFormat::Prom => futurerd_obs::export_prometheus(&snapshot),
+    }
+}
+
 #[derive(Debug)]
 struct Options {
     workload: Option<WorkloadKind>,
@@ -123,6 +167,7 @@ struct Options {
     threads: usize,
     chunks: usize,
     store: Option<String>,
+    metrics: Option<MetricsFormat>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -137,6 +182,7 @@ fn parse_options(args: &[String]) -> Options {
         threads: 1,
         chunks: 8,
         store: None,
+        metrics: None,
     };
     let mut size_default = false;
     let mut seed = None;
@@ -170,6 +216,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--racy" => opts.racy = true,
             "--store" => opts.store = Some(value()),
+            "--metrics" => opts.metrics = Some(MetricsFormat::Text),
+            flag if flag.starts_with("--metrics=") => {
+                opts.metrics = Some(parse_metrics_format(&flag["--metrics=".len()..]));
+            }
             "--chunks" => {
                 opts.chunks = value()
                     .parse::<usize>()
@@ -371,6 +421,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         usage()
     }
     let opts = parse_options(rest);
+    if opts.metrics.is_some() {
+        futurerd_obs::set_enabled(true);
+    }
     let algorithms: Vec<ReplayAlgorithm> = match opts.algorithm.as_deref() {
         None | Some("all") => vec![ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus],
         Some(name) => match ReplayAlgorithm::parse(name) {
@@ -431,6 +484,17 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         stats.warm_cached_hits,
         stats.incremental_refreezes,
     );
+    println!(
+        "store: {} partition(s) rerun, {} reused, {} rebalance(s), {} invalidated sidecar(s)",
+        stats.partitions_rerun,
+        stats.partitions_reused,
+        stats.rebalances,
+        stats.invalidated_sidecars,
+    );
+    if let Some(format) = opts.metrics {
+        stats.export_metrics("store");
+        print!("{}", render_metrics(format));
+    }
     if manifest.all_ok() {
         ExitCode::SUCCESS
     } else {
@@ -657,10 +721,10 @@ fn cmd_follow(opts: &Options) -> ExitCode {
     let config = futurerd::Config::new()
         .algorithm(algorithm)
         .threads(opts.threads);
-    let mut store;
+    let mut store: Option<futurerd::Store> = None;
     let mut session = match &opts.store {
         Some(dir) => {
-            store = match futurerd::Config::store(dir) {
+            let mut opened = match futurerd::Config::store(dir) {
                 Ok(store) => store,
                 Err(e) => {
                     eprintln!("cannot open store at {dir}: {e}");
@@ -674,8 +738,8 @@ fn cmd_follow(opts: &Options) -> ExitCode {
             let seed_empty = |store: &mut futurerd::Store| {
                 store.put_trace(&name, &futurerd_dag::trace::Trace::new())
             };
-            if !store.trace_path(&name).exists() {
-                if let Err(e) = seed_empty(&mut store) {
+            if !opened.trace_path(&name).exists() {
+                if let Err(e) = seed_empty(&mut opened) {
                     eprintln!("cannot seed store entry '{name}': {e}");
                     return ExitCode::FAILURE;
                 }
@@ -685,13 +749,13 @@ fn cmd_follow(opts: &Options) -> ExitCode {
             // diverged entry — different params under the same name — is
             // reset rather than poisoned. Check the trace file directly so
             // the reset happens before the (borrowing) session opens.
-            match store.load_trace(&name) {
+            match opened.load_trace(&name) {
                 Ok(stored)
                     if stored.len() > events.len()
                         || stored.events() != &events[..stored.len()] =>
                 {
                     println!("  stored entry '{name}' diverged from this recording; resetting");
-                    if let Err(e) = seed_empty(&mut store) {
+                    if let Err(e) = seed_empty(&mut opened) {
                         eprintln!("cannot reset store entry '{name}': {e}");
                         return ExitCode::FAILURE;
                     }
@@ -702,7 +766,7 @@ fn cmd_follow(opts: &Options) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            match config.open_session(&mut store, &name) {
+            match config.open_session(store.insert(opened), &name) {
                 Ok(session) => session,
                 Err(e) => {
                     eprintln!("cannot open stored session '{name}': {e}");
@@ -777,6 +841,24 @@ fn cmd_follow(opts: &Options) -> ExitCode {
         "followed {} events in {follow_time:.2?}; final verdict == one-shot replay ✓",
         events.len()
     );
+    // The session holds the store borrow; release it so the aggregate
+    // serving statistics can be read out for satellite visibility.
+    drop(session);
+    if let Some(store) = &store {
+        let stats = store.stats();
+        println!(
+            "  store: {} cold freeze(s), {} warm load(s), {} fully cached, {} incremental ({} partition(s) rerun, {} reused, {} rebalance(s), {} invalidated sidecar(s))",
+            stats.cold_freezes,
+            stats.warm_index_loads,
+            stats.warm_cached_hits,
+            stats.incremental_refreezes,
+            stats.partitions_rerun,
+            stats.partitions_reused,
+            stats.rebalances,
+            stats.invalidated_sidecars,
+        );
+        stats.export_metrics("store");
+    }
     ExitCode::SUCCESS
 }
 
@@ -787,6 +869,8 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut minutes: Option<u64> = None;
     let mut emit: Option<String> = None;
     let mut per_shape: usize = 2;
+    let mut metrics: Option<MetricsFormat> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -810,11 +894,19 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             "--minutes" => minutes = Some(parse_count(flag, value())),
             "--emit-corpus" => emit = Some(value()),
             "--per-shape" => per_shape = parse_count(flag, value()) as usize,
+            "--metrics" => metrics = Some(MetricsFormat::Text),
+            flag if flag.starts_with("--metrics=") => {
+                metrics = Some(parse_metrics_format(&flag["--metrics=".len()..]));
+            }
+            "--metrics-out" => metrics_out = Some(value()),
             other => {
                 eprintln!("unknown flag '{other}'");
                 usage()
             }
         }
+    }
+    if metrics.is_some() || metrics_out.is_some() {
+        futurerd_obs::set_enabled(true);
     }
     if let Some(dir) = emit {
         let start = Instant::now();
@@ -844,11 +936,127 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
         eprintln!("  {bug}");
     }
     println!("{} ({:.2?})", summary.summary_line(), start.elapsed());
+    if let Some(path) = &metrics_out {
+        // File artifacts default to JSON-lines (one parseable object per
+        // row) unless --metrics picked a format explicitly.
+        let rendered = render_metrics(metrics.unwrap_or(MetricsFormat::Json));
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    } else if let Some(format) = metrics {
+        print!("{}", render_metrics(format));
+    }
     if summary.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Prints one profile table: every recorded stage with count / total /
+/// mean / max, plus how much of the wall clock the four disjoint
+/// coordinator stages account for.
+fn print_profile(threads: usize, wall: Duration, snapshot: &futurerd_obs::Snapshot) {
+    println!("P={threads}: wall {wall:.2?}");
+    println!(
+        "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+        "stage", "count", "total", "mean", "max"
+    );
+    for row in &snapshot.stages {
+        println!(
+            "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+            row.name,
+            row.stats.count,
+            futurerd_obs::fmt_duration_ns(row.stats.total_ns),
+            futurerd_obs::fmt_duration_ns(row.stats.avg_ns()),
+            futurerd_obs::fmt_duration_ns(row.stats.max_ns),
+        );
+    }
+    // "validate", "freeze", "detect" and "merge" are the disjoint top-level
+    // coordinator stages — nested spans (freeze.assist.*, detect.partition)
+    // overlap them and are detail, not additional time. Their sum is the
+    // pipeline's critical-path accounting and should approach wall clock.
+    let accounted = snapshot.total_ns_of(&["validate", "freeze", "detect", "merge"]);
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    let pct = if wall_ns == 0 {
+        100.0
+    } else {
+        100.0 * accounted as f64 / wall_ns as f64
+    };
+    println!(
+        "  validate+freeze+detect+merge: {} of {} wall ({pct:.1}%)",
+        futurerd_obs::fmt_duration_ns(accounted),
+        futurerd_obs::fmt_duration_ns(wall_ns),
+    );
+}
+
+/// Replays one trace through the sharded engine at P=1 and P=N with the
+/// span recorder on, printing the stage-time breakdown for each run.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let Some((path, rest)) = args.split_first() else {
+        eprintln!("profile needs a trace file");
+        usage()
+    };
+    if path.starts_with("--") {
+        eprintln!("profile needs the trace file before any flags");
+        usage()
+    }
+    let opts = parse_options(rest);
+    let algorithm = match opts.algorithm.as_deref() {
+        None | Some("multibags") => ReplayAlgorithm::MultiBags,
+        Some("multibags+") => ReplayAlgorithm::MultiBagsPlus,
+        Some(other) => {
+            eprintln!("profile drives the freezable algorithms only (got '{other}')");
+            usage()
+        }
+    };
+    let trace = match Trace::load(path) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = if opts.threads > 1 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    };
+    println!(
+        "{path}: {} events; profiling {} at P=1 and P={n}",
+        trace.len(),
+        algorithm.name(),
+    );
+    futurerd_obs::set_enabled(true);
+    let points: &[usize] = if n == 1 { &[1] } else { &[1, n] };
+    let mut race_counts = Vec::new();
+    for &threads in points {
+        futurerd_obs::reset();
+        let start = Instant::now();
+        let report = match par_replay_detect(&trace, algorithm, threads) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("replay at P={threads} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wall = start.elapsed();
+        print_profile(threads, wall, &futurerd_obs::snapshot());
+        race_counts.push(report.race_count());
+    }
+    if race_counts.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("MISMATCH: verdict changed with thread count (bug)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "verdict: {} racy granules (identical at every P) ✓",
+        race_counts[0]
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -862,12 +1070,22 @@ fn main() -> ExitCode {
     if command == "fuzz" {
         return cmd_fuzz(rest);
     }
+    if command == "profile" {
+        return cmd_profile(rest);
+    }
     let opts = parse_options(rest);
-    match command.as_str() {
+    if opts.metrics.is_some() {
+        futurerd_obs::set_enabled(true);
+    }
+    let code = match command.as_str() {
         "record" => cmd_record(&opts),
         "replay" => cmd_replay(&opts),
         "diff" => cmd_diff(&opts),
         "follow" => cmd_follow(&opts),
         _ => usage(),
+    };
+    if let Some(format) = opts.metrics {
+        print!("{}", render_metrics(format));
     }
+    code
 }

@@ -29,7 +29,7 @@
 
 use super::freeze::{Pos, NEVER};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Stamps one closure row for one arc batch: every `ancestors` cell of
 /// `row` still holding the never-connected sentinel (`Pos::MAX`) is set to
@@ -102,6 +102,7 @@ pub struct ChunkIndex {
     next: AtomicUsize,
     len: usize,
     chunk: usize,
+    misses: AtomicU64,
 }
 
 impl ChunkIndex {
@@ -112,6 +113,7 @@ impl ChunkIndex {
             next: AtomicUsize::new(0),
             len,
             chunk,
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -120,9 +122,18 @@ impl ChunkIndex {
     pub fn claim(&self) -> Option<Range<usize>> {
         let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
         if start >= self.len {
+            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Number of claims that found the index already drained. Every puller
+    /// pays exactly one miss to learn the batch is over, so the excess over
+    /// the puller count measures `fetch_add` overshoot under contention —
+    /// exported as the `freeze.assist.index_misses` counter.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Total number of work units published.
@@ -280,23 +291,47 @@ impl<'e> FreezeAssist<'e> {
     /// (units are claimed one at a time — each unit is already a batch),
     /// via the pull-based [`ChunkIter`] otherwise.
     pub(crate) fn dispatch(&self, n_units: usize, run_unit: &(impl Fn(usize) + Sync)) {
+        let _dispatch = futurerd_obs::Span::enter("freeze.assist.dispatch");
         match self.executor {
             Some(executor) if self.workers > 1 && n_units > 1 => {
                 let index = ChunkIndex::new(n_units, 1);
                 let helpers = self.workers.min(n_units) - 1;
                 executor.assist(helpers, &|| {
+                    let span = futurerd_obs::Span::enter("freeze.assist.stamp");
+                    let mut claimed: u64 = 0;
                     while let Some(range) = index.claim() {
+                        claimed += range.len() as u64;
                         for unit in range {
                             run_unit(unit);
                         }
                     }
+                    drop(span);
+                    if claimed > 0 && futurerd_obs::enabled() {
+                        futurerd_obs::counter_add(
+                            &format!("freeze.assist.units.{}", futurerd_obs::thread_label()),
+                            claimed,
+                        );
+                    }
                 });
+                if futurerd_obs::enabled() {
+                    futurerd_obs::counter_add("freeze.assist.batches", 1);
+                    futurerd_obs::counter_add("freeze.assist.index_misses", index.misses());
+                }
             }
             _ => {
+                let span = futurerd_obs::Span::enter("freeze.assist.stamp");
                 for range in ChunkIter::new(n_units, 1) {
                     for unit in range {
                         run_unit(unit);
                     }
+                }
+                drop(span);
+                if futurerd_obs::enabled() {
+                    futurerd_obs::counter_add("freeze.assist.batches", 1);
+                    futurerd_obs::counter_add(
+                        &format!("freeze.assist.units.{}", futurerd_obs::thread_label()),
+                        n_units as u64,
+                    );
                 }
             }
         }

@@ -128,11 +128,16 @@ pub fn par_replay_detect_with(
     threads: usize,
     executor: &(impl DetectExecutor + AssistExecutor),
 ) -> Result<RaceReport, TraceError> {
-    trace.validate()?;
+    {
+        let _span = futurerd_obs::Span::enter("validate");
+        trace.validate()?;
+    }
     let assist = (threads > 1).then(|| FreezeAssist::new(threads, executor));
-    let Some((index, accesses)) =
+    let frozen = {
+        let _span = futurerd_obs::Span::enter("freeze");
         freeze::freeze_with_accesses_assisted(trace, algorithm, assist.as_ref())
-    else {
+    };
+    let Some((index, accesses)) = frozen else {
         // No frozen form for this algorithm: sequential replay gives the
         // same report by definition.
         return Ok(replay_detect_unchecked(trace, algorithm));
@@ -177,6 +182,7 @@ fn detect_partitions(
     threads: usize,
     executor: &impl DetectExecutor,
 ) -> Vec<ShadowPartition> {
+    let _span = futurerd_obs::Span::enter("detect");
     let ranges = shard::partition_ranges(accesses, threads.max(1));
     let mut partitions: Vec<ShadowPartition> = ranges
         .iter()
@@ -185,6 +191,7 @@ fn detect_partitions(
     if let [partition] = partitions.as_mut_slice() {
         // One range covers every access: run it on the stream directly
         // instead of copying the whole stream into a bucket.
+        let _task = futurerd_obs::Span::enter("detect.partition");
         partition.run(index, accesses);
         return partitions;
     }
@@ -193,7 +200,10 @@ fn detect_partitions(
         .iter_mut()
         .zip(buckets)
         .map(|(partition, bucket)| {
-            Box::new(move || partition.run(index, &bucket)) as Box<dyn FnOnce() + Send + '_>
+            Box::new(move || {
+                let _task = futurerd_obs::Span::enter("detect.partition");
+                partition.run(index, &bucket)
+            }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();
     executor.run_batch(tasks);

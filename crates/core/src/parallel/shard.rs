@@ -335,6 +335,7 @@ pub fn merge_outcomes(outcomes: impl IntoIterator<Item = PartitionOutcome>) -> R
 pub fn merge_outcomes_stats(
     outcomes: impl IntoIterator<Item = PartitionOutcome>,
 ) -> (RaceReport, DetectorStats) {
+    let _span = futurerd_obs::Span::enter("merge");
     let mut total = 0u64;
     let mut stats = DetectorStats::default();
     let mut all: Vec<(u32, Race)> = Vec::new();
@@ -409,6 +410,7 @@ pub fn incremental_outcomes(
     parts: usize,
     executor: &impl DetectExecutor,
 ) -> IncrementalOutcomes {
+    let _span = futurerd_obs::Span::enter("detect");
     if fresh.is_empty() || stored.is_empty() {
         let reused = stored.len();
         return IncrementalOutcomes {
@@ -505,8 +507,10 @@ pub fn incremental_outcomes(
         .zip(&rerun_ranges)
         .map(|(slot, (_, range))| {
             let range = range.clone();
-            Box::new(move || *slot = Some(run_partition(index, range, accesses)))
-                as Box<dyn FnOnce() + Send + '_>
+            Box::new(move || {
+                let _task = futurerd_obs::Span::enter("detect.partition");
+                *slot = Some(run_partition(index, range, accesses))
+            }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();
     executor.run_batch(tasks);

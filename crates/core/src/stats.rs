@@ -43,6 +43,27 @@ impl ReachStats {
     pub fn dsu_ops(&self) -> u64 {
         self.make_sets + self.unions + self.finds
     }
+
+    /// Registers every counter as a `<prefix>.<field>` gauge in the
+    /// `futurerd-obs` metrics registry (no-op while recording is
+    /// disabled). Gauges, not counters: a report publishes its totals as
+    /// one consistent point-in-time reading.
+    pub fn export_metrics(&self, prefix: &str) {
+        if !futurerd_obs::enabled() {
+            return;
+        }
+        futurerd_obs::gauge_set(&format!("{prefix}.queries"), self.queries);
+        futurerd_obs::gauge_set(&format!("{prefix}.make_sets"), self.make_sets);
+        futurerd_obs::gauge_set(&format!("{prefix}.unions"), self.unions);
+        futurerd_obs::gauge_set(&format!("{prefix}.finds"), self.finds);
+        futurerd_obs::gauge_set(&format!("{prefix}.attached_sets"), self.attached_sets);
+        futurerd_obs::gauge_set(&format!("{prefix}.r_arcs"), self.r_arcs);
+        futurerd_obs::gauge_set(&format!("{prefix}.r_bytes"), self.r_bytes);
+        futurerd_obs::gauge_set(
+            &format!("{prefix}.unexpected_attachifies"),
+            self.unexpected_attachifies,
+        );
+    }
 }
 
 /// Counters describing the detector's access-history activity.
@@ -59,7 +80,37 @@ pub struct DetectorStats {
     /// Races recorded (before deduplication caps).
     pub races_found: u64,
     /// Shadow pages allocated.
+    ///
+    /// **Aggregation caveat:** this is the only field that is *not*
+    /// invariant under sharding. Every other counter is driven by the
+    /// granule-local access sequence, which each partition replays exactly
+    /// as the sequential detector saw it, so summing partition stats
+    /// (`merge_outcomes_stats`) reproduces the sequential values
+    /// field-for-field. Shadow pages, however, are per-partition tables: a
+    /// page whose granules straddle a partition boundary is allocated — and
+    /// counted — once in *each* partition that touches it. A sharded run
+    /// therefore reports `shadow_pages` ≥ the sequential count (equality at
+    /// one partition). The `detector_stats_sharding` test pins both halves
+    /// of this contract.
     pub shadow_pages: u64,
+}
+
+impl DetectorStats {
+    /// Registers every counter as a `<prefix>.<field>` gauge in the
+    /// `futurerd-obs` metrics registry (no-op while recording is
+    /// disabled). See the `shadow_pages` field docs for the one counter
+    /// whose value depends on the partition count.
+    pub fn export_metrics(&self, prefix: &str) {
+        if !futurerd_obs::enabled() {
+            return;
+        }
+        futurerd_obs::gauge_set(&format!("{prefix}.read_checks"), self.read_checks);
+        futurerd_obs::gauge_set(&format!("{prefix}.write_checks"), self.write_checks);
+        futurerd_obs::gauge_set(&format!("{prefix}.readers_recorded"), self.readers_recorded);
+        futurerd_obs::gauge_set(&format!("{prefix}.readers_cleared"), self.readers_cleared);
+        futurerd_obs::gauge_set(&format!("{prefix}.races_found"), self.races_found);
+        futurerd_obs::gauge_set(&format!("{prefix}.shadow_pages"), self.shadow_pages);
+    }
 }
 
 impl std::fmt::Display for ReachStats {

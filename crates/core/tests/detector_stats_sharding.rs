@@ -1,0 +1,96 @@
+//! The `DetectorStats` sharding contract (see the `shadow_pages` field
+//! docs in `futurerd_core::stats`): summing per-partition counters with
+//! `merge_outcomes_stats` reproduces the sequential detector's statistics
+//! **field-for-field, except `shadow_pages`** — pages are per-partition
+//! tables, so a page straddling a partition boundary is counted once per
+//! partition touching it. A sharded run may therefore report more pages
+//! than the sequential detector, never fewer, and exactly as many when a
+//! single partition covers the whole granule space.
+
+use futurerd_core::detector::RaceDetector;
+use futurerd_core::parallel::{
+    detect_frozen_outcomes, merge_outcomes_stats, IncrementalFreezer, StdExecutor,
+};
+use futurerd_core::replay::ReplayAlgorithm;
+use futurerd_core::stats::DetectorStats;
+use futurerd_dag::genprog::{generate_program, GenConfig};
+use futurerd_runtime::trace::record_spec;
+
+fn sequential_stats(
+    trace: &futurerd_dag::trace::Trace,
+    algorithm: ReplayAlgorithm,
+) -> DetectorStats {
+    let (_, _, stats) = match algorithm {
+        ReplayAlgorithm::MultiBags => trace
+            .replay(RaceDetector::<futurerd_core::reachability::MultiBags>::structured())
+            .into_parts(),
+        ReplayAlgorithm::MultiBagsPlus => trace
+            .replay(RaceDetector::<futurerd_core::reachability::MultiBagsPlus>::general())
+            .into_parts(),
+        other => panic!("unfreezable algorithm in sharding test: {other}"),
+    };
+    stats
+}
+
+fn sharded_stats(
+    trace: &futurerd_dag::trace::Trace,
+    algorithm: ReplayAlgorithm,
+    threads: usize,
+) -> DetectorStats {
+    let mut freezer = IncrementalFreezer::new(algorithm).expect("freezable algorithm");
+    freezer.extend(trace.events());
+    let index = freezer.snapshot_index();
+    let outcomes = detect_frozen_outcomes(&index, freezer.accesses(), threads, &StdExecutor);
+    let (_, stats) = merge_outcomes_stats(outcomes);
+    stats
+}
+
+#[test]
+fn sharded_stats_equal_sequential_except_shadow_pages() {
+    for (config, tag) in [
+        (GenConfig::structured(), "structured"),
+        (GenConfig::general(), "general"),
+    ] {
+        for seed in 0..8u64 {
+            let spec = generate_program(&config, seed);
+            let (trace, _) = record_spec(&spec);
+            for algorithm in [ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus] {
+                if tag == "general" && algorithm == ReplayAlgorithm::MultiBags {
+                    // MultiBags is unsound on general futures; its stats
+                    // still shard consistently, but keep the matrix to the
+                    // regimes each algorithm is meant for.
+                    continue;
+                }
+                let seq = sequential_stats(&trace, algorithm);
+                for threads in [1, 2, 3, 8] {
+                    let par = sharded_stats(&trace, algorithm, threads);
+                    let ctx = format!("{tag} seed {seed} {algorithm} P={threads}");
+                    assert_eq!(par.read_checks, seq.read_checks, "{ctx}: read_checks");
+                    assert_eq!(par.write_checks, seq.write_checks, "{ctx}: write_checks");
+                    assert_eq!(
+                        par.readers_recorded, seq.readers_recorded,
+                        "{ctx}: readers_recorded"
+                    );
+                    assert_eq!(
+                        par.readers_cleared, seq.readers_cleared,
+                        "{ctx}: readers_cleared"
+                    );
+                    assert_eq!(par.races_found, seq.races_found, "{ctx}: races_found");
+                    assert!(
+                        par.shadow_pages >= seq.shadow_pages,
+                        "{ctx}: sharding can only duplicate boundary pages \
+                         (par {} < seq {})",
+                        par.shadow_pages,
+                        seq.shadow_pages
+                    );
+                    if threads == 1 {
+                        assert_eq!(
+                            par.shadow_pages, seq.shadow_pages,
+                            "{ctx}: one partition sees every page exactly once"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

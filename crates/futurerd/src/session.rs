@@ -73,6 +73,10 @@ pub struct Session<'s> {
     /// Events ingested since the session state was last persisted.
     dirty: bool,
     last_path: Option<DetectionPath>,
+    /// Wall time spent inside [`Session::ingest`] while observability
+    /// recording was enabled — feeds the `session.ingest.events_per_sec`
+    /// gauge. Stays zero (and costs nothing) when recording is off.
+    ingest_ns: u64,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -135,6 +139,7 @@ impl Config {
             pool: None,
             dirty: false,
             last_path: None,
+            ingest_ns: 0,
         }
     }
 
@@ -196,6 +201,7 @@ impl Config {
             pool: None,
             dirty: false,
             last_path: None,
+            ingest_ns: 0,
         })
     }
 }
@@ -256,8 +262,12 @@ impl<'s> Session<'s> {
         if events.is_empty() {
             return Ok(());
         }
+        let started = futurerd_obs::enabled().then(std::time::Instant::now);
         let before = self.validator.position();
-        let result = self.validator.extend(events);
+        let result = {
+            let _span = futurerd_obs::Span::enter("validate");
+            self.validator.extend(events)
+        };
         let accepted = &events[..self.validator.position() - before];
         if !accepted.is_empty() {
             self.trace.extend_events(accepted);
@@ -266,6 +276,19 @@ impl<'s> Session<'s> {
                 extend_freezer_pooled(&mut engine.freezer, accepted, threads, pool);
             }
             self.dirty = true;
+        }
+        if let Some(started) = started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.ingest_ns = self.ingest_ns.saturating_add(ns);
+            futurerd_obs::counter_add("session.ingest.events", accepted.len() as u64);
+            if self.ingest_ns > 0 {
+                let rate = (self.validator.position() as u128).saturating_mul(1_000_000_000)
+                    / u128::from(self.ingest_ns);
+                futurerd_obs::gauge_set(
+                    "session.ingest.events_per_sec",
+                    u64::try_from(rate).unwrap_or(u64::MAX),
+                );
+            }
         }
         result?;
         Ok(())
@@ -321,6 +344,7 @@ impl<'s> Session<'s> {
         mut engine: EngineState,
         summary: futurerd_runtime::exec::ExecutionSummary,
     ) -> (EngineState, Result<Detection<()>, Error>) {
+        let started = futurerd_obs::enabled().then(std::time::Instant::now);
         let threads = self.config.threads;
         let shared_pool = (self.pool.is_none() && threads > 1).then(|| ThreadPool::shared(threads));
         let executor = match (self.pool, &shared_pool) {
@@ -380,6 +404,24 @@ impl<'s> Session<'s> {
         };
 
         let (report, detector_stats) = merge_outcomes_stats(outcomes.iter().cloned());
+        if let Some(started) = started {
+            // The report's compute time, attributed to the path the routing
+            // chose — span names must be `'static`, so map the kind onto
+            // the fixed `session.report.*` stage set.
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let stage = match path {
+                DetectionPath::Cold => "session.report.cold",
+                DetectionPath::WarmIndex => "session.report.warm_index",
+                DetectionPath::WarmCached => "session.report.warm_cached",
+                DetectionPath::Incremental { .. } => "session.report.incremental",
+            };
+            futurerd_obs::record_duration_ns(stage, ns);
+            futurerd_obs::counter_add(&format!("session.path.{}", path.kind_key()), 1);
+            detector_stats.export_metrics("detector");
+            if let AnyExec::Pool(PoolExecutor(pool)) = &executor {
+                pool.export_worker_metrics("pool");
+            }
+        }
         let mut persist_error = None;
         if let Some((store, name)) = &mut self.store {
             store.record_path(path);
@@ -388,6 +430,7 @@ impl<'s> Session<'s> {
                     .persist_session(name, &self.trace, &engine.freezer, outcomes.clone())
                     .err();
             }
+            store.stats().export_metrics("store");
         }
         // Cache the computed outcomes regardless: the in-memory state is
         // valid even when writing it to disk failed, so the session keeps
@@ -426,6 +469,7 @@ impl<'s> Session<'s> {
                 "SP-Bags cannot consume traces that contain futures",
             ));
         }
+        let started = futurerd_obs::enabled().then(std::time::Instant::now);
         let mut observer = self.config.build_observer();
         futurerd_dag::trace::replay_events(self.trace.events(), &mut observer);
         let crate::Outcome {
@@ -433,6 +477,17 @@ impl<'s> Session<'s> {
             reach_stats,
             detector_stats,
         } = observer.into_outcome();
+        if let Some(started) = started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            futurerd_obs::record_duration_ns("session.report.cold", ns);
+            futurerd_obs::counter_add("session.path.cold", 1);
+            if let Some(stats) = &reach_stats {
+                stats.export_metrics("reach");
+            }
+            if let Some(stats) = &detector_stats {
+                stats.export_metrics("detector");
+            }
+        }
         if self.config.algorithm == Algorithm::SpBagsConservative && self.trace.has_futures() {
             // The conservative fallback folded futures into fork-join
             // constructs: the verdict is approximate by construction.

@@ -1,0 +1,200 @@
+//! Exporters rendering a [`Snapshot`] in three formats: a human text
+//! table, JSON lines (one object per row), and the Prometheus text
+//! exposition format. All three are pure functions of the snapshot, so
+//! the golden tests in `tests/golden.rs` pin their exact output.
+
+use crate::{fmt_duration_ns, MetricKind, Snapshot};
+
+/// Renders the snapshot as an aligned human-readable table: a stage
+/// section (count / total / avg / min / max) followed by a metric
+/// section. Empty sections are omitted; an empty snapshot renders a
+/// single placeholder line.
+pub fn export_text(snapshot: &Snapshot) -> String {
+    if snapshot.is_empty() {
+        return "(no observability data recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    if !snapshot.stages.is_empty() {
+        let name_w = snapshot
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .chain(["stage".len()])
+            .max()
+            .unwrap();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+            "stage", "count", "total", "avg", "min", "max"
+        ));
+        for row in &snapshot.stages {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+                row.name,
+                row.stats.count,
+                fmt_duration_ns(row.stats.total_ns),
+                fmt_duration_ns(row.stats.avg_ns()),
+                fmt_duration_ns(row.stats.min_ns),
+                fmt_duration_ns(row.stats.max_ns),
+            ));
+        }
+    }
+    if !snapshot.metrics.is_empty() {
+        if !snapshot.stages.is_empty() {
+            out.push('\n');
+        }
+        let name_w = snapshot
+            .metrics
+            .iter()
+            .map(|m| m.name.len())
+            .chain(["metric".len()])
+            .max()
+            .unwrap();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>7}  {:>16}\n",
+            "metric", "kind", "value"
+        ));
+        for row in &snapshot.metrics {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>7}  {:>16}\n",
+                row.name,
+                row.kind.as_str(),
+                row.value
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as JSON lines: one `{"type":"stage",...}` object
+/// per stage row, then one `{"type":"metric",...}` object per metric row,
+/// in snapshot (name-sorted) order. Each line is a complete JSON object,
+/// so the stream concatenates across runs (the nightly-fuzz artifact
+/// appends one block per night).
+pub fn export_json_lines(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for row in &snapshot.stages {
+        out.push_str(&format!(
+            "{{\"type\":\"stage\",\"name\":{},\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}\n",
+            json_string(&row.name),
+            row.stats.count,
+            row.stats.total_ns,
+            row.stats.min_ns,
+            row.stats.max_ns,
+        ));
+    }
+    for row in &snapshot.metrics {
+        out.push_str(&format!(
+            "{{\"type\":\"metric\",\"name\":{},\"kind\":\"{}\",\"value\":{}}}\n",
+            json_string(&row.name),
+            row.kind.as_str(),
+            row.value,
+        ));
+    }
+    out
+}
+
+/// Renders the snapshot in the Prometheus text exposition format. Stage
+/// timings become three series keyed by a `stage` label
+/// (`futurerd_stage_spans_total`, `futurerd_stage_nanoseconds_total`,
+/// `futurerd_stage_max_nanoseconds`); each registry metric becomes its
+/// own `futurerd_`-prefixed series with dots mapped to underscores.
+pub fn export_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.stages.is_empty() {
+        out.push_str("# TYPE futurerd_stage_spans_total counter\n");
+        for row in &snapshot.stages {
+            out.push_str(&format!(
+                "futurerd_stage_spans_total{{stage=\"{}\"}} {}\n",
+                row.name, row.stats.count
+            ));
+        }
+        out.push_str("# TYPE futurerd_stage_nanoseconds_total counter\n");
+        for row in &snapshot.stages {
+            out.push_str(&format!(
+                "futurerd_stage_nanoseconds_total{{stage=\"{}\"}} {}\n",
+                row.name, row.stats.total_ns
+            ));
+        }
+        out.push_str("# TYPE futurerd_stage_max_nanoseconds gauge\n");
+        for row in &snapshot.stages {
+            out.push_str(&format!(
+                "futurerd_stage_max_nanoseconds{{stage=\"{}\"}} {}\n",
+                row.name, row.stats.max_ns
+            ));
+        }
+    }
+    for row in &snapshot.metrics {
+        let name = prom_name(&row.name);
+        let kind = match row.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        out.push_str(&format!("# TYPE futurerd_{name} {kind}\n"));
+        out.push_str(&format!("futurerd_{name} {}\n", row.value));
+    }
+    out
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`), replacing every other character with `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain.name"), "\"plain.name\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("nl\ntab\t"), "\"nl\\ntab\\t\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn prometheus_name_sanitization() {
+        assert_eq!(
+            prom_name("freeze.assist.units.worker.0"),
+            "freeze_assist_units_worker_0"
+        );
+        assert_eq!(prom_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(prom_name("weird name-x"), "weird_name_x");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let empty = Snapshot::default();
+        assert_eq!(export_text(&empty), "(no observability data recorded)\n");
+        assert_eq!(export_json_lines(&empty), "");
+        assert_eq!(export_prometheus(&empty), "");
+    }
+}

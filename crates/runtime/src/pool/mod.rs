@@ -37,7 +37,7 @@ use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -95,12 +95,40 @@ struct Sleep {
     condvar: Condvar,
 }
 
+/// Always-on per-worker scheduler counters (relaxed atomics; one add per
+/// event, far off any hot loop). Snapshot through
+/// [`ThreadPool::worker_stats`]; exported to the observability registry by
+/// [`ThreadPool::export_worker_metrics`].
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    /// Jobs this worker executed (own deque, injector, or stolen).
+    executed: AtomicU64,
+    /// Jobs this worker stole from another worker's deque.
+    steals: AtomicU64,
+    /// Jobs this worker claimed from the external injector.
+    injected: AtomicU64,
+}
+
+/// A point-in-time copy of one worker's scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the pool (`0..num_threads`).
+    pub index: usize,
+    /// Jobs this worker executed.
+    pub executed: u64,
+    /// Jobs stolen from other workers' deques.
+    pub steals: u64,
+    /// Jobs claimed from the external injector.
+    pub injected: u64,
+}
+
 struct Registry {
     injector: Mutex<VecDeque<JobRef>>,
     stealers: Vec<Stealer>,
     sleep: Sleep,
     terminate: AtomicBool,
     num_threads: usize,
+    counters: Vec<WorkerCounters>,
 }
 
 impl Registry {
@@ -122,6 +150,9 @@ impl Registry {
     /// external submissions), then other workers' deques.
     fn steal_work(&self, thief: usize) -> Option<JobRef> {
         if let Some(job) = self.pop_injected() {
+            self.counters[thief]
+                .injected
+                .fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let n = self.stealers.len();
@@ -133,6 +164,7 @@ impl Registry {
                 continue;
             }
             if let Some(job) = self.stealers[victim].steal() {
+                self.counters[thief].steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -179,6 +211,9 @@ impl WorkerThread {
         let mut idle_spins = 0u32;
         while !latch.probe() {
             if let Some(job) = self.find_work() {
+                self.registry.counters[self.index]
+                    .executed
+                    .fetch_add(1, Ordering::Relaxed);
                 unsafe { job.execute() };
                 idle_spins = 0;
             } else {
@@ -196,6 +231,9 @@ impl WorkerThread {
     fn main_loop(&self) {
         loop {
             if let Some(job) = self.find_work() {
+                self.registry.counters[self.index]
+                    .executed
+                    .fetch_add(1, Ordering::Relaxed);
                 unsafe { job.execute() };
                 continue;
             }
@@ -288,6 +326,9 @@ impl ThreadPool {
             },
             terminate: AtomicBool::new(false),
             num_threads,
+            counters: (0..num_threads)
+                .map(|_| WorkerCounters::default())
+                .collect(),
         });
         let mut handles = Vec::with_capacity(num_threads);
         for (index, deque) in worker_deques.into_iter().enumerate() {
@@ -298,6 +339,7 @@ impl ThreadPool {
             }
             let handle = builder
                 .spawn(move || {
+                    futurerd_obs::set_thread_label(&format!("worker.{index}"));
                     let worker = WorkerThread {
                         registry,
                         index,
@@ -316,6 +358,39 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.registry.num_threads
+    }
+
+    /// Snapshots the per-worker scheduler counters (jobs executed, deque
+    /// steals, injector claims) accumulated over the pool's lifetime.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.registry
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(index, c)| WorkerStats {
+                index,
+                executed: c.executed.load(Ordering::Relaxed),
+                steals: c.steals.load(Ordering::Relaxed),
+                injected: c.injected.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Publishes the per-worker counters as `<prefix>.worker.<i>.<field>`
+    /// gauges in the `futurerd-obs` metrics registry (no-op while
+    /// recording is disabled). Gauges because the counters are lifetime
+    /// totals: re-exporting after further work overwrites with the newer
+    /// reading.
+    pub fn export_worker_metrics(&self, prefix: &str) {
+        if !futurerd_obs::enabled() {
+            return;
+        }
+        for stats in self.worker_stats() {
+            let worker = format!("{prefix}.worker.{}", stats.index);
+            futurerd_obs::gauge_set(&format!("{worker}.executed"), stats.executed);
+            futurerd_obs::gauge_set(&format!("{worker}.steals"), stats.steals);
+            futurerd_obs::gauge_set(&format!("{worker}.injected"), stats.injected);
+        }
     }
 
     /// True if the calling thread is one of this pool's workers.

@@ -267,6 +267,19 @@ impl DetectionPath {
     pub fn is_warm(self) -> bool {
         matches!(self, DetectionPath::WarmIndex | DetectionPath::WarmCached)
     }
+
+    /// Stable dotted-metric suffix for this path kind — the per-request
+    /// provenance counter names (`store.path.<kind>`,
+    /// `session.report.<kind>`) are built from it, so it never carries the
+    /// per-request parameters `Display` shows.
+    pub fn kind_key(self) -> &'static str {
+        match self {
+            DetectionPath::Cold => "cold",
+            DetectionPath::WarmIndex => "warm_index",
+            DetectionPath::WarmCached => "warm_cached",
+            DetectionPath::Incremental { .. } => "incremental",
+        }
+    }
 }
 
 impl std::fmt::Display for DetectionPath {
@@ -328,6 +341,35 @@ pub struct StoreStats {
     pub invalidated_sidecars: u64,
 }
 
+impl StoreStats {
+    /// Registers every counter as a `<prefix>.<field>` gauge in the
+    /// `futurerd-obs` metrics registry (no-op while recording is
+    /// disabled). Gauges because these are store-lifetime totals: each
+    /// export overwrites with the newer reading.
+    pub fn export_metrics(&self, prefix: &str) {
+        if !futurerd_obs::enabled() {
+            return;
+        }
+        futurerd_obs::gauge_set(&format!("{prefix}.cold_freezes"), self.cold_freezes);
+        futurerd_obs::gauge_set(&format!("{prefix}.warm_index_loads"), self.warm_index_loads);
+        futurerd_obs::gauge_set(&format!("{prefix}.warm_cached_hits"), self.warm_cached_hits);
+        futurerd_obs::gauge_set(
+            &format!("{prefix}.incremental_refreezes"),
+            self.incremental_refreezes,
+        );
+        futurerd_obs::gauge_set(&format!("{prefix}.partitions_rerun"), self.partitions_rerun);
+        futurerd_obs::gauge_set(
+            &format!("{prefix}.partitions_reused"),
+            self.partitions_reused,
+        );
+        futurerd_obs::gauge_set(&format!("{prefix}.rebalances"), self.rebalances);
+        futurerd_obs::gauge_set(
+            &format!("{prefix}.invalidated_sidecars"),
+            self.invalidated_sidecars,
+        );
+    }
+}
+
 /// One queued batch job: replay `trace` under `algorithm` with `threads`
 /// detection workers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -380,6 +422,29 @@ impl BatchManifest {
     pub fn all_ok(&self) -> bool {
         self.records.iter().all(|r| r.outcome.is_ok())
     }
+
+    /// How many completed jobs were served by each [`DetectionPath`] kind,
+    /// in fixed `(cold, warm_index, warm_cached, incremental)` order.
+    /// Deterministic for a given store history — path provenance depends
+    /// only on which sidecars exist, never on timings — so it is safe to
+    /// render into the reproducible manifest.
+    pub fn path_counts(&self) -> [(&'static str, usize); 4] {
+        let mut counts = [
+            ("cold", 0),
+            ("warm_index", 0),
+            ("warm_cached", 0),
+            ("incremental", 0),
+        ];
+        for record in &self.records {
+            if let Ok(summary) = &record.outcome {
+                let key = summary.path.kind_key();
+                if let Some(slot) = counts.iter_mut().find(|(name, _)| *name == key) {
+                    slot.1 += 1;
+                }
+            }
+        }
+        counts
+    }
 }
 
 impl std::fmt::Display for BatchManifest {
@@ -388,6 +453,12 @@ impl std::fmt::Display for BatchManifest {
             f,
             "# futurerd-store batch manifest ({} jobs)",
             self.records.len()
+        )?;
+        let [cold, warm_index, warm_cached, incremental] = self.path_counts();
+        writeln!(
+            f,
+            "# paths: cold={} warm-index={} warm-cached={} incremental={}",
+            cold.1, warm_index.1, warm_cached.1, incremental.1
         )?;
         for record in &self.records {
             let job = &record.job;
@@ -548,9 +619,11 @@ impl Store {
             Some(fz) if frozen_pos == events => {
                 // Warm: the index covers the whole trace.
                 if let Some(outcomes) = cached_outcomes {
+                    let _path_span = futurerd_obs::Span::enter("store.detect.warm_cached");
                     let report = merge_outcomes(outcomes.iter().cloned());
                     (None, report, DetectionPath::WarmCached)
                 } else {
+                    let _path_span = futurerd_obs::Span::enter("store.detect.warm_index");
                     let index = fz.snapshot_index();
                     let outcomes = full_outcomes(&index, fz.accesses(), threads);
                     let report = merge_outcomes(outcomes.iter().cloned());
@@ -563,6 +636,7 @@ impl Store {
             }
             Some(mut fz) => {
                 // Incremental: refreeze the appended suffix only.
+                let _path_span = futurerd_obs::Span::enter("store.detect.incremental");
                 let appended_events = events - frozen_pos;
                 let old_access_count = fz.accesses().len();
                 extend_freezer(&mut fz, &trace.events()[frozen_pos..], threads);
@@ -603,6 +677,7 @@ impl Store {
             }
             None => {
                 // Cold: freeze from scratch.
+                let _path_span = futurerd_obs::Span::enter("store.detect.cold");
                 let mut fz = IncrementalFreezer::new(algorithm).expect("freezable checked above");
                 extend_freezer(&mut fz, trace.events(), threads);
                 let index = fz.snapshot_index();
@@ -618,10 +693,12 @@ impl Store {
 
         self.record_path(path);
         if let Some(sidecar) = sidecar {
-            std::fs::write(
-                self.sidecar_path(name, algorithm),
-                codec::encode_sidecar(&sidecar),
-            )?;
+            let bytes = {
+                let _span = futurerd_obs::Span::enter("store.sidecar.encode");
+                codec::encode_sidecar(&sidecar)
+            };
+            futurerd_obs::counter_add("store.sidecar.encoded_bytes", bytes.len() as u64);
+            std::fs::write(self.sidecar_path(name, algorithm), bytes)?;
         }
         Ok(StoreDetection {
             report,
@@ -687,7 +764,12 @@ impl Store {
             Ok(bytes) => bytes,
             Err(_) => return None,
         };
-        let sidecar = match codec::decode_sidecar(&bytes) {
+        futurerd_obs::counter_add("store.sidecar.decoded_bytes", bytes.len() as u64);
+        let decoded = {
+            let _span = futurerd_obs::Span::enter("store.sidecar.decode");
+            codec::decode_sidecar(&bytes)
+        };
+        let sidecar = match decoded {
             Ok(sidecar) => sidecar,
             Err(_) => {
                 self.stats.invalidated_sidecars += 1;
@@ -765,10 +847,12 @@ impl Store {
         Self::check_name(name)?;
         trace.save(self.trace_path(name))?;
         let sidecar = self.make_sidecar(trace, freezer, outcomes);
-        std::fs::write(
-            self.sidecar_path(name, freezer.algorithm()),
-            codec::encode_sidecar(&sidecar),
-        )?;
+        let bytes = {
+            let _span = futurerd_obs::Span::enter("store.sidecar.encode");
+            codec::encode_sidecar(&sidecar)
+        };
+        futurerd_obs::counter_add("store.sidecar.encoded_bytes", bytes.len() as u64);
+        std::fs::write(self.sidecar_path(name, freezer.algorithm()), bytes)?;
         Ok(())
     }
 
@@ -778,6 +862,9 @@ impl Store {
     /// cold/warm/incremental economics in [`Store::stats`] accurate for
     /// session traffic too.
     pub fn record_path(&mut self, path: DetectionPath) {
+        if futurerd_obs::enabled() {
+            futurerd_obs::counter_add(&format!("store.path.{}", path.kind_key()), 1);
+        }
         match path {
             DetectionPath::Cold => self.stats.cold_freezes += 1,
             DetectionPath::WarmIndex => self.stats.warm_index_loads += 1,

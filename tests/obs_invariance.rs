@@ -1,0 +1,181 @@
+//! Observability-invariance properties: the `futurerd-obs` recorder is
+//! **off the correctness path**. Turning it on must not change a single
+//! byte of any detection output — same rendered report, same summary,
+//! same aggregated detector statistics, same serving path — over fuzz
+//! generator shapes, both paper algorithms, and P ∈ {1, 2, 8}, through
+//! both one-shot replay and chunked streaming sessions.
+//!
+//! Also pins the contrapositive (nothing is recorded while disabled) and
+//! sanity-checks that an enabled run actually records the documented
+//! stages and metrics, so the invariance tests cannot pass vacuously.
+
+use futurerd::{Algorithm, Config};
+use futurerd_runtime::trace::record_spec;
+use futurerd_workloads::fuzzgen::{generate_shaped, FuzzShape};
+use std::sync::{Mutex, MutexGuard};
+
+const ALGORITHMS: [Algorithm; 2] = [Algorithm::MultiBags, Algorithm::MultiBagsPlus];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The obs recorder is process-global; the test harness runs `#[test]`s on
+/// concurrent threads, so every test serializes on this lock before
+/// toggling it.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One recorded trace per fuzz generator shape × seed: the same program
+/// families the differential fuzzer rotates through.
+fn shaped_traces() -> Vec<(String, futurerd::Trace)> {
+    let mut traces = Vec::new();
+    for shape in FuzzShape::ALL {
+        for seed in 0..2u64 {
+            let program = generate_shaped(shape, seed);
+            let (trace, _) = record_spec(&program.spec);
+            traces.push((format!("{shape} seed {seed}"), trace));
+        }
+    }
+    traces
+}
+
+/// Runs `detect` twice — recorder off, then on — and asserts every
+/// detection output is byte-identical.
+fn assert_invariant(
+    tag: &str,
+    detect: impl Fn() -> futurerd::Detection<()>,
+) -> futurerd::Detection<()> {
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::reset();
+    let off = detect();
+    futurerd_obs::set_enabled(true);
+    let on = detect();
+    futurerd_obs::set_enabled(false);
+    assert_eq!(
+        on.report().to_string(),
+        off.report().to_string(),
+        "{tag}: rendered report changed under the recorder"
+    );
+    assert_eq!(on.summary, off.summary, "{tag}: summary changed");
+    assert_eq!(
+        on.detector_stats, off.detector_stats,
+        "{tag}: detector stats changed"
+    );
+    assert_eq!(on.path, off.path, "{tag}: serving path changed");
+    on
+}
+
+#[test]
+fn one_shot_replay_is_byte_identical_with_metrics_on() {
+    let _guard = exclusive();
+    for (tag, trace) in shaped_traces() {
+        for algorithm in ALGORITHMS {
+            for threads in THREADS {
+                let config = Config::new().algorithm(algorithm).threads(threads);
+                assert_invariant(&format!("{tag} {algorithm:?} P={threads}"), || {
+                    config.replay(&trace).expect("canonical trace")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn chunked_sessions_are_byte_identical_with_metrics_on() {
+    let _guard = exclusive();
+    // A handful of shapes suffices here: chunked ingest drives the session
+    // through the cold-then-incremental serving paths, where most of the
+    // instrumentation (ingest counters, path timers, stats exports) lives.
+    for (tag, trace) in shaped_traces().into_iter().step_by(3) {
+        for algorithm in ALGORITHMS {
+            for threads in THREADS {
+                let config = Config::new().algorithm(algorithm).threads(threads);
+                let chunk = (trace.len() / 5).max(1);
+                let run = || {
+                    let mut session = config.session();
+                    for events in trace.events().chunks(chunk) {
+                        session.ingest(events).expect("canonical prefix");
+                        session.report().expect("prefix reports");
+                    }
+                    session.report().expect("final report")
+                };
+                let on = assert_invariant(&format!("{tag} {algorithm:?} P={threads}"), run);
+                let one_shot = config.replay(&trace).expect("canonical trace");
+                assert_eq!(
+                    on.report().to_string(),
+                    one_shot.report().to_string(),
+                    "{tag}: session diverged from one-shot replay"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn enabled_runs_record_the_documented_stages() {
+    let _guard = exclusive();
+    let program = generate_shaped(FuzzShape::Pipeline, 3);
+    let (trace, _) = record_spec(&program.spec);
+    let config = Config::general().threads(2);
+
+    futurerd_obs::set_enabled(true);
+    futurerd_obs::reset();
+    let mut session = config.session();
+    let chunk = (trace.len() / 4).max(1);
+    for events in trace.events().chunks(chunk) {
+        session.ingest(events).expect("canonical prefix");
+        session.report().expect("prefix reports");
+    }
+    let snapshot = futurerd_obs::snapshot();
+    futurerd_obs::set_enabled(false);
+
+    for stage in ["validate", "freeze", "detect", "merge"] {
+        let stats = snapshot
+            .stage(stage)
+            .unwrap_or_else(|| panic!("stage '{stage}' missing from {snapshot:?}"));
+        assert!(stats.count > 0, "{stage}: no spans closed");
+        assert!(stats.min_ns <= stats.max_ns, "{stage}: inconsistent bounds");
+    }
+    assert_eq!(
+        snapshot.metric("session.path.cold"),
+        Some(1),
+        "exactly one cold report expected"
+    );
+    assert!(
+        snapshot.metric("session.ingest.events") >= Some(trace.len() as u64),
+        "ingest counter must cover every event"
+    );
+    assert!(
+        snapshot.metric("detector.read_checks").is_some(),
+        "detector stats gauges missing"
+    );
+
+    // The exporters must all render the live snapshot without panicking
+    // and carry the stage names through (formats are pinned exactly by the
+    // golden tests in `crates/obs/tests/golden.rs`).
+    let text = futurerd_obs::export_text(&snapshot);
+    assert!(text.contains("validate") && text.contains("session.path.cold"));
+    let json = futurerd_obs::export_json_lines(&snapshot);
+    assert!(json.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    let prom = futurerd_obs::export_prometheus(&snapshot);
+    assert!(prom.contains("futurerd_stage_spans_total{stage=\"validate\"}"));
+}
+
+#[test]
+fn disabled_recorder_stays_empty() {
+    let _guard = exclusive();
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::reset();
+    let program = generate_shaped(FuzzShape::General, 5);
+    let (trace, _) = record_spec(&program.spec);
+    let config = Config::general().threads(4);
+    config.replay(&trace).expect("canonical trace");
+    let mut session = config.session();
+    session.ingest(trace.events()).expect("canonical");
+    session.report().expect("reports");
+    assert!(
+        futurerd_obs::snapshot().is_empty(),
+        "a disabled recorder must record nothing"
+    );
+}
