@@ -50,21 +50,26 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz|profile> [options]\n\
+        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz|profile|regress> [options]\n\
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          replay --input <path> [--algorithm <multibags|multibags+|spbags|spbags-cons|oracle|all>]\n\
-        \x20       [--threads <n>] [--metrics[=text|json|prom]]\n\
+        \x20       [--threads <n>] [--metrics[=text|json|prom]] [--metrics-out <path>]\n\
+        \x20       [--trace-out <path>] [--timeline]\n\
          diff   --workload <name> --mode <mode> [--size <tiny|default>] [--seed <u64>] [--racy]\n\
          batch  <dir> [--algorithm <multibags|multibags+|all>] [--threads <n>]\n\
-        \x20       [--metrics[=text|json|prom]]\n\
+        \x20       [--metrics[=text|json|prom]] [--metrics-out <path>] [--trace-out <path>]\n\
          follow --workload <name> --mode <mode> [--algorithm <multibags|multibags+>]\n\
         \x20       [--threads <n>] [--chunks <n>] [--store <dir>] [--size ...] [--seed ...] [--racy]\n\
-        \x20       [--metrics[=text|json|prom]]\n\
+        \x20       [--metrics[=text|json|prom]] [--metrics-out <path>] [--trace-out <path>]\n\
          fuzz   [--seeds <n>] [--minutes <m>] [--emit-corpus <dir> [--per-shape <n>]]\n\
         \x20       [--metrics[=text|json|prom]] [--metrics-out <path>]\n\
-         profile <trace> [--algorithm <multibags|multibags+>] [--threads <n>]\n\
+         profile <trace> [--algorithm <multibags|multibags+>] [--threads <n>] [--json]\n\
+        \x20       [--trace-out <path>]\n\
+         regress --against <baseline.json> [--bench <name>] [--out <run.json>]\n\
+        \x20       [--from <run.json>] [--samples <n>] [--inflate <factor>]\n\
+        \x20       [--trajectory <path>] [--no-trajectory]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
          recorded trace then carries a real determinacy race to detect.\n\
@@ -93,12 +98,29 @@ fn usage() -> ! {
          run and prints the merged snapshot afterwards — as an aligned text\n\
          table (default), JSON-lines, or a Prometheus exposition. Recording\n\
          never changes verdicts: reports are byte-identical on and off.\n\
-         --metrics-out (fuzz) writes the snapshot to a file instead of\n\
-         stdout (JSON-lines unless --metrics says otherwise).\n\
+         --metrics-out writes that snapshot to a file instead of stdout\n\
+         (JSON-lines unless --metrics says otherwise).\n\
+         --trace-out additionally records the interval timeline journal and\n\
+         writes it as Chrome-trace JSON (chrome://tracing, Perfetto);\n\
+         --timeline prints the journal as an aligned text timeline. With\n\
+         either flag on, replay routes freezable algorithms through the\n\
+         sharded engine even at P=1 so the stages are attributed (the\n\
+         report stays byte-identical).\n\
          profile replays <trace> through the sharded engine at P=1 and P=N\n\
-         (N from --threads, default the machine's parallelism) and prints\n\
-         the per-stage time breakdown: validate, freeze (with assist\n\
-         dispatch/stamp detail), detect, merge vs wall clock.",
+         (N from --threads, else FUTURERD_PAR_THREADS, else the machine's\n\
+         parallelism) and prints the per-stage time breakdown: validate,\n\
+         freeze (with assist dispatch/stamp detail), detect, merge vs wall\n\
+         clock. --json emits one machine-readable JSON line per profiled\n\
+         thread count instead of the tables.\n\
+         regress re-measures a representative smoke subset of the fig\n\
+         benches (same kernels, 1-iteration samples) and compares means\n\
+         against --against with noise-aware thresholds derived from the\n\
+         baseline's own min/max spread; it appends one line to the\n\
+         BENCH_trajectory.jsonl perf trajectory and exits non-zero when\n\
+         anything regressed. --from compares a saved --out document\n\
+         instead of re-measuring; --inflate <factor> scales the run's\n\
+         times (a harness self-test knob, used by CI to plant a known\n\
+         regression).",
         names = WorkloadKind::ALL.map(|k| k.name()).join("|")
     );
     std::process::exit(2);
@@ -168,6 +190,14 @@ struct Options {
     chunks: usize,
     store: Option<String>,
     metrics: Option<MetricsFormat>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    timeline: bool,
+    json: bool,
+    seeds: u64,
+    minutes: Option<u64>,
+    emit_corpus: Option<String>,
+    per_shape: usize,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -183,6 +213,14 @@ fn parse_options(args: &[String]) -> Options {
         chunks: 8,
         store: None,
         metrics: None,
+        metrics_out: None,
+        trace_out: None,
+        timeline: false,
+        json: false,
+        seeds: 100,
+        minutes: None,
+        emit_corpus: None,
+        per_shape: 2,
     };
     let mut size_default = false;
     let mut seed = None;
@@ -193,6 +231,16 @@ fn parse_options(args: &[String]) -> Options {
                 eprintln!("flag {flag} needs a value");
                 usage()
             })
+        };
+        let parse_count = |flag: &str, value: String| {
+            value
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a positive integer");
+                    usage()
+                })
         };
         match flag.as_str() {
             "--workload" => opts.workload = Some(parse_workload(&value())),
@@ -220,6 +268,14 @@ fn parse_options(args: &[String]) -> Options {
             flag if flag.starts_with("--metrics=") => {
                 opts.metrics = Some(parse_metrics_format(&flag["--metrics=".len()..]));
             }
+            "--metrics-out" => opts.metrics_out = Some(value()),
+            "--trace-out" => opts.trace_out = Some(value()),
+            "--timeline" => opts.timeline = true,
+            "--json" => opts.json = true,
+            "--seeds" => opts.seeds = parse_count(flag, value()),
+            "--minutes" => opts.minutes = Some(parse_count(flag, value())),
+            "--emit-corpus" => opts.emit_corpus = Some(value()),
+            "--per-shape" => opts.per_shape = parse_count(flag, value()) as usize,
             "--chunks" => {
                 opts.chunks = value()
                     .parse::<usize>()
@@ -253,6 +309,60 @@ fn parse_options(args: &[String]) -> Options {
         opts.params.seed = seed;
     }
     opts
+}
+
+/// Turns the recorders the parsed flags ask for on, before the command
+/// runs: `--metrics`/`--metrics-out` enable the span/metric recorder,
+/// `--trace-out`/`--timeline` additionally enable the interval journal.
+fn enable_observability(opts: &Options) {
+    if opts.metrics.is_some() || opts.metrics_out.is_some() {
+        futurerd_obs::set_enabled(true);
+    }
+    if opts.trace_out.is_some() || opts.timeline {
+        futurerd_obs::set_timeline_enabled(true);
+    }
+}
+
+/// Emits the recorded observability artifacts after the command ran:
+/// the metrics snapshot (to `--metrics-out` or stdout) and the interval
+/// timeline (`--timeline` text to stdout, `--trace-out` Chrome-trace
+/// JSON to a file). Returns `false` when a file could not be written.
+fn emit_observability(opts: &Options) -> bool {
+    let mut ok = true;
+    if let Some(path) = &opts.metrics_out {
+        // File artifacts default to JSON-lines (one parseable object per
+        // row) unless --metrics picked a format explicitly.
+        let rendered = render_metrics(opts.metrics.unwrap_or(MetricsFormat::Json));
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            ok = false;
+        } else {
+            println!("metrics written to {path}");
+        }
+    } else if let Some(format) = opts.metrics {
+        print!("{}", render_metrics(format));
+    }
+    if opts.trace_out.is_some() || opts.timeline {
+        let timeline = futurerd_obs::timeline();
+        if opts.timeline {
+            print!("{}", futurerd_obs::export_timeline_text(&timeline));
+        }
+        if let Some(path) = &opts.trace_out {
+            if let Err(e) = std::fs::write(path, futurerd_obs::export_chrome_trace(&timeline)) {
+                eprintln!("cannot write timeline to {path}: {e}");
+                ok = false;
+            } else {
+                let threads = timeline.utilization().len();
+                println!(
+                    "timeline written to {path}: {} interval(s) across {} thread(s), {} dropped",
+                    timeline.intervals.len(),
+                    threads,
+                    timeline.dropped,
+                );
+            }
+        }
+    }
+    ok
 }
 
 /// Runs `workload`/`mode` under an arbitrary observer — either the regular
@@ -421,9 +531,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         usage()
     }
     let opts = parse_options(rest);
-    if opts.metrics.is_some() {
-        futurerd_obs::set_enabled(true);
-    }
+    enable_observability(&opts);
     let algorithms: Vec<ReplayAlgorithm> = match opts.algorithm.as_deref() {
         None | Some("all") => vec![ReplayAlgorithm::MultiBags, ReplayAlgorithm::MultiBagsPlus],
         Some(name) => match ReplayAlgorithm::parse(name) {
@@ -491,11 +599,11 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         stats.rebalances,
         stats.invalidated_sidecars,
     );
-    if let Some(format) = opts.metrics {
+    if futurerd_obs::enabled() {
         stats.export_metrics("store");
-        print!("{}", render_metrics(format));
     }
-    if manifest.all_ok() {
+    let emitted = emit_observability(&opts);
+    if manifest.all_ok() && emitted {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -550,7 +658,11 @@ fn cmd_replay(opts: &Options) -> ExitCode {
             continue;
         }
         let start = Instant::now();
-        let sharded = opts.threads > 1 && algorithm.freezable();
+        // With the recorders on, route freezable algorithms through the
+        // two-pass engine even at P=1: the report is byte-identical (the
+        // determinism tests pin that) and the run gets stage-attributed
+        // spans/intervals instead of one opaque blob.
+        let sharded = (opts.threads > 1 || futurerd_obs::recording()) && algorithm.freezable();
         let report = if sharded {
             match par_replay_detect(&trace, algorithm, opts.threads) {
                 Ok(report) => report,
@@ -864,53 +976,11 @@ fn cmd_follow(opts: &Options) -> ExitCode {
 
 /// Differentially fuzzes the detector matrix on seeded generated programs,
 /// or (with `--emit-corpus`) regenerates the minimized fixture corpus.
-fn cmd_fuzz(args: &[String]) -> ExitCode {
-    let mut seeds: u64 = 100;
-    let mut minutes: Option<u64> = None;
-    let mut emit: Option<String> = None;
-    let mut per_shape: usize = 2;
-    let mut metrics: Option<MetricsFormat> = None;
-    let mut metrics_out: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("flag {flag} needs a value");
-                usage()
-            })
-        };
-        let parse_count = |flag: &str, value: String| {
-            value
-                .parse::<u64>()
-                .ok()
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("{flag} needs a positive integer");
-                    usage()
-                })
-        };
-        match flag.as_str() {
-            "--seeds" => seeds = parse_count(flag, value()),
-            "--minutes" => minutes = Some(parse_count(flag, value())),
-            "--emit-corpus" => emit = Some(value()),
-            "--per-shape" => per_shape = parse_count(flag, value()) as usize,
-            "--metrics" => metrics = Some(MetricsFormat::Text),
-            flag if flag.starts_with("--metrics=") => {
-                metrics = Some(parse_metrics_format(&flag["--metrics=".len()..]));
-            }
-            "--metrics-out" => metrics_out = Some(value()),
-            other => {
-                eprintln!("unknown flag '{other}'");
-                usage()
-            }
-        }
-    }
-    if metrics.is_some() || metrics_out.is_some() {
-        futurerd_obs::set_enabled(true);
-    }
-    if let Some(dir) = emit {
+fn cmd_fuzz(opts: &Options) -> ExitCode {
+    if let Some(dir) = &opts.emit_corpus {
         let start = Instant::now();
-        return match futurerd_fuzz::fixture::emit_corpus(std::path::Path::new(&dir), per_shape) {
+        return match futurerd_fuzz::fixture::emit_corpus(std::path::Path::new(dir), opts.per_shape)
+        {
             Ok(written) => {
                 println!(
                     "wrote {} minimized fixture(s) to {dir} in {:.2?}: {}",
@@ -926,28 +996,18 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             }
         };
     }
-    let opts = FuzzOptions {
-        deadline: minutes.map(|m| Instant::now() + Duration::from_secs(m * 60)),
+    let fuzz_opts = FuzzOptions {
+        deadline: opts
+            .minutes
+            .map(|m| Instant::now() + Duration::from_secs(m * 60)),
         ..FuzzOptions::default()
     };
     let start = Instant::now();
-    let summary = run_fuzz(0..seeds, &opts);
+    let summary = run_fuzz(0..opts.seeds, &fuzz_opts);
     for bug in &summary.real_bugs {
         eprintln!("  {bug}");
     }
     println!("{} ({:.2?})", summary.summary_line(), start.elapsed());
-    if let Some(path) = &metrics_out {
-        // File artifacts default to JSON-lines (one parseable object per
-        // row) unless --metrics picked a format explicitly.
-        let rendered = render_metrics(metrics.unwrap_or(MetricsFormat::Json));
-        if let Err(e) = std::fs::write(path, rendered) {
-            eprintln!("cannot write metrics to {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("metrics written to {path}");
-    } else if let Some(format) = metrics {
-        print!("{}", render_metrics(format));
-    }
     if summary.clean() {
         ExitCode::SUCCESS
     } else {
@@ -992,8 +1052,30 @@ fn print_profile(threads: usize, wall: Duration, snapshot: &futurerd_obs::Snapsh
     );
 }
 
+/// Renders one profiled point as a machine-readable JSON line (stages in
+/// snapshot — name-sorted — order).
+fn profile_json_line(threads: usize, wall: Duration, snapshot: &futurerd_obs::Snapshot) -> String {
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    let accounted = snapshot.total_ns_of(&["validate", "freeze", "detect", "merge"]);
+    let stages: Vec<String> = snapshot
+        .stages
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                row.name, row.stats.count, row.stats.total_ns, row.stats.min_ns, row.stats.max_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\"threads\":{threads},\"wall_ns\":{wall_ns},\"accounted_ns\":{accounted},\"stages\":[{}]}}",
+        stages.join(",")
+    )
+}
+
 /// Replays one trace through the sharded engine at P=1 and P=N with the
-/// span recorder on, printing the stage-time breakdown for each run.
+/// span recorder on, printing the stage-time breakdown for each run —
+/// as text tables, or with `--json` as one JSON line per thread count.
 fn cmd_profile(args: &[String]) -> ExitCode {
     let Some((path, rest)) = args.split_first() else {
         eprintln!("profile needs a trace file");
@@ -1019,19 +1101,36 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Default P: --threads wins, then FUTURERD_PAR_THREADS (the knob the
+    // test suites honor), then the machine's parallelism.
     let n = if opts.threads > 1 {
         opts.threads
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        std::env::var("FUTURERD_PAR_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
     };
-    println!(
+    // Status goes to stderr in --json mode so stdout stays parseable.
+    let status = |line: String| {
+        if opts.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    status(format!(
         "{path}: {} events; profiling {} at P=1 and P={n}",
         trace.len(),
         algorithm.name(),
-    );
+    ));
     futurerd_obs::set_enabled(true);
+    enable_observability(&opts);
     let points: &[usize] = if n == 1 { &[1] } else { &[1, n] };
     let mut race_counts = Vec::new();
     for &threads in points {
@@ -1045,18 +1144,193 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             }
         };
         let wall = start.elapsed();
-        print_profile(threads, wall, &futurerd_obs::snapshot());
+        if opts.json {
+            println!(
+                "{}",
+                profile_json_line(threads, wall, &futurerd_obs::snapshot())
+            );
+        } else {
+            print_profile(threads, wall, &futurerd_obs::snapshot());
+        }
         race_counts.push(report.race_count());
     }
     if race_counts.windows(2).any(|w| w[0] != w[1]) {
         eprintln!("MISMATCH: verdict changed with thread count (bug)");
         return ExitCode::FAILURE;
     }
-    println!(
-        "verdict: {} racy granules (identical at every P) ✓",
-        race_counts[0]
-    );
+    if opts.json {
+        println!(
+            "{{\"verdict\":{{\"races\":{},\"consistent\":true}}}}",
+            race_counts[0]
+        );
+    } else {
+        println!(
+            "verdict: {} racy granules (identical at every P) ✓",
+            race_counts[0]
+        );
+    }
+    // profile resets the recorders between thread counts, so the journal
+    // emitted here covers the last profiled point (P=n).
+    if !emit_observability(&opts) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// `regress`: re-measure the fig benches in smoke mode (or load a saved
+/// run with `--from`), compare against `--against` with noise-aware
+/// thresholds, append a perf-trajectory entry, and fail on regressions.
+fn cmd_regress(args: &[String]) -> ExitCode {
+    use futurerd_bench::regress;
+    let mut against: Option<String> = None;
+    let mut bench: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut from: Option<String> = None;
+    let mut samples: u32 = 5;
+    let mut inflate: f64 = 1.0;
+    let mut trajectory: Option<String> = None;
+    let mut no_trajectory = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--against" => against = Some(value()),
+            "--bench" => bench = Some(value()),
+            "--out" => out = Some(value()),
+            "--from" => from = Some(value()),
+            "--samples" => {
+                samples = value()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--samples needs a positive integer");
+                        usage()
+                    })
+            }
+            "--inflate" => {
+                inflate = value()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&f| f > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--inflate needs a positive factor");
+                        usage()
+                    })
+            }
+            "--trajectory" => trajectory = Some(value()),
+            "--no-trajectory" => no_trajectory = true,
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+    }
+    let Some(against) = against else {
+        eprintln!("regress needs --against <baseline.json>");
+        usage()
+    };
+    let baseline = match regress::load_results(&against) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group = bench.as_deref().map(regress::resolve_group);
+    let mut run = match &from {
+        Some(path) => match regress::load_results(path) {
+            Ok(doc) => doc.results,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => regress::smoke_results(bench.as_deref(), samples, |line| println!("  {line}")),
+    };
+    if let Some(group) = group {
+        let prefix = format!("{group}/");
+        run.retain(|r| r.id.starts_with(&prefix));
+    }
+    if run.is_empty() {
+        eprintln!(
+            "regress: nothing to compare{}",
+            bench
+                .map(|b| format!(" for --bench {b}"))
+                .unwrap_or_default()
+        );
+        return ExitCode::FAILURE;
+    }
+    if inflate != 1.0 {
+        println!("  (--inflate {inflate}: scaling this run's times — harness self-test)");
+        for r in &mut run {
+            let scale = |ns: u64| ((ns as f64) * inflate).min(u64::MAX as f64) as u64;
+            r.mean_ns = scale(r.mean_ns);
+            r.min_ns = scale(r.min_ns);
+            r.max_ns = scale(r.max_ns);
+        }
+    }
+    if let Some(path) = &out {
+        let doc = regress::format_results_doc(&run, "futurerd-trace regress smoke run");
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  run results written to {path}");
+    }
+    let baseline_ids: Vec<_> = match group {
+        Some(group) => {
+            let prefix = format!("{group}/");
+            baseline
+                .results
+                .iter()
+                .filter(|r| r.id.starts_with(&prefix))
+                .cloned()
+                .collect()
+        }
+        None => baseline.results.clone(),
+    };
+    let comparisons = regress::compare(&baseline_ids, &run);
+    print!("{}", regress::format_comparison(&comparisons));
+    println!(
+        "  (smoke subset: {} of {} baseline id(s) re-measured; full sweep: cargo bench)",
+        comparisons
+            .iter()
+            .filter(|c| c.baseline_mean_ns.is_some())
+            .count(),
+        baseline_ids.len(),
+    );
+    if !no_trajectory {
+        let path = trajectory.unwrap_or_else(|| "BENCH_trajectory.jsonl".to_string());
+        let source = if from.is_some() { "from" } else { "smoke" };
+        let entry = regress::trajectory_entry(&against, source, &comparisons);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, entry.as_bytes()));
+        match appended {
+            Ok(()) => println!("  trajectory entry appended to {path}"),
+            Err(e) => {
+                eprintln!("cannot append trajectory entry to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if comparisons
+        .iter()
+        .any(|c| c.verdict == regress::Verdict::Regressed)
+    {
+        eprintln!("regress: FAILED (regressions above the noise-aware threshold)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -1067,25 +1341,24 @@ fn main() -> ExitCode {
     if command == "batch" {
         return cmd_batch(rest);
     }
-    if command == "fuzz" {
-        return cmd_fuzz(rest);
-    }
     if command == "profile" {
         return cmd_profile(rest);
     }
-    let opts = parse_options(rest);
-    if opts.metrics.is_some() {
-        futurerd_obs::set_enabled(true);
+    if command == "regress" {
+        return cmd_regress(rest);
     }
+    let opts = parse_options(rest);
+    enable_observability(&opts);
     let code = match command.as_str() {
         "record" => cmd_record(&opts),
         "replay" => cmd_replay(&opts),
         "diff" => cmd_diff(&opts),
         "follow" => cmd_follow(&opts),
+        "fuzz" => cmd_fuzz(&opts),
         _ => usage(),
     };
-    if let Some(format) = opts.metrics {
-        print!("{}", render_metrics(format));
+    if !emit_observability(&opts) && code == ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
     }
     code
 }

@@ -44,6 +44,9 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod regress;
+
 use futurerd_core::detector::{InstrumentationOnly, RaceDetector, ReachabilityOnly};
 use futurerd_core::reachability::{MultiBags, MultiBagsPlus};
 use futurerd_core::ReachStats;

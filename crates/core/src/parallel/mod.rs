@@ -74,9 +74,18 @@ impl DetectExecutor for StdExecutor {
             }
             return;
         }
+        // Label the scoped threads only while observability is recording:
+        // labels register a per-thread buffer with the global registry, and
+        // an idle run should not pay that registration.
+        let label = futurerd_obs::recording();
         std::thread::scope(|scope| {
-            for task in tasks {
-                scope.spawn(task);
+            for (slot, task) in tasks.into_iter().enumerate() {
+                scope.spawn(move || {
+                    if label {
+                        futurerd_obs::set_thread_label(&format!("detect.{slot}"));
+                    }
+                    task();
+                });
             }
         });
     }

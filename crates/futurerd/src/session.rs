@@ -344,7 +344,7 @@ impl<'s> Session<'s> {
         mut engine: EngineState,
         summary: futurerd_runtime::exec::ExecutionSummary,
     ) -> (EngineState, Result<Detection<()>, Error>) {
-        let started = futurerd_obs::enabled().then(std::time::Instant::now);
+        let started = futurerd_obs::recording().then(std::time::Instant::now);
         let threads = self.config.threads;
         let shared_pool = (self.pool.is_none() && threads > 1).then(|| ThreadPool::shared(threads));
         let executor = match (self.pool, &shared_pool) {
@@ -407,15 +407,15 @@ impl<'s> Session<'s> {
         if let Some(started) = started {
             // The report's compute time, attributed to the path the routing
             // chose — span names must be `'static`, so map the kind onto
-            // the fixed `session.report.*` stage set.
-            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // the fixed `session.report.*` stage set. `record_stage` feeds
+            // both the aggregate stats and the interval journal.
             let stage = match path {
                 DetectionPath::Cold => "session.report.cold",
                 DetectionPath::WarmIndex => "session.report.warm_index",
                 DetectionPath::WarmCached => "session.report.warm_cached",
                 DetectionPath::Incremental { .. } => "session.report.incremental",
             };
-            futurerd_obs::record_duration_ns(stage, ns);
+            futurerd_obs::record_stage(stage, started);
             futurerd_obs::counter_add(&format!("session.path.{}", path.kind_key()), 1);
             detector_stats.export_metrics("detector");
             if let AnyExec::Pool(PoolExecutor(pool)) = &executor {
@@ -469,7 +469,7 @@ impl<'s> Session<'s> {
                 "SP-Bags cannot consume traces that contain futures",
             ));
         }
-        let started = futurerd_obs::enabled().then(std::time::Instant::now);
+        let started = futurerd_obs::recording().then(std::time::Instant::now);
         let mut observer = self.config.build_observer();
         futurerd_dag::trace::replay_events(self.trace.events(), &mut observer);
         let crate::Outcome {
@@ -478,8 +478,7 @@ impl<'s> Session<'s> {
             detector_stats,
         } = observer.into_outcome();
         if let Some(started) = started {
-            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            futurerd_obs::record_duration_ns("session.report.cold", ns);
+            futurerd_obs::record_stage("session.report.cold", started);
             futurerd_obs::counter_add("session.path.cold", 1);
             if let Some(stats) = &reach_stats {
                 stats.export_metrics("reach");

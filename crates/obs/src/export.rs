@@ -1,9 +1,11 @@
 //! Exporters rendering a [`Snapshot`] in three formats: a human text
 //! table, JSON lines (one object per row), and the Prometheus text
-//! exposition format. All three are pure functions of the snapshot, so
-//! the golden tests in `tests/golden.rs` pin their exact output.
+//! exposition format — plus two [`Timeline`] exporters: Chrome-trace
+//! JSON (loadable in `chrome://tracing` / Perfetto) and an aligned text
+//! timeline. All are pure functions of their input, so the golden tests
+//! in `tests/golden.rs` pin their exact output.
 
-use crate::{fmt_duration_ns, MetricKind, Snapshot};
+use crate::{fmt_duration_ns, MetricKind, Snapshot, Timeline};
 
 /// Renders the snapshot as an aligned human-readable table: a stage
 /// section (count / total / avg / min / max) followed by a metric
@@ -135,6 +137,127 @@ pub fn export_prometheus(snapshot: &Snapshot) -> String {
     out
 }
 
+/// Renders the timeline in the Chrome trace event format (the JSON
+/// object form: `{"traceEvents": [...]}`), loadable in
+/// `chrome://tracing` or Perfetto. Threads get deterministic `tid`s
+/// from their sorted labels, announced by `"M"` (`thread_name`)
+/// metadata events; every interval becomes one `"X"` complete event.
+/// `ts`/`dur` are microseconds as the format requires, but each event's
+/// `args` carries the exact `start_ns`/`end_ns`/`dur_ns`, so tooling
+/// (and the reconciliation test) can recover nanosecond stage totals
+/// without rounding error. The journal's drop counter rides along as
+/// `otherData.dropped`.
+pub fn export_chrome_trace(timeline: &Timeline) -> String {
+    let mut threads: Vec<&str> = timeline
+        .intervals
+        .iter()
+        .map(|i| i.thread.as_str())
+        .collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let tid_of = |label: &str| threads.iter().position(|t| *t == label).unwrap() as u64 + 1;
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, event: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  ");
+        out.push_str(&event);
+    };
+    for thread in &threads {
+        push_event(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":{}}}}}",
+                tid_of(thread),
+                json_string(thread)
+            ),
+        );
+    }
+    for interval in &timeline.intervals {
+        push_event(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":\"stage\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\
+                 \"args\":{{\"start_ns\":{},\"end_ns\":{},\"dur_ns\":{}}}}}",
+                json_string(interval.stage),
+                tid_of(&interval.thread),
+                micros(interval.start_ns),
+                micros(interval.duration_ns()),
+                interval.start_ns,
+                interval.end_ns,
+                interval.duration_ns(),
+            ),
+        );
+    }
+    out.push_str(&format!(
+        "\n],\"otherData\":{{\"dropped\":{}}}}}\n",
+        timeline.dropped
+    ));
+    out
+}
+
+/// Renders the timeline as an aligned text table ordered like the
+/// merged journal (`(start, thread, stage)`): one row per interval with
+/// start/end offsets and duration, then a drop-counter line when the
+/// rings lost intervals. An empty journal renders a placeholder line.
+pub fn export_timeline_text(timeline: &Timeline) -> String {
+    if timeline.is_empty() {
+        return "(no timeline intervals recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    if !timeline.intervals.is_empty() {
+        let thread_w = timeline
+            .intervals
+            .iter()
+            .map(|i| i.thread.len())
+            .chain(["thread".len()])
+            .max()
+            .unwrap();
+        let stage_w = timeline
+            .intervals
+            .iter()
+            .map(|i| i.stage.len())
+            .chain(["stage".len()])
+            .max()
+            .unwrap();
+        out.push_str(&format!(
+            "{:<thread_w$}  {:<stage_w$}  {:>14}  {:>14}  {:>12}\n",
+            "thread", "stage", "start_ns", "end_ns", "dur"
+        ));
+        for interval in &timeline.intervals {
+            out.push_str(&format!(
+                "{:<thread_w$}  {:<stage_w$}  {:>14}  {:>14}  {:>12}\n",
+                interval.thread,
+                interval.stage,
+                interval.start_ns,
+                interval.end_ns,
+                fmt_duration_ns(interval.duration_ns()),
+            ));
+        }
+    }
+    if timeline.dropped > 0 {
+        out.push_str(&format!(
+            "(ring buffers full: {} interval(s) dropped)\n",
+            timeline.dropped
+        ));
+    }
+    out
+}
+
+/// Formats nanoseconds as decimal microseconds with exactly three
+/// fractional digits — lossless for nanosecond inputs, and what Chrome
+/// trace viewers expect in `ts`/`dur`.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
 /// Escapes a string as a JSON string literal (quotes included).
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -196,5 +319,64 @@ mod tests {
         assert_eq!(export_text(&empty), "(no observability data recorded)\n");
         assert_eq!(export_json_lines(&empty), "");
         assert_eq!(export_prometheus(&empty), "");
+    }
+
+    fn sample_timeline() -> Timeline {
+        Timeline {
+            intervals: vec![
+                crate::Interval {
+                    thread: "main".to_string(),
+                    stage: "freeze",
+                    start_ns: 1_500,
+                    end_ns: 4_000,
+                },
+                crate::Interval {
+                    thread: "worker.0".to_string(),
+                    stage: "freeze.assist.stamp",
+                    start_ns: 2_000,
+                    end_ns: 3_250,
+                },
+            ],
+            dropped: 2,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_pinned() {
+        let out = export_chrome_trace(&sample_timeline());
+        assert_eq!(
+            out,
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n  \
+             {\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"main\"}},\n  \
+             {\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"worker.0\"}},\n  \
+             {\"ph\":\"X\",\"name\":\"freeze\",\"cat\":\"stage\",\"pid\":1,\"tid\":1,\"ts\":1.500,\"dur\":2.500,\
+             \"args\":{\"start_ns\":1500,\"end_ns\":4000,\"dur_ns\":2500}},\n  \
+             {\"ph\":\"X\",\"name\":\"freeze.assist.stamp\",\"cat\":\"stage\",\"pid\":1,\"tid\":2,\"ts\":2.000,\"dur\":1.250,\
+             \"args\":{\"start_ns\":2000,\"end_ns\":3250,\"dur_ns\":1250}}\n\
+             ],\"otherData\":{\"dropped\":2}}\n"
+        );
+    }
+
+    #[test]
+    fn timeline_text_is_aligned_and_reports_drops() {
+        let out = export_timeline_text(&sample_timeline());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("thread"));
+        assert!(lines[1].starts_with("main      freeze"));
+        assert!(lines[2].starts_with("worker.0  freeze.assist.stamp"));
+        assert_eq!(lines[3], "(ring buffers full: 2 interval(s) dropped)");
+        assert_eq!(
+            export_timeline_text(&Timeline::default()),
+            "(no timeline intervals recorded)\n"
+        );
+    }
+
+    #[test]
+    fn micros_is_lossless_decimal() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(1_000_001), "1000.001");
     }
 }

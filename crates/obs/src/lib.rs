@@ -45,38 +45,129 @@
 //! [`snapshot`] time. Pool workers call [`set_thread_label`] once at
 //! spawn; per-worker metrics embed the label in the metric name
 //! (`freeze.assist.units.worker.3`).
+//!
+//! ## Timeline journal
+//!
+//! On top of the aggregated [`StageStats`], an optional **interval
+//! timeline** ([`set_timeline_enabled`]) journals every closed span as a
+//! `(thread, stage, start_ns, end_ns)` [`Interval`] into a bounded
+//! per-thread ring. The ring is lossy: once a thread's ring holds
+//! [`timeline_capacity`] intervals, further intervals on that thread are
+//! counted (`obs.timeline.dropped`) and discarded — the hot path never
+//! blocks on a full journal and surviving intervals keep their order.
+//! [`timeline()`] merges the rings deterministically (sorted by
+//! `(start, thread, stage)`); see [`Timeline`] for the derived analyses
+//! (worker utilization, assist dispatch latency, partition overlap) and
+//! [`export::export_chrome_trace`] / [`export::export_timeline_text`]
+//! for the exporters.
 
 #![forbid(unsafe_code)]
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 pub mod export;
+pub mod timeline;
 
-pub use export::{export_json_lines, export_prometheus, export_text};
+pub use export::{
+    export_chrome_trace, export_json_lines, export_prometheus, export_text, export_timeline_text,
+};
+pub use timeline::{Interval, ParallelismProfile, Timeline, WorkerUtilization};
 
 // ---------------------------------------------------------------------------
-// Global enable flag
+// Global enable flags
 // ---------------------------------------------------------------------------
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit 0: aggregate recording (spans + metrics registry).
+const FLAG_METRICS: u8 = 1;
+/// Bit 1: interval timeline journaling.
+const FLAG_TIMELINE: u8 = 1 << 1;
 
-/// Turns recording on or off process-wide. Off by default.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+#[inline]
+fn flags() -> u8 {
+    FLAGS.load(Ordering::Relaxed)
+}
+
+fn set_flag(bit: u8, on: bool) {
+    if on {
+        FLAGS.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
+
+/// Turns aggregate recording (spans + metrics) on or off process-wide.
+/// Off by default.
 ///
 /// Disabling does not clear previously recorded data; use [`reset`] for a
 /// clean slate between measured sections.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_flag(FLAG_METRICS, on);
 }
 
-/// Whether recording is currently enabled (one relaxed atomic load —
-/// cheap enough for hot-path call sites to check directly).
+/// Whether aggregate recording is currently enabled (one relaxed atomic
+/// load — cheap enough for hot-path call sites to check directly).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    flags() & FLAG_METRICS != 0
+}
+
+/// Turns the interval timeline journal on or off process-wide. Off by
+/// default. Enabling pins the timeline epoch (the `start_ns = 0` origin)
+/// if it is not pinned yet.
+pub fn set_timeline_enabled(on: bool) {
+    if on {
+        epoch(); // pin the time origin before the first interval
+    }
+    set_flag(FLAG_TIMELINE, on);
+}
+
+/// Whether the interval timeline journal is currently enabled.
+#[inline]
+pub fn timeline_enabled() -> bool {
+    flags() & FLAG_TIMELINE != 0
+}
+
+/// Whether anything (aggregates or timeline) is recording — the single
+/// relaxed load every [`Span::enter`] pays while fully disabled.
+#[inline]
+pub fn recording() -> bool {
+    flags() != 0
+}
+
+// ---------------------------------------------------------------------------
+// Timeline epoch and capacity
+// ---------------------------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The timeline's time origin: all interval timestamps are nanoseconds
+/// since this instant. Pinned on first use (or when the timeline is first
+/// enabled) and never moves for the life of the process.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Default bound on intervals retained per thread.
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 65_536;
+
+static TIMELINE_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_TIMELINE_CAPACITY);
+
+/// Sets the per-thread interval ring bound (min 1). Intervals recorded
+/// past the bound are dropped and counted, never retained — shrinking the
+/// bound does not evict already-journaled intervals.
+pub fn set_timeline_capacity(capacity: usize) {
+    TIMELINE_CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// The current per-thread interval ring bound.
+pub fn timeline_capacity() -> usize {
+    TIMELINE_CAPACITY.load(Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------------------
@@ -140,11 +231,34 @@ impl StageStats {
 // Per-thread span buffers
 // ---------------------------------------------------------------------------
 
+/// One thread's bounded interval journal: recorded `(stage, start_ns,
+/// end_ns)` triples in close order, plus how many intervals arrived after
+/// the ring filled and were discarded.
+#[derive(Default)]
+struct TimelineRing {
+    intervals: Vec<(&'static str, u64, u64)>,
+    dropped: u64,
+}
+
+impl TimelineRing {
+    /// Journals one interval, or counts it as dropped once the ring is at
+    /// the configured bound. Dropping never disturbs retained intervals,
+    /// so survivors keep their recording order.
+    fn push(&mut self, stage: &'static str, start_ns: u64, end_ns: u64) {
+        if self.intervals.len() >= timeline_capacity() {
+            self.dropped += 1;
+        } else {
+            self.intervals.push((stage, start_ns, end_ns));
+        }
+    }
+}
+
 /// One thread's recording state. The mutexes are uncontended in steady
 /// state (only the owning thread writes; [`snapshot`]/[`reset`] briefly
 /// lock them from outside), so a span close is a CAS plus a map update.
 struct ThreadBuffer {
     stages: Mutex<HashMap<&'static str, StageStats>>,
+    timeline: Mutex<TimelineRing>,
     label: Mutex<Option<String>>,
 }
 
@@ -160,6 +274,7 @@ fn with_local_buffer<R>(f: impl FnOnce(&ThreadBuffer) -> R) -> R {
         let buf = slot.get_or_insert_with(|| {
             let buf = Arc::new(ThreadBuffer {
                 stages: Mutex::new(HashMap::new()),
+                timeline: Mutex::new(TimelineRing::default()),
                 label: Mutex::new(None),
             });
             BUFFERS.lock().unwrap().push(Arc::clone(&buf));
@@ -179,15 +294,54 @@ fn record_span(name: &'static str, ns: u64) {
     });
 }
 
+fn record_interval(name: &'static str, start_ns: u64, end_ns: u64) {
+    with_local_buffer(|buf| {
+        buf.timeline.lock().unwrap().push(name, start_ns, end_ns);
+    });
+}
+
+/// Folds one closed measurement into whatever layers are enabled: the
+/// aggregate [`StageStats`] (metrics bit) and the interval journal
+/// (timeline bit). `start` is the measurement's begin instant; the
+/// duration is computed once so the journaled interval and the aggregate
+/// total reconcile exactly, nanosecond for nanosecond.
+fn record_closed(name: &'static str, start: Instant) {
+    let flags = flags();
+    if flags == 0 {
+        return;
+    }
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if flags & FLAG_METRICS != 0 {
+        record_span(name, ns);
+    }
+    if flags & FLAG_TIMELINE != 0 {
+        let start_ns =
+            u64::try_from(start.saturating_duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX);
+        record_interval(name, start_ns, start_ns.saturating_add(ns));
+    }
+}
+
 /// Records a pre-measured duration under `name`, exactly as if a [`Span`]
 /// had timed it — for call sites where the stage name is only known after
 /// the fact (e.g. a session report labels its timing with the
 /// `DetectionPath` the routing chose). No-op while recording is disabled.
+///
+/// Aggregate-only: a bare duration has no position on the timeline. Call
+/// sites that hold the begin instant should use [`record_stage`] instead,
+/// which also journals the interval.
 pub fn record_duration_ns(name: &'static str, ns: u64) {
     if !enabled() {
         return;
     }
     record_span(name, ns);
+}
+
+/// Closes a measurement started at `start` under a stage name chosen
+/// after the fact: records the aggregate timing *and* journals the
+/// timeline interval, exactly as if a [`Span`] named `name` had been
+/// entered at `start` and dropped now. No-op while nothing is recording.
+pub fn record_stage(name: &'static str, start: Instant) {
+    record_closed(name, start);
 }
 
 /// Labels the calling thread for per-worker metric attribution
@@ -235,10 +389,11 @@ pub struct Span {
 }
 
 impl Span {
-    /// Starts timing `name` if recording is enabled.
+    /// Starts timing `name` if anything (aggregates or timeline) is
+    /// recording; the fully-disabled cost is one relaxed atomic load.
     #[inline]
     pub fn enter(name: &'static str) -> Span {
-        let active = enabled().then(|| (name, Instant::now()));
+        let active = recording().then(|| (name, Instant::now()));
         Span { active }
     }
 
@@ -251,8 +406,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((name, start)) = self.active.take() {
-            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            record_span(name, ns);
+            record_closed(name, start);
         }
     }
 }
@@ -409,12 +563,52 @@ pub fn snapshot() -> Snapshot {
     Snapshot { stages, metrics }
 }
 
-/// Clears all recorded spans and metrics. Buffers of threads that have
-/// exited are dropped; live threads keep their (now empty) buffers.
+/// Merges every thread's interval ring into one deterministic
+/// [`Timeline`]: intervals sorted by `(start_ns, thread, stage)`, plus the
+/// total number of intervals dropped by full rings. When any were
+/// dropped, the count is also surfaced in the metrics registry as the
+/// `obs.timeline.dropped` gauge so plain [`snapshot`] consumers see the
+/// journal was lossy.
+pub fn timeline() -> Timeline {
+    let mut intervals = Vec::new();
+    let mut dropped = 0u64;
+    for buf in BUFFERS.lock().unwrap().iter() {
+        let label = buf
+            .label
+            .lock()
+            .unwrap()
+            .clone()
+            .unwrap_or_else(|| "main".to_string());
+        let ring = buf.timeline.lock().unwrap();
+        dropped += ring.dropped;
+        for &(stage, start_ns, end_ns) in &ring.intervals {
+            intervals.push(Interval {
+                thread: label.clone(),
+                stage,
+                start_ns,
+                end_ns,
+            });
+        }
+    }
+    intervals
+        .sort_by(|a, b| (a.start_ns, &a.thread, a.stage).cmp(&(b.start_ns, &b.thread, b.stage)));
+    if dropped > 0 {
+        METRICS.lock().unwrap().insert(
+            "obs.timeline.dropped".to_string(),
+            (MetricKind::Gauge, dropped),
+        );
+    }
+    Timeline { intervals, dropped }
+}
+
+/// Clears all recorded spans, journaled intervals and metrics. Buffers of
+/// threads that have exited are dropped; live threads keep their (now
+/// empty) buffers.
 pub fn reset() {
     let mut buffers = BUFFERS.lock().unwrap();
     for buf in buffers.iter() {
         buf.stages.lock().unwrap().clear();
+        *buf.timeline.lock().unwrap() = TimelineRing::default();
     }
     // A strong count of 1 means the owning thread's `LOCAL` slot is gone:
     // the thread exited and the buffer can never fill again.

@@ -1,0 +1,152 @@
+//! Concurrency stress for the process-global obs registry: many threads
+//! hammering spans, counters, and gauges at once must never lose a
+//! counter increment, and the merged [`Snapshot`](futurerd_obs::Snapshot)
+//! must come out deterministic (name-sorted, identical across repeated
+//! snapshots of quiescent state) no matter how the threads interleaved.
+//!
+//! This file is its own integration-test binary, so it owns the global
+//! recorder for the whole process — no lock against other test files is
+//! needed, only against the `#[test]`s inside this file.
+
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Serializes the `#[test]`s in this binary (cargo runs them on threads).
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::set_timeline_enabled(false);
+    futurerd_obs::reset();
+    guard
+}
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 200;
+
+#[test]
+fn concurrent_recording_is_lossless_and_deterministic() {
+    let _guard = exclusive();
+    futurerd_obs::set_enabled(true);
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                futurerd_obs::set_thread_label(&format!("stress.{t}"));
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    // Spans: one shared stage (merges across threads) and
+                    // one per-thread nested stage.
+                    let _outer = futurerd_obs::Span::enter("stress.shared");
+                    let _inner = futurerd_obs::Span::enter("stress.shared.inner");
+                    // Counters: contended (same name from every thread)
+                    // and private (per-thread name). Every increment must
+                    // survive the interleaving.
+                    futurerd_obs::counter_add("stress.hits", 1);
+                    futurerd_obs::counter_add(&format!("stress.hits.worker.{t}"), 2);
+                    // Gauges: last write wins; the per-thread gauge ends
+                    // on the final round's value.
+                    futurerd_obs::gauge_set(&format!("stress.round.worker.{t}"), round as u64);
+                }
+            });
+        }
+    });
+
+    futurerd_obs::set_enabled(false);
+    let snap = futurerd_obs::snapshot();
+
+    // Counters are lossless: no increment lost under contention.
+    let total = (THREADS * ROUNDS) as u64;
+    assert_eq!(snap.metric("stress.hits"), Some(total));
+    for t in 0..THREADS {
+        assert_eq!(
+            snap.metric(&format!("stress.hits.worker.{t}")),
+            Some(2 * ROUNDS as u64),
+            "worker {t} lost counter increments"
+        );
+        assert_eq!(
+            snap.metric(&format!("stress.round.worker.{t}")),
+            Some(ROUNDS as u64 - 1),
+            "worker {t} gauge is not the final write"
+        );
+    }
+
+    // Spans merge losslessly too: every enter/drop pair is counted.
+    let shared = snap.stage("stress.shared").expect("shared stage recorded");
+    assert_eq!(shared.count, total);
+    assert!(shared.min_ns <= shared.max_ns);
+    assert!(shared.total_ns >= shared.max_ns);
+    let inner = snap
+        .stage("stress.shared.inner")
+        .expect("nested stage recorded");
+    assert_eq!(inner.count, total);
+
+    // Determinism: both sections name-sorted, and a second snapshot of the
+    // quiescent state is identical — merge order cannot depend on which
+    // thread registered its buffer first.
+    let stage_names: Vec<_> = snap.stages.iter().map(|s| s.name.clone()).collect();
+    let mut sorted = stage_names.clone();
+    sorted.sort();
+    assert_eq!(stage_names, sorted, "stages must be name-sorted");
+    let metric_names: Vec<_> = snap.metrics.iter().map(|m| m.name.clone()).collect();
+    let mut sorted = metric_names.clone();
+    sorted.sort();
+    assert_eq!(metric_names, sorted, "metrics must be name-sorted");
+    assert_eq!(snap, futurerd_obs::snapshot(), "repeat snapshot diverged");
+
+    futurerd_obs::reset();
+    assert!(futurerd_obs::snapshot().is_empty());
+}
+
+#[test]
+fn concurrent_timeline_journaling_keeps_per_thread_order() {
+    let _guard = exclusive();
+    futurerd_obs::set_timeline_enabled(true);
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                futurerd_obs::set_thread_label(&format!("journal.{t}"));
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    let _span = futurerd_obs::Span::enter("stress.journal");
+                }
+            });
+        }
+    });
+
+    futurerd_obs::set_timeline_enabled(false);
+    let timeline = futurerd_obs::timeline();
+    assert_eq!(timeline.dropped, 0, "default capacity fits this volume");
+    assert_eq!(timeline.intervals.len(), THREADS * ROUNDS);
+
+    // The merge is globally ordered by (start, thread, stage) — which in
+    // particular keeps each thread's own intervals in recording order,
+    // since one thread's consecutive spans have non-decreasing starts.
+    assert!(
+        timeline.intervals.windows(2).all(|w| {
+            (w[0].start_ns, &w[0].thread, w[0].stage) <= (w[1].start_ns, &w[1].thread, w[1].stage)
+        }),
+        "merged intervals out of (start, thread, stage) order"
+    );
+    let utilization = timeline.utilization();
+    assert_eq!(utilization.len(), THREADS);
+    for (t, util) in utilization.iter().enumerate() {
+        assert_eq!(util.thread, format!("journal.{t}"), "labels sorted");
+        assert_eq!(util.intervals, ROUNDS);
+    }
+
+    // Recording with the metrics bit off must leave the registry empty:
+    // the journal and the aggregates are independently gated.
+    assert!(
+        futurerd_obs::snapshot().stage("stress.journal").is_none(),
+        "timeline-only recording leaked into the aggregate registry"
+    );
+
+    futurerd_obs::reset();
+    assert!(futurerd_obs::timeline().is_empty());
+}

@@ -3,7 +3,11 @@
 //! byte of any detection output — same rendered report, same summary,
 //! same aggregated detector statistics, same serving path — over fuzz
 //! generator shapes, both paper algorithms, and P ∈ {1, 2, 8}, through
-//! both one-shot replay and chunked streaming sessions.
+//! both one-shot replay and chunked streaming sessions. The interval
+//! timeline journal is held to the same bar: on/off across the same
+//! matrix, and a full ring drops intervals (bumping the
+//! `obs.timeline.dropped` counter) without blocking detection or
+//! reordering the surviving intervals.
 //!
 //! Also pins the contrapositive (nothing is recorded while disabled) and
 //! sanity-checks that an enabled run actually records the documented
@@ -66,6 +70,35 @@ fn assert_invariant(
     on
 }
 
+/// As [`assert_invariant`], but the second run records the interval
+/// timeline journal (with metrics) instead of metrics alone.
+fn assert_timeline_invariant(
+    tag: &str,
+    detect: impl Fn() -> futurerd::Detection<()>,
+) -> futurerd::Detection<()> {
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::set_timeline_enabled(false);
+    futurerd_obs::reset();
+    let off = detect();
+    futurerd_obs::set_enabled(true);
+    futurerd_obs::set_timeline_enabled(true);
+    let on = detect();
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::set_timeline_enabled(false);
+    assert_eq!(
+        on.report().to_string(),
+        off.report().to_string(),
+        "{tag}: rendered report changed under the timeline journal"
+    );
+    assert_eq!(on.summary, off.summary, "{tag}: summary changed");
+    assert_eq!(
+        on.detector_stats, off.detector_stats,
+        "{tag}: detector stats changed"
+    );
+    assert_eq!(on.path, off.path, "{tag}: serving path changed");
+    on
+}
+
 #[test]
 fn one_shot_replay_is_byte_identical_with_metrics_on() {
     let _guard = exclusive();
@@ -109,6 +142,129 @@ fn chunked_sessions_are_byte_identical_with_metrics_on() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn one_shot_replay_is_byte_identical_with_timeline_on() {
+    let _guard = exclusive();
+    for (tag, trace) in shaped_traces() {
+        for algorithm in ALGORITHMS {
+            for threads in THREADS {
+                let config = Config::new().algorithm(algorithm).threads(threads);
+                let on = assert_timeline_invariant(
+                    &format!("{tag} {algorithm:?} P={threads} timeline"),
+                    || config.replay(&trace).expect("canonical trace"),
+                );
+                drop(on);
+            }
+        }
+    }
+}
+
+#[test]
+fn timeline_reconciles_with_snapshot_aggregates() {
+    let _guard = exclusive();
+    let program = generate_shaped(FuzzShape::General, 7);
+    let (trace, _) = record_spec(&program.spec);
+    let config = Config::general().threads(2);
+
+    futurerd_obs::set_enabled(true);
+    futurerd_obs::set_timeline_enabled(true);
+    futurerd_obs::reset();
+    config.replay(&trace).expect("canonical trace");
+    let snapshot = futurerd_obs::snapshot();
+    let timeline = futurerd_obs::timeline();
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::set_timeline_enabled(false);
+
+    assert_eq!(timeline.dropped, 0, "default capacity must not drop here");
+    assert!(!timeline.intervals.is_empty(), "journal must not be empty");
+    // With zero drops, per-stage interval sums must equal the snapshot's
+    // aggregate totals nanosecond for nanosecond — both views are written
+    // from the same measurement at span close.
+    if let Err(violations) = timeline.reconcile(&snapshot) {
+        panic!("timeline/snapshot reconciliation failed: {violations:?}");
+    }
+    // The merge ordering contract: (start, thread, stage).
+    assert!(
+        timeline.intervals.windows(2).all(|w| {
+            (w[0].start_ns, &w[0].thread, w[0].stage) <= (w[1].start_ns, &w[1].thread, w[1].stage)
+        }),
+        "merged intervals must be ordered by (start, thread, stage)"
+    );
+}
+
+#[test]
+fn full_ring_drops_newest_without_blocking_or_reordering() {
+    let _guard = exclusive();
+    futurerd_obs::set_enabled(false);
+    futurerd_obs::set_timeline_enabled(true);
+    futurerd_obs::reset();
+    futurerd_obs::set_timeline_capacity(3);
+
+    // Five deterministic spans on this thread; a capacity-3 ring must keep
+    // the first three in recording order and count the other two. Strictly
+    // increasing start instants keep the (start, thread, stage) merge order
+    // equal to recording order.
+    let stages = ["validate", "freeze", "detect", "merge", "detect.partition"];
+    let mut prev = std::time::Instant::now();
+    for stage in stages {
+        let mut started = std::time::Instant::now();
+        while started <= prev {
+            started = std::time::Instant::now();
+        }
+        futurerd_obs::record_stage(stage, started);
+        prev = started;
+    }
+    let timeline = futurerd_obs::timeline();
+    let snapshot = futurerd_obs::snapshot();
+    futurerd_obs::set_timeline_capacity(futurerd_obs::DEFAULT_TIMELINE_CAPACITY);
+    futurerd_obs::set_timeline_enabled(false);
+
+    assert_eq!(timeline.dropped, 2, "two intervals past the bound");
+    let survivors: Vec<&str> = timeline.intervals.iter().map(|i| i.stage).collect();
+    assert_eq!(
+        survivors,
+        vec!["validate", "freeze", "detect"],
+        "survivors must be the earliest intervals, order preserved"
+    );
+    assert_eq!(
+        snapshot.metric("obs.timeline.dropped"),
+        Some(2),
+        "drops must surface in the metrics registry"
+    );
+
+    // A lossy journal must also not block a full detection run: the ring
+    // stays at capacity, drops keep counting, detection output is intact.
+    futurerd_obs::set_timeline_enabled(true);
+    futurerd_obs::set_timeline_capacity(4);
+    let program = generate_shaped(FuzzShape::Pipeline, 1);
+    let (trace, _) = record_spec(&program.spec);
+    let config = Config::general().threads(2);
+    let lossy = config.replay(&trace).expect("canonical trace");
+    let full = futurerd_obs::timeline();
+    futurerd_obs::set_timeline_capacity(futurerd_obs::DEFAULT_TIMELINE_CAPACITY);
+    futurerd_obs::set_timeline_enabled(false);
+    futurerd_obs::reset();
+
+    let clean = config.replay(&trace).expect("canonical trace");
+    assert_eq!(
+        lossy.report().to_string(),
+        clean.report().to_string(),
+        "a saturated ring must not change detection output"
+    );
+    assert!(
+        full.dropped > 0,
+        "the tiny ring must have dropped intervals"
+    );
+    for util in full.utilization() {
+        assert!(
+            util.intervals <= 4,
+            "{}: ring bound exceeded ({} intervals)",
+            util.thread,
+            util.intervals
+        );
     }
 }
 
