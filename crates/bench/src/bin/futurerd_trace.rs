@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz|profile|regress> [options]\n\
+        "usage: futurerd-trace <record|replay|diff|batch|follow|fuzz|profile|regress|lint|check> [options]\n\
          \n\
          record --workload <{names}> --mode <structured|general> --out <path>\n\
         \x20       [--size <tiny|default>] [--seed <u64>] [--racy]\n\
@@ -70,6 +70,8 @@ fn usage() -> ! {
          regress --against <baseline.json> [--bench <name>] [--out <run.json>]\n\
         \x20       [--from <run.json>] [--samples <n>] [--inflate <factor>]\n\
         \x20       [--trajectory <path>] [--no-trajectory]\n\
+         lint   [--root <workspace>] [--self-test]\n\
+         check  [--preemptions <n>] [--max-executions <n>] [--skip-planted]\n\
          \n\
          --racy uses the workload's seeded-race variant (lcs only): the\n\
          recorded trace then carries a real determinacy race to detect.\n\
@@ -112,6 +114,19 @@ fn usage() -> ! {
          freeze (with assist dispatch/stamp detail), detect, merge vs wall\n\
          clock. --json emits one machine-readable JSON line per profiled\n\
          thread count instead of the tables.\n\
+         lint runs the workspace invariant linter (token-level, no rustc):\n\
+         unsafe allowlist + SAFETY comments, obs names against the\n\
+         futurerd-obs manifest, Relaxed orderings on policed atomics,\n\
+         Instant::now placement. Exit 0 ⇔ clean. --self-test lints the\n\
+         fabricated seeded-violation sources and fails unless every rule\n\
+         fires (CI's guard against a silently broken linter).\n\
+         check explores the shipped lock-free cores (chunk-index claim,\n\
+         latches, timeline journal, metrics registry) on the model shim —\n\
+         exhaustively at 2–3 threads unless --preemptions bounds the\n\
+         context switches. Planted-bug twins run first and must each be\n\
+         caught with a replayable schedule (--skip-planted omits them).\n\
+         Any invariant-violating schedule prints a replayable trace and\n\
+         the exit is non-zero.\n\
          regress re-measures a representative smoke subset of the fig\n\
          benches (same kernels, 1-iteration samples) and compares means\n\
          against --against with noise-aware thresholds derived from the\n\
@@ -1333,11 +1348,151 @@ fn cmd_regress(args: &[String]) -> ExitCode {
     }
 }
 
+/// `lint`: run the workspace invariant linter (token-level, no rustc).
+///
+/// Exit status is the gate: 0 when the tree is clean, 1 with a rendered
+/// violation list otherwise. `--self-test` instead lints the fabricated
+/// seeded-violation sources and fails unless every rule fires — CI runs
+/// it first so a silently broken linter cannot green the gate.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = String::from(".");
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().unwrap_or_else(|| usage()).clone(),
+            "--self-test" => self_test = true,
+            _ => usage(),
+        }
+    }
+    let config = futurerd_check::lint::LintConfig::repo();
+    let manifest = futurerd_obs::names::MANIFEST;
+    if self_test {
+        let report = futurerd_check::lint::seeded_violations(manifest, &config);
+        let mut missing = Vec::new();
+        for rule in futurerd_check::lint::Rule::ALL {
+            if !report.violations.iter().any(|v| v.rule == rule) {
+                missing.push(rule);
+            }
+        }
+        if missing.is_empty() {
+            println!(
+                "lint self-test: every rule fired on the seeded sources ({} violations)",
+                report.violations.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("lint self-test: rules failed to fire on seeded sources: {missing:?}");
+        eprintln!("{}", report.render());
+        return ExitCode::FAILURE;
+    }
+    match futurerd_check::lint::lint_workspace(std::path::Path::new(&root), manifest, &config) {
+        Ok(report) if report.ok() => {
+            println!("lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            eprint!("{}", report.render());
+            eprintln!("lint: {} violation(s)", report.violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: cannot read workspace under {root}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `check`: explore the shipped lock-free cores under the model shim.
+///
+/// Runs the planted-bug self-tests first (the explorer must catch every
+/// deliberately broken twin and hand back a replayable schedule), then
+/// the real-core suite. Any schedule violating a protocol invariant
+/// prints a replayable counterexample trace and exits non-zero.
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut config = futurerd_check::model::Config::exhaustive();
+    let mut planted = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preemptions" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.preemption_bound = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-executions" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.max_executions = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--skip-planted" => planted = false,
+            _ => usage(),
+        }
+    }
+    // The planted bodies panic on purpose inside the explorer (that is
+    // what "caught" means); keep the default hook from spraying
+    // backtraces and report payloads ourselves.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failed = false;
+    if planted {
+        for (name, run) in futurerd_check::selftest::all() {
+            match std::panic::catch_unwind(run) {
+                Ok(cex) => println!(
+                    "check planted:{name}: caught after {} executions (schedule len {})",
+                    cex.executions,
+                    cex.schedule.len()
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "check planted:{name}: explorer MISSED the planted bug\n{}",
+                        panic_message(&payload)
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    for (name, run) in futurerd_bench::checksuite::all() {
+        let config = config.clone();
+        match std::panic::catch_unwind(move || run(&config)) {
+            Ok(stats) => println!(
+                "check {name}: pass ({} executions, {} transitions, {} pruned)",
+                stats.executions, stats.transitions, stats.pruned
+            ),
+            Err(payload) => {
+                eprintln!("check {name}: FAIL\n{}", panic_message(&payload));
+                failed = true;
+            }
+        }
+    }
+    let _ = std::panic::take_hook();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Human text of a caught panic payload (the rendered counterexample).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         usage()
     };
+    if command == "lint" {
+        return cmd_lint(rest);
+    }
+    if command == "check" {
+        return cmd_check(rest);
+    }
     if command == "batch" {
         return cmd_batch(rest);
     }

@@ -222,8 +222,9 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
+                    // SAFETY: the input came in as a &str and `pos` only ever
+                    // advances by whole scalars, so the remaining bytes are
+                    // valid UTF-8 starting at a char boundary.
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checksuite;
 pub mod json;
 pub mod regress;
 

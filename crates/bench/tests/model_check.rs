@@ -1,0 +1,62 @@
+//! Bounded model-check of the shipped lock-free cores.
+//!
+//! Each test explores one real core (on the model shim) exhaustively at
+//! its small config — CI-sized bounds, well under the 2-minute budget.
+//! The planted-bug twins that prove the explorer *can* catch violations
+//! live in `futurerd-check`'s own `planted` suite; a schedule that
+//! breaks a shipped core here panics with a replayable trace.
+
+use futurerd_bench::checksuite;
+use futurerd_check::model::Config;
+
+#[test]
+fn chunk_index_exact_claims_two_threads() {
+    let stats = checksuite::chunk_index_exact_claims_2t(&Config::exhaustive());
+    assert!(
+        stats.executions >= 2,
+        "expected real branching, got {stats:?}"
+    );
+}
+
+#[test]
+fn chunk_index_exact_claims_three_threads() {
+    let stats = checksuite::chunk_index_exact_claims_3t(&Config::exhaustive());
+    assert!(
+        stats.executions >= 2,
+        "expected real branching, got {stats:?}"
+    );
+}
+
+#[test]
+fn chunk_index_drained_stays_drained() {
+    checksuite::chunk_index_drained_stays_drained(&Config::exhaustive());
+}
+
+#[test]
+fn timeline_journal_exact_drop_accounting() {
+    checksuite::timeline_journal_exact_drop_accounting(&Config::exhaustive());
+}
+
+#[test]
+fn metrics_registry_merge_lossless() {
+    checksuite::metrics_registry_merge_lossless(&Config::exhaustive());
+}
+
+#[test]
+fn spin_latch_publishes_result() {
+    checksuite::spin_latch_publishes_result(&Config::exhaustive());
+}
+
+#[test]
+fn count_latch_drains_exactly_once() {
+    checksuite::count_latch_drains_exactly_once(&Config::exhaustive());
+}
+
+#[test]
+fn full_suite_under_preemption_bound() {
+    // The nightly job raises the bounds; CI runs the bounded profile to
+    // stay inside the time budget. Both must pass.
+    for (name, stats) in checksuite::run_all(&Config::bounded(2)) {
+        assert!(stats.executions > 0, "{name} explored nothing");
+    }
+}

@@ -1,0 +1,349 @@
+//! Token-level source scanning: comment/string-aware line views.
+//!
+//! This is deliberately not a Rust parser. The linter needs exactly
+//! three things a lexer-grade pass can provide: code text with comments
+//! and string *contents* removed (so token searches don't false-match),
+//! the comment text per line (for `// SAFETY:` checks), and the string
+//! literals in order (for the obs-name manifest check) — each tagged
+//! with whether it sits inside a `#[cfg(test)]` item.
+
+/// One scanned source line.
+pub struct Line {
+    /// Source text with comments and string/char contents blanked
+    /// (quotes preserved, length not preserved for comments).
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A string literal with its location.
+pub struct StrLit {
+    /// 0-based line of the opening quote.
+    pub line: usize,
+    /// Literal contents (escapes left as written).
+    pub text: String,
+    /// Inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A scanned file.
+pub struct ScannedFile {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Per-line views.
+    pub lines: Vec<Line>,
+    /// All string literals in order of appearance.
+    pub strings: Vec<StrLit>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+}
+
+/// Scans `text` (the contents of `path`) into line views.
+pub fn scan(path: &str, text: &str) -> ScannedFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut strings: Vec<StrLit> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut cur_str = String::new();
+    let mut str_start_line = 0usize;
+    let mut state = State::Code;
+
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line_no = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            line_no += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            if let State::Str { .. } = state {
+                // Multi-line string: keep accumulating, blank the code.
+                cur_str.push('\n');
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str { raw_hashes: None };
+                        str_start_line = line_no;
+                        cur_str.clear();
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        // r"..."  r#"..."#  br"..."  b"..."
+                        let mut j = i;
+                        let mut has_r = false;
+                        while matches!(chars.get(j), Some('r') | Some('b')) {
+                            has_r |= chars[j] == 'r';
+                            code.push(chars[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        debug_assert_eq!(chars.get(j), Some(&'"'));
+                        code.push('"');
+                        j += 1;
+                        // A plain byte string (no `r`) still processes
+                        // escapes like a normal string.
+                        state = State::Str {
+                            raw_hashes: has_r.then_some(hashes),
+                        };
+                        str_start_line = line_no;
+                        cur_str.clear();
+                        i = j;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A lifetime is `'`
+                        // followed by an identifier NOT closed by `'`.
+                        if let Some((consumed, blanked)) = char_literal_len(&chars, i) {
+                            code.push('\'');
+                            for _ in 0..blanked {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i += consumed;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes: None } => {
+                if c == '\\' {
+                    cur_str.push(c);
+                    if let Some(&esc) = chars.get(i + 1) {
+                        cur_str.push(esc);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    strings.push(StrLit {
+                        line: str_start_line,
+                        text: std::mem::take(&mut cur_str),
+                        in_test: false,
+                    });
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur_str.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str {
+                raw_hashes: Some(hashes),
+            } => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    strings.push(StrLit {
+                        line: str_start_line,
+                        text: std::mem::take(&mut cur_str),
+                        in_test: false,
+                    });
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    cur_str.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+    let _ = line_no; // final flush; counter no longer needed
+
+    let mut file = ScannedFile {
+        path: path.to_string(),
+        lines,
+        strings,
+    };
+    mark_test_regions(&mut file);
+    file
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Accept `r"` `r#"` `b"` `br#"` …: [rb]{1,2} '#'* '"'. Guard
+    // against identifiers ending in r/b by requiring the previous char
+    // to not be part of an identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    while matches!(chars.get(j), Some('r') | Some('b')) {
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if chars.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// If position `i` (at a `'`) starts a char literal, returns
+/// `(chars consumed, interior chars blanked)`; `None` for a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let next = chars.get(i + 1)?;
+    if *next == '\\' {
+        // Escaped char literal: find the closing quote.
+        let mut j = i + 2;
+        if chars.get(j) == Some(&'u') {
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+        } else {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            return Some((j - i + 1, j - i - 1));
+        }
+        return None;
+    }
+    if (next.is_alphanumeric() || *next == '_') && chars.get(i + 2) != Some(&'\'') {
+        // `'static`, `'a` — a lifetime.
+        return None;
+    }
+    if chars.get(i + 2) == Some(&'\'') {
+        return Some((3, 1));
+    }
+    None
+}
+
+/// Marks lines (and the string literals on them) inside `#[cfg(test)]`
+/// items. Heuristic: from the attribute, the item extends to the end of
+/// its first balanced `{…}` block, or to a `;` at depth 0 if one comes
+/// first (attribute on a brace-less item).
+fn mark_test_regions(file: &mut ScannedFile) {
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        if !file.lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut started = false;
+        let mut j = i;
+        while j < n {
+            file.lines[j].in_test = true;
+            let mut terminated = false;
+            for ch in file.lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            terminated = true;
+                        }
+                    }
+                    ';' if !started && depth == 0 && j > i => {
+                        terminated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if terminated {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    for lit in &mut file.strings {
+        if file.lines.get(lit.line).is_some_and(|l| l.in_test) {
+            lit.in_test = true;
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Vector clocks for the model's happens-before tracking.
+
+/// A grow-on-demand vector clock indexed by model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// Component for `tid` (0 if never touched).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn grow(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Advances `tid`'s own component — called once per executed op.
+    pub fn bump(&mut self, tid: usize) {
+        self.grow(tid);
+        self.0[tid] += 1;
+    }
+
+    /// Element-wise max with `other` (acquire / join edge).
+    pub fn join(&mut self, other: &VClock) {
+        if other.0.is_empty() {
+            return;
+        }
+        self.grow(other.0.len() - 1);
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Clears every component (used to model a relaxed store breaking a
+    /// location's release history).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// Did the event with clock `ev` on thread `ev_tid` happen-before an
+/// observer whose clock is `observer`?
+pub(crate) fn happens_before(ev: &VClock, ev_tid: usize, observer: &VClock) -> bool {
+    ev.get(ev_tid) <= observer.get(ev_tid)
+}

@@ -1,0 +1,345 @@
+//! A mini-loom: exhaustive schedule exploration for code written
+//! against the [`sync`](crate::sync) shim.
+//!
+//! # Usage
+//!
+//! ```
+//! use futurerd_check::model::{self, Config};
+//! use futurerd_check::sync::{AtomicIntShim, AtomicShim, Ordering, SyncShim};
+//! use std::sync::Arc;
+//!
+//! let stats = model::check(&Config::default(), "counter", || {
+//!     let n = Arc::new(<model::ModelShim as SyncShim>::AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = model::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::AcqRel);
+//!     });
+//!     n.fetch_add(1, Ordering::AcqRel);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::Acquire), 2);
+//! });
+//! assert!(stats.executions >= 2); // both interleavings visited
+//! ```
+//!
+//! The body runs many times, once per explored schedule; it must be
+//! deterministic apart from scheduling (create all shared state inside
+//! the closure). On failure — a panicked assertion, a data race on a
+//! [`CheckCell`], a deadlock or livelock — exploration stops and the
+//! failing schedule comes back as a [`Counterexample`] that
+//! [`replay`] can re-execute step for step.
+//!
+//! # State-space bounds
+//!
+//! Exploration is exhaustive up to two sound reductions (sleep sets and
+//! spin-stutter filtering, see `rt`-internal docs) and one optional
+//! unsound-but-complete-in-practice cut: a preemption bound
+//! ([`Config::preemption_bound`]), counting the schedule points where a
+//! thread was switched away from while still runnable. Two-thread
+//! targets are cheap to run unbounded; three-thread targets explode and
+//! are bounded in CI, with nightly raising the bound.
+
+mod clock;
+mod rt;
+mod shim;
+pub mod thread;
+
+use std::sync::Arc;
+
+pub use shim::{CheckCell, ModelAtomic, ModelMutex, ModelShim};
+
+use rt::{Mode, NewNode, PrefixStep, Tid};
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of preemptive context switches per schedule
+    /// (`None` = unbounded ⇒ fully exhaustive modulo sound pruning).
+    pub preemption_bound: Option<usize>,
+    /// Abort exploration after this many executions.
+    pub max_executions: u64,
+    /// Per-execution transition budget (runaway/livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            max_executions: 500_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Config {
+    /// Unbounded exhaustive exploration.
+    pub fn exhaustive() -> Self {
+        Self::default()
+    }
+
+    /// Exploration with at most `n` preemptions per schedule.
+    pub fn bounded(n: usize) -> Self {
+        Self {
+            preemption_bound: Some(n),
+            ..Self::default()
+        }
+    }
+}
+
+/// A failing schedule with everything needed to reproduce and read it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// What went wrong (assertion message, race report, deadlock…).
+    pub message: String,
+    /// The scheduling decisions, in order: `schedule[i]` is the thread
+    /// id chosen at the i-th scheduling point. Feed to [`replay`].
+    pub schedule: Vec<usize>,
+    /// Human-readable op-level trace of the failing execution.
+    pub trace: Vec<String>,
+    /// Executions performed before the failure was found.
+    pub executions: u64,
+}
+
+impl Counterexample {
+    /// Multi-line report: message, schedule, trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model check failed (execution #{}): {}\n",
+            self.executions, self.message
+        ));
+        out.push_str(&format!("schedule: {}\n", fmt_schedule(&self.schedule)));
+        out.push_str("trace:\n");
+        for (i, ev) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  {i:>3}  {ev}\n"));
+        }
+        out
+    }
+
+    /// Serializes the schedule as a committed regression fixture.
+    pub fn to_fixture(&self, target: &str) -> String {
+        let first_line = self.message.lines().next().unwrap_or("");
+        format!(
+            "# futurerd-check counterexample schedule\n\
+             # target: {target}\n\
+             # reproduces: {first_line}\n\
+             schedule: {}\n",
+            fmt_schedule(&self.schedule)
+        )
+    }
+}
+
+fn fmt_schedule(schedule: &[usize]) -> String {
+    schedule
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses a fixture produced by [`Counterexample::to_fixture`].
+///
+/// Returns `None` if no `schedule:` line is present or it fails to
+/// parse.
+pub fn parse_fixture(text: &str) -> Option<Vec<usize>> {
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("schedule:") {
+            let mut out = Vec::new();
+            for tok in rest.split_whitespace() {
+                out.push(tok.parse().ok()?);
+            }
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Statistics from a passing exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct PassStats {
+    /// Distinct schedules executed.
+    pub executions: u64,
+    /// Total transitions across all executions.
+    pub transitions: u64,
+    /// Executions cut short by sleep-set pruning (a measure of how much
+    /// redundant interleaving DPOR removed).
+    pub pruned: u64,
+}
+
+/// Result of [`explore`].
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every schedule (within bounds) upheld every invariant.
+    Pass(PassStats),
+    /// A schedule failed; counterexample attached.
+    Fail(Box<Counterexample>),
+    /// `max_executions` hit before the state space was exhausted.
+    Incomplete {
+        /// Executions performed before giving up.
+        executions: u64,
+    },
+}
+
+struct PathNode {
+    inner: NewNode,
+    explored: Vec<Tid>,
+}
+
+/// Explores every schedule of `body` within `config`'s bounds.
+pub fn explore<F>(config: &Config, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut path: Vec<PathNode> = Vec::new();
+    let mut executions = 0u64;
+    let mut transitions = 0u64;
+    let mut pruned = 0u64;
+
+    loop {
+        let prefix: Vec<PrefixStep> = path
+            .iter()
+            .map(|n| PrefixStep {
+                chosen: n.inner.chosen,
+                sleep_entry: n.inner.sleep_entry.clone(),
+                explored: n.explored.clone(),
+            })
+            .collect();
+        let res = rt::run_once(
+            Arc::clone(&body),
+            Mode::Explore {
+                prefix,
+                bound: config.preemption_bound,
+            },
+            config.max_steps,
+        );
+        executions += 1;
+        transitions += res.schedule.len() as u64;
+        pruned += res.pruned as u64;
+
+        if let Some(message) = res.failure {
+            return Outcome::Fail(Box::new(Counterexample {
+                message,
+                schedule: res.schedule,
+                trace: res.trace,
+                executions,
+            }));
+        }
+
+        path.extend(res.new_nodes.into_iter().map(|inner| PathNode {
+            inner,
+            explored: Vec::new(),
+        }));
+
+        // Depth-first backtrack: mark the deepest node's choice
+        // explored and move to its next viable sibling; pop when none.
+        loop {
+            let Some(node) = path.last_mut() else {
+                return Outcome::Pass(PassStats {
+                    executions,
+                    transitions,
+                    pruned,
+                });
+            };
+            let chosen = node.inner.chosen;
+            node.explored.push(chosen);
+            if let Some(next) = next_choice(node, config.preemption_bound) {
+                node.inner.chosen = next;
+                break;
+            }
+            path.pop();
+        }
+
+        if executions >= config.max_executions {
+            return Outcome::Incomplete { executions };
+        }
+    }
+}
+
+/// Next unexplored, non-sleeping, bound-respecting sibling at `node`.
+fn next_choice(node: &PathNode, bound: Option<usize>) -> Option<Tid> {
+    for (t, _op) in &node.inner.enabled {
+        if node.explored.contains(t) || node.inner.sleep_entry.contains(t) {
+            continue;
+        }
+        if let (Some(b), Some(prev)) = (bound, node.inner.prev) {
+            let prev_enabled = node.inner.enabled.iter().any(|(e, _)| *e == prev);
+            if prev_enabled && *t != prev && node.inner.preemptions_entry >= b {
+                continue;
+            }
+        }
+        return Some(*t);
+    }
+    None
+}
+
+/// Re-executes `body` under a recorded schedule. Returns the failure it
+/// reproduces, or `None` if the run passes.
+pub fn replay<F>(body: F, schedule: &[usize]) -> Option<Counterexample>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let res = rt::run_once(
+        body,
+        Mode::Replay {
+            schedule: schedule.to_vec(),
+        },
+        Config::default().max_steps,
+    );
+    res.failure.map(|message| Counterexample {
+        message,
+        schedule: res.schedule,
+        trace: res.trace,
+        executions: 1,
+    })
+}
+
+/// Explores and panics with a rendered counterexample on failure or an
+/// incomplete search; returns pass statistics otherwise.
+///
+/// The go-to entry point for `#[test]`s.
+pub fn check<F>(config: &Config, name: &str, body: F) -> PassStats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(config, body) {
+        Outcome::Pass(stats) => stats,
+        Outcome::Fail(cex) => panic!("[{name}] {}", cex.render()),
+        Outcome::Incomplete { executions } => panic!(
+            "[{name}] exploration incomplete after {executions} executions; \
+             raise Config::max_executions or tighten the config"
+        ),
+    }
+}
+
+/// Explores expecting a failure (planted-bug self-tests): panics if the
+/// body checks out clean, and verifies the counterexample is actually
+/// replayable before returning it.
+pub fn assert_fails<F>(config: &Config, name: &str, body: F) -> Counterexample
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    match explore(config, body.clone()) {
+        Outcome::Fail(cex) => {
+            let replayed = replay(body, &cex.schedule).unwrap_or_else(|| {
+                panic!(
+                    "[{name}] counterexample schedule did not reproduce on replay:\n{}",
+                    cex.render()
+                )
+            });
+            assert_eq!(
+                replayed.message, cex.message,
+                "[{name}] replay reproduced a different failure"
+            );
+            *cex
+        }
+        Outcome::Pass(stats) => panic!(
+            "[{name}] expected the planted bug to be caught, but {} executions passed",
+            stats.executions
+        ),
+        Outcome::Incomplete { executions } => panic!(
+            "[{name}] exploration incomplete after {executions} executions without finding the planted bug"
+        ),
+    }
+}

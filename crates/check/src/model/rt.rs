@@ -1,0 +1,612 @@
+//! The model runtime: one execution of the body under a controlled
+//! schedule.
+//!
+//! Every model thread is a real OS thread, but exactly one runs at a
+//! time — a baton protocol over one mutex + condvar. A thread reaching a
+//! shim operation parks itself as `Waiting(op)`, picks the next runner
+//! (it has the global view: everyone else is already parked), and blocks
+//! until the baton comes back. The scheduling decision at each step is
+//! either forced (replaying a DFS prefix or a counterexample schedule)
+//! or free, in which case the step is recorded as a [`NewNode`] for the
+//! explorer to backtrack over.
+//!
+//! Pruning implemented here, both sound:
+//!
+//! * **sleep sets** (DPOR): a choice already explored at a node stays
+//!   asleep in the subtree of later siblings until a dependent operation
+//!   wakes it; if every enabled thread is asleep the whole subtree is
+//!   covered and the run aborts as `pruned`.
+//! * **stutter filtering**: a pending atomic load of a location whose
+//!   version is unchanged since the same thread's last load of it is
+//!   never scheduled while anything else is enabled — rescheduling a
+//!   no-op spin iteration cannot change any future state. This is what
+//!   keeps spin-wait loops (latches) finite under exhaustive search.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use super::clock::VClock;
+
+pub(crate) type Tid = usize;
+pub(crate) type LocId = usize;
+
+/// What a parked thread wants to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First transition of a freshly spawned thread.
+    Start,
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Atomic read-modify-write (swap / compare_exchange / fetch_*).
+    Rmw,
+    /// Mutex acquisition (unlock is not a scheduling point: it only
+    /// *enables* waiters, and commutes with every other enabled op).
+    Lock,
+    /// Non-atomic read of a [`CheckCell`](super::CheckCell).
+    CellRead,
+    /// Non-atomic write of a [`CheckCell`](super::CheckCell).
+    CellWrite,
+    /// Join on the thread with the given id.
+    Join(Tid),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingOp {
+    pub kind: OpKind,
+    pub loc: Option<LocId>,
+}
+
+/// Two enabled ops are independent iff executing them in either order
+/// yields the same state: different locations always commute, and reads
+/// of the same location commute with each other.
+fn independent(a: &PendingOp, b: &PendingOp) -> bool {
+    match (a.loc, b.loc) {
+        (Some(la), Some(lb)) if la == lb => {
+            let read = |k: OpKind| matches!(k, OpKind::Load | OpKind::CellRead);
+            read(a.kind) && read(b.kind)
+        }
+        _ => true,
+    }
+}
+
+pub(crate) enum LocKind {
+    Atomic {
+        value: u64,
+    },
+    Mutex {
+        held_by: Option<Tid>,
+    },
+    Cell {
+        last_write: Option<(Tid, VClock)>,
+        reads: Vec<(Tid, VClock)>,
+    },
+}
+
+pub(crate) struct Loc {
+    pub label: String,
+    pub kind: LocKind,
+    /// Release clock of the location: joined by acquire loads / lock.
+    pub sync: VClock,
+    /// Bumped on every state change; drives stutter filtering.
+    pub version: u64,
+}
+
+pub(crate) enum Status {
+    Waiting(PendingOp),
+    Running,
+    Finished,
+}
+
+pub(crate) struct ThreadInfo {
+    pub status: Status,
+    pub clock: VClock,
+    /// `(loc, version seen)` of the thread's latest executed atomic
+    /// load, if its last op was a load.
+    pub last_load: Option<(LocId, u64)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Phase {
+    Running(Tid),
+    Stopped,
+}
+
+/// A scheduling decision made beyond the forced prefix, recorded for
+/// the explorer.
+pub(crate) struct NewNode {
+    /// Enabled, non-stuttering candidates at this point (pre preemption
+    /// bound — the explorer applies the bound when picking siblings).
+    pub enabled: Vec<(Tid, PendingOp)>,
+    pub chosen: Tid,
+    pub sleep_entry: Vec<Tid>,
+    pub prev: Option<Tid>,
+    pub preemptions_entry: usize,
+}
+
+/// Forced replay of one explorer path node.
+pub(crate) struct PrefixStep {
+    pub chosen: Tid,
+    pub sleep_entry: Vec<Tid>,
+    pub explored: Vec<Tid>,
+}
+
+pub(crate) enum Mode {
+    Explore {
+        prefix: Vec<PrefixStep>,
+        bound: Option<usize>,
+    },
+    Replay {
+        schedule: Vec<Tid>,
+    },
+}
+
+pub(crate) struct RunState {
+    pub phase: Phase,
+    pub threads: Vec<ThreadInfo>,
+    pub locs: Vec<Loc>,
+    pub trace: Vec<String>,
+    pub schedule: Vec<Tid>,
+    pub new_nodes: Vec<NewNode>,
+    pub failure: Option<String>,
+    pub pruned: bool,
+    mode: Mode,
+    cur_sleep: Vec<Tid>,
+    preemptions: usize,
+    prev_running: Option<Tid>,
+    depth: usize,
+    steps_left: usize,
+    pub handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Run {
+    pub state: Mutex<RunState>,
+    pub cv: Condvar,
+}
+
+/// Panic payload used to unwind a model thread when the run is over
+/// (prune or failure elsewhere); caught by the thread wrapper.
+pub(crate) struct AbortToken;
+
+pub(crate) fn lock(run: &Run) -> MutexGuard<'_, RunState> {
+    run.state
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Run>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with the current model thread's run handle and id.
+///
+/// Panics with a clear message when a model primitive is used outside
+/// `model::explore`.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Run>, Tid) -> R) -> R {
+    CTX.with(|c| {
+        let borrowed = c.borrow();
+        let (run, tid) = borrowed
+            .as_ref()
+            .expect("futurerd-check model primitive used outside model::explore");
+        f(run, *tid)
+    })
+}
+
+impl RunState {
+    fn is_stopped(&self) -> bool {
+        self.phase == Phase::Stopped
+    }
+
+    /// Stops the run: wakes everyone so parked threads can unwind.
+    pub fn stop(&mut self, cv: &Condvar) {
+        self.phase = Phase::Stopped;
+        cv.notify_all();
+    }
+
+    /// Records a protocol/model failure (first one wins).
+    pub fn fail(&mut self, tid: Tid, message: impl Into<String>) {
+        if self.failure.is_none() {
+            let message = message.into();
+            self.trace.push(format!("t{tid}: FAILURE: {message}"));
+            self.failure = Some(message);
+        }
+    }
+
+    /// Per-executed-op bookkeeping: advance the thread's clock and clear
+    /// its load memory (loads re-set it afterwards).
+    pub fn begin_op(&mut self, me: Tid) {
+        self.threads[me].clock.bump(me);
+        self.threads[me].last_load = None;
+    }
+
+    pub fn trace_ev(&mut self, me: Tid, text: impl Into<String>) {
+        self.trace.push(format!("t{me}: {}", text.into()));
+    }
+
+    pub fn alloc_loc(&mut self, loc: Loc) -> LocId {
+        self.locs.push(loc);
+        self.locs.len() - 1
+    }
+
+    fn op_enabled(&self, op: &PendingOp) -> bool {
+        match op.kind {
+            OpKind::Lock => {
+                let loc = op.loc.expect("lock op carries a location");
+                match self.locs[loc].kind {
+                    LocKind::Mutex { held_by } => held_by.is_none(),
+                    _ => unreachable!("lock on non-mutex location"),
+                }
+            }
+            OpKind::Join(target) => matches!(self.threads[target].status, Status::Finished),
+            _ => true,
+        }
+    }
+
+    fn is_stutter(&self, tid: Tid, op: &PendingOp) -> bool {
+        if op.kind != OpKind::Load {
+            return false;
+        }
+        let loc = op.loc.expect("load op carries a location");
+        matches!(
+            self.threads[tid].last_load,
+            Some((l, v)) if l == loc && self.locs[loc].version == v
+        )
+    }
+
+    fn op_desc(&self, op: &PendingOp) -> String {
+        let at = op
+            .loc
+            .map(|l| format!(" on {}", self.locs[l].label))
+            .unwrap_or_default();
+        format!("{:?}{at}", op.kind)
+    }
+
+    /// Picks and wakes the next thread. Called with every thread parked
+    /// (the previous runner just transitioned to `Waiting`/`Finished`).
+    pub fn schedule_next(&mut self, cv: &Condvar) {
+        if self.is_stopped() {
+            return;
+        }
+        if self.failure.is_some() {
+            self.stop(cv);
+            return;
+        }
+
+        let mut enabled: Vec<(Tid, PendingOp)> = Vec::new();
+        let mut stuttering: Vec<(Tid, PendingOp)> = Vec::new();
+        let mut blocked: Vec<(Tid, PendingOp)> = Vec::new();
+        let mut any_unfinished = false;
+        for (tid, th) in self.threads.iter().enumerate() {
+            match &th.status {
+                Status::Waiting(op) => {
+                    any_unfinished = true;
+                    if !self.op_enabled(op) {
+                        blocked.push((tid, *op));
+                    } else if self.is_stutter(tid, op) {
+                        stuttering.push((tid, *op));
+                    } else {
+                        enabled.push((tid, *op));
+                    }
+                }
+                Status::Running => {
+                    unreachable!("schedule_next while t{tid} is running")
+                }
+                Status::Finished => {}
+            }
+        }
+
+        if !any_unfinished {
+            self.stop(cv);
+            return;
+        }
+        if enabled.is_empty() {
+            // Stutter-only means every runnable transition is a spin
+            // iteration that cannot change state: a livelock. No
+            // runnable transition at all is a deadlock.
+            let stuck: Vec<String> = stuttering
+                .iter()
+                .map(|(t, op)| format!("t{t} spinning: {}", self.op_desc(op)))
+                .chain(
+                    blocked
+                        .iter()
+                        .map(|(t, op)| format!("t{t} blocked: {}", self.op_desc(op))),
+                )
+                .collect();
+            let kind = if stuttering.is_empty() {
+                "deadlock"
+            } else {
+                "livelock"
+            };
+            self.fail(usize::MAX, format!("{kind}: {}", stuck.join("; ")));
+            // Re-attribute: failure already traced with tid MAX; fine.
+            self.stop(cv);
+            return;
+        }
+        if self.steps_left == 0 {
+            self.fail(
+                usize::MAX,
+                "transition budget exhausted (raise Config::max_steps or suspect livelock)",
+            );
+            self.stop(cv);
+            return;
+        }
+        self.steps_left -= 1;
+
+        let depth = self.depth;
+        self.depth += 1;
+
+        let chosen: Tid;
+        match &self.mode {
+            Mode::Replay { schedule } => {
+                if depth < schedule.len() {
+                    let want = schedule[depth];
+                    if !enabled.iter().any(|(t, _)| *t == want)
+                        && !stuttering.iter().any(|(t, _)| *t == want)
+                    {
+                        self.fail(
+                            usize::MAX,
+                            format!("replay diverged: schedule step {depth} wants t{want}, not runnable"),
+                        );
+                        self.stop(cv);
+                        return;
+                    }
+                    chosen = want;
+                } else {
+                    chosen = enabled[0].0;
+                }
+            }
+            Mode::Explore { prefix, bound } => {
+                let bound = *bound;
+                if depth < prefix.len() {
+                    let step = &prefix[depth];
+                    chosen = step.chosen;
+                    if !enabled.iter().any(|(t, _)| *t == chosen) {
+                        self.fail(
+                            usize::MAX,
+                            format!(
+                                "internal: non-deterministic body? prefix step {depth} wants t{chosen}, not enabled"
+                            ),
+                        );
+                        self.stop(cv);
+                        return;
+                    }
+                    // Child sleep set = (entry sleep ∪ explored siblings)
+                    // minus the chosen thread, filtered to ops
+                    // independent of the chosen op.
+                    let chosen_op = enabled.iter().find(|(t, _)| *t == chosen).unwrap().1;
+                    let base: BTreeSet<Tid> = step
+                        .sleep_entry
+                        .iter()
+                        .chain(step.explored.iter())
+                        .copied()
+                        .collect();
+                    self.cur_sleep = self.filter_sleep(base, chosen, &chosen_op);
+                } else {
+                    // Free choice: record a node for the explorer.
+                    let mut candidates: Vec<Tid> = enabled.iter().map(|(t, _)| *t).collect();
+                    if let (Some(b), Some(prev)) = (bound, self.prev_running) {
+                        if self.preemptions >= b && candidates.contains(&prev) {
+                            candidates.retain(|t| *t == prev);
+                        }
+                    }
+                    let Some(pick) = candidates
+                        .iter()
+                        .copied()
+                        .find(|t| !self.cur_sleep.contains(t))
+                    else {
+                        // Everything enabled is asleep: subtree covered.
+                        self.pruned = true;
+                        self.stop(cv);
+                        return;
+                    };
+                    chosen = pick;
+                    self.new_nodes.push(NewNode {
+                        enabled: enabled.clone(),
+                        chosen,
+                        sleep_entry: self.cur_sleep.clone(),
+                        prev: self.prev_running,
+                        preemptions_entry: self.preemptions,
+                    });
+                    let chosen_op = enabled.iter().find(|(t, _)| *t == chosen).unwrap().1;
+                    let base: BTreeSet<Tid> = self.cur_sleep.iter().copied().collect();
+                    self.cur_sleep = self.filter_sleep(base, chosen, &chosen_op);
+                }
+                if let Some(prev) = self.prev_running {
+                    if chosen != prev && enabled.iter().any(|(t, _)| *t == prev) {
+                        self.preemptions += 1;
+                    }
+                }
+            }
+        }
+
+        self.schedule.push(chosen);
+        self.prev_running = Some(chosen);
+        self.phase = Phase::Running(chosen);
+        cv.notify_all();
+    }
+
+    fn filter_sleep(&self, base: BTreeSet<Tid>, chosen: Tid, chosen_op: &PendingOp) -> Vec<Tid> {
+        base.into_iter()
+            .filter(|s| {
+                if *s == chosen {
+                    return false;
+                }
+                match &self.threads[*s].status {
+                    Status::Waiting(op) => independent(op, chosen_op),
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+/// Parks until the baton points at `me`, then marks it running.
+/// Unwinds with [`AbortToken`] if the run stops first.
+fn wait_for_baton(run: &Run, me: Tid) {
+    let mut st = lock(run);
+    loop {
+        match st.phase {
+            Phase::Running(t) if t == me => break,
+            Phase::Stopped => {
+                drop(st);
+                panic_abort();
+            }
+            _ => st = run.cv.wait(st).unwrap_or_else(|poison| poison.into_inner()),
+        }
+    }
+    st.threads[me].status = Status::Running;
+}
+
+/// The heart of every shim operation: park at a scheduling point with
+/// `op` pending, and once scheduled run `exec` against the run state.
+pub(crate) fn yield_and_execute<R>(op: PendingOp, exec: impl FnOnce(&mut RunState, Tid) -> R) -> R {
+    with_ctx(|run, me| {
+        {
+            let mut st = lock(run);
+            if st.is_stopped() {
+                drop(st);
+                panic_abort();
+            }
+            st.threads[me].status = Status::Waiting(op);
+            st.schedule_next(&run.cv);
+        }
+        wait_for_baton(run, me);
+        let mut st = lock(run);
+        let out = exec(&mut st, me);
+        if st.failure.is_some() {
+            st.stop(&run.cv);
+            drop(st);
+            panic_abort();
+        }
+        out
+    })
+}
+
+/// Runs `mutate` against the state without a scheduling point (used for
+/// mutex unlock and location registration — operations that commute
+/// with every enabled op).
+pub(crate) fn execute_inline<R>(mutate: impl FnOnce(&mut RunState, Tid) -> R) -> R {
+    with_ctx(|run, me| {
+        let mut st = lock(run);
+        let out = mutate(&mut st, me);
+        if st.failure.is_some() {
+            st.stop(&run.cv);
+            drop(st);
+            panic_abort();
+        }
+        out
+    })
+}
+
+/// Spawns the OS thread backing model thread `tid`, which must already
+/// be registered as `Waiting(Start)`.
+pub(crate) fn spawn_os_thread(run: &Arc<Run>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    let run2 = Arc::clone(run);
+    let handle = std::thread::spawn(move || {
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&run2), tid)));
+        let entered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wait_for_baton(&run2, tid);
+            let mut st = lock(&run2);
+            st.begin_op(tid);
+            st.trace_ev(tid, "start");
+            drop(st);
+            f();
+        }));
+        let mut st = lock(&run2);
+        st.threads[tid].status = Status::Finished;
+        match entered {
+            Ok(()) => {
+                st.trace_ev(tid, "finish");
+                st.schedule_next(&run2.cv);
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<AbortToken>().is_none() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "model thread panicked (non-string payload)".into());
+                    st.fail(tid, msg);
+                }
+                st.stop(&run2.cv);
+            }
+        }
+    });
+    lock(run).handles.push(handle);
+}
+
+pub(crate) struct RunResult {
+    pub failure: Option<String>,
+    pub pruned: bool,
+    pub schedule: Vec<Tid>,
+    pub trace: Vec<String>,
+    pub new_nodes: Vec<NewNode>,
+}
+
+/// Executes the body once under `mode` and returns what happened.
+pub(crate) fn run_once(
+    body: Arc<dyn Fn() + Send + Sync>,
+    mode: Mode,
+    max_steps: usize,
+) -> RunResult {
+    let run = Arc::new(Run {
+        state: Mutex::new(RunState {
+            phase: Phase::Running(usize::MAX), // placeholder until first decision
+            threads: vec![ThreadInfo {
+                status: Status::Waiting(PendingOp {
+                    kind: OpKind::Start,
+                    loc: None,
+                }),
+                clock: VClock::default(),
+                last_load: None,
+            }],
+            locs: Vec::new(),
+            trace: Vec::new(),
+            schedule: Vec::new(),
+            new_nodes: Vec::new(),
+            failure: None,
+            pruned: false,
+            mode,
+            cur_sleep: Vec::new(),
+            preemptions: 0,
+            prev_running: None,
+            depth: 0,
+            steps_left: max_steps,
+            handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+
+    spawn_os_thread(&run, 0, Box::new(move || body()));
+    {
+        let mut st = lock(&run);
+        st.schedule_next(&run.cv);
+    }
+
+    // Wait for the run to stop, then reap the OS threads.
+    let handles = {
+        let mut st = lock(&run);
+        while st.phase != Phase::Stopped {
+            st = run.cv.wait(st).unwrap_or_else(|poison| poison.into_inner());
+        }
+        std::mem::take(&mut st.handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut st = lock(&run);
+    RunResult {
+        failure: st.failure.take(),
+        pruned: st.pruned,
+        schedule: std::mem::take(&mut st.schedule),
+        trace: std::mem::take(&mut st.trace),
+        new_nodes: std::mem::take(&mut st.new_nodes),
+    }
+}

@@ -1,0 +1,452 @@
+//! The [`SyncShim`] instantiation that routes every operation through
+//! the schedule explorer, plus [`CheckCell`] for race-checked
+//! non-atomic data.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+use super::clock::happens_before;
+use super::rt::{self, Loc, LocId, LocKind, OpKind, PendingOp, RunState, Tid};
+use crate::sync::{AtomicIntShim, AtomicShim, MutexShim, Ordering, SyncShim};
+
+/// Model instantiation of the shim family: use in place of
+/// [`RealShim`](crate::sync::RealShim) inside a `model::explore` body.
+#[derive(Debug, Clone, Copy)]
+pub enum ModelShim {}
+
+impl SyncShim for ModelShim {
+    type AtomicUsize = ModelAtomic<usize>;
+    type AtomicU64 = ModelAtomic<u64>;
+    type AtomicU8 = ModelAtomic<u8>;
+    type AtomicBool = ModelAtomic<bool>;
+    type Mutex<T: Send + 'static> = ModelMutex<T>;
+}
+
+/// Conversion between a shim value type and the model's uniform `u64`
+/// storage.
+pub trait Widen: Copy + std::fmt::Debug + Send + 'static {
+    /// Short type tag used in location labels.
+    const LABEL: &'static str;
+    /// Width mask applied after arithmetic.
+    const MASK: u64;
+    /// Widens to the storage word.
+    fn to_u64(self) -> u64;
+    /// Narrows from the storage word.
+    fn from_u64(v: u64) -> Self;
+}
+
+impl Widen for usize {
+    const LABEL: &'static str = "usize";
+    const MASK: u64 = usize::MAX as u64;
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    fn from_u64(v: u64) -> Self {
+        v as usize
+    }
+}
+
+impl Widen for u64 {
+    const LABEL: &'static str = "u64";
+    const MASK: u64 = u64::MAX;
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl Widen for u8 {
+    const LABEL: &'static str = "u8";
+    const MASK: u64 = u8::MAX as u64;
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    fn from_u64(v: u64) -> Self {
+        v as u8
+    }
+}
+
+impl Widen for bool {
+    const LABEL: &'static str = "bool";
+    const MASK: u64 = 1;
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    fn from_u64(v: u64) -> Self {
+        v != 0
+    }
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// A model atomic: a location id into the current run's store.
+pub struct ModelAtomic<T> {
+    loc: LocId,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+// SAFETY: the payload is a plain index; all real state lives behind the
+// run lock, so sharing/moving the handle across threads is sound.
+unsafe impl<T> Send for ModelAtomic<T> {}
+unsafe impl<T> Sync for ModelAtomic<T> {}
+
+impl<T: Widen> ModelAtomic<T> {
+    fn atomic(st: &mut RunState, loc: LocId) -> &mut u64 {
+        match &mut st.locs[loc].kind {
+            LocKind::Atomic { value } => value,
+            _ => unreachable!("atomic op on non-atomic location"),
+        }
+    }
+
+    fn pending(&self, kind: OpKind) -> PendingOp {
+        PendingOp {
+            kind,
+            loc: Some(self.loc),
+        }
+    }
+}
+
+impl<T: Widen> AtomicShim<T> for ModelAtomic<T> {
+    fn new(value: T) -> Self {
+        let loc = rt::execute_inline(|st, _me| {
+            let label = format!("{}#{}", T::LABEL, st.locs.len());
+            st.alloc_loc(Loc {
+                label,
+                kind: LocKind::Atomic {
+                    value: value.to_u64(),
+                },
+                sync: Default::default(),
+                version: 0,
+            })
+        });
+        Self {
+            loc,
+            _marker: PhantomData,
+        }
+    }
+
+    fn load(&self, order: Ordering) -> T {
+        let loc = self.loc;
+        rt::yield_and_execute(self.pending(OpKind::Load), move |st, me| {
+            st.begin_op(me);
+            let value = *Self::atomic(st, loc);
+            let version = st.locs[loc].version;
+            if is_acquire(order) {
+                let sync = st.locs[loc].sync.clone();
+                st.threads[me].clock.join(&sync);
+            }
+            st.threads[me].last_load = Some((loc, version));
+            let label = st.locs[loc].label.clone();
+            st.trace_ev(me, format!("load({label}) -> {value} [{order:?}]"));
+            T::from_u64(value)
+        })
+    }
+
+    fn store(&self, value: T, order: Ordering) {
+        let loc = self.loc;
+        rt::yield_and_execute(self.pending(OpKind::Store), move |st, me| {
+            st.begin_op(me);
+            *Self::atomic(st, loc) = value.to_u64();
+            st.locs[loc].version += 1;
+            if is_release(order) {
+                st.locs[loc].sync = st.threads[me].clock.clone();
+            } else {
+                // A relaxed store begins a new modification without a
+                // release edge: it breaks the location's prior release
+                // history for subsequent acquire loads.
+                st.locs[loc].sync.clear();
+            }
+            let label = st.locs[loc].label.clone();
+            st.trace_ev(me, format!("store({label}) := {value:?} [{order:?}]"));
+        })
+    }
+
+    fn swap(&self, value: T, order: Ordering) -> T {
+        self.rmw("swap", order, move |_old| value.to_u64())
+    }
+
+    fn compare_exchange(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T> {
+        let loc = self.loc;
+        rt::yield_and_execute(self.pending(OpKind::Rmw), move |st, me| {
+            st.begin_op(me);
+            let old = *Self::atomic(st, loc);
+            let label = st.locs[loc].label.clone();
+            if old == current.to_u64() {
+                *Self::atomic(st, loc) = new.to_u64();
+                st.locs[loc].version += 1;
+                if is_acquire(success) {
+                    let sync = st.locs[loc].sync.clone();
+                    st.threads[me].clock.join(&sync);
+                }
+                if is_release(success) {
+                    let clock = st.threads[me].clock.clone();
+                    st.locs[loc].sync.join(&clock);
+                }
+                st.trace_ev(me, format!("cas({label}) {old} -> {new:?} ok"));
+                Ok(T::from_u64(old))
+            } else {
+                if is_acquire(failure) {
+                    let sync = st.locs[loc].sync.clone();
+                    st.threads[me].clock.join(&sync);
+                }
+                st.trace_ev(me, format!("cas({label}) failed, saw {old}"));
+                Err(T::from_u64(old))
+            }
+        })
+    }
+}
+
+impl<T: Widen> ModelAtomic<T> {
+    /// Shared read-modify-write path. An RMW always reads the latest
+    /// value; acquire/release edges per `order`; a relaxed RMW still
+    /// *extends* the existing release history (C++ release sequences).
+    fn rmw(&self, name: &'static str, order: Ordering, f: impl FnOnce(u64) -> u64) -> T {
+        let loc = self.loc;
+        rt::yield_and_execute(self.pending(OpKind::Rmw), move |st, me| {
+            st.begin_op(me);
+            let old = *Self::atomic(st, loc);
+            let new = f(old) & T::MASK;
+            *Self::atomic(st, loc) = new;
+            st.locs[loc].version += 1;
+            if is_acquire(order) {
+                let sync = st.locs[loc].sync.clone();
+                st.threads[me].clock.join(&sync);
+            }
+            if is_release(order) {
+                let clock = st.threads[me].clock.clone();
+                st.locs[loc].sync.join(&clock);
+            }
+            let label = st.locs[loc].label.clone();
+            st.trace_ev(me, format!("{name}({label}) {old} -> {new} [{order:?}]"));
+            T::from_u64(old)
+        })
+    }
+}
+
+macro_rules! model_atomic_int {
+    ($prim:ty) => {
+        impl AtomicIntShim<$prim> for ModelAtomic<$prim> {
+            fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_add", order, move |old| {
+                    old.wrapping_add(value.to_u64())
+                })
+            }
+            fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_sub", order, move |old| {
+                    old.wrapping_sub(value.to_u64()) & <$prim as Widen>::MASK
+                })
+            }
+            fn fetch_or(&self, value: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_or", order, move |old| old | value.to_u64())
+            }
+            fn fetch_and(&self, value: $prim, order: Ordering) -> $prim {
+                self.rmw("fetch_and", order, move |old| old & value.to_u64())
+            }
+        }
+    };
+}
+
+model_atomic_int!(usize);
+model_atomic_int!(u64);
+model_atomic_int!(u8);
+
+/// A model mutex: the lock *acquisition* is a scheduling point (and a
+/// disabled transition while held); the release happens inline at the
+/// end of [`with`](MutexShim::with), since it commutes with every other
+/// enabled operation.
+pub struct ModelMutex<T> {
+    loc: LocId,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the cell is only accessed by the thread holding the model
+// lock, and only one model thread runs at a time.
+unsafe impl<T: Send> Send for ModelMutex<T> {}
+unsafe impl<T: Send> Sync for ModelMutex<T> {}
+
+impl<T: Send + 'static> MutexShim<T> for ModelMutex<T> {
+    fn new(value: T) -> Self {
+        let loc = rt::execute_inline(|st, _me| {
+            let label = format!("mutex#{}", st.locs.len());
+            st.alloc_loc(Loc {
+                label,
+                kind: LocKind::Mutex { held_by: None },
+                sync: Default::default(),
+                version: 0,
+            })
+        });
+        Self {
+            loc,
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let loc = self.loc;
+        rt::yield_and_execute(
+            PendingOp {
+                kind: OpKind::Lock,
+                loc: Some(loc),
+            },
+            move |st, me| {
+                st.begin_op(me);
+                match &mut st.locs[loc].kind {
+                    LocKind::Mutex { held_by } => {
+                        debug_assert!(held_by.is_none(), "scheduled a lock that is held");
+                        *held_by = Some(me);
+                    }
+                    _ => unreachable!("lock on non-mutex location"),
+                }
+                let sync = st.locs[loc].sync.clone();
+                st.threads[me].clock.join(&sync);
+                let label = st.locs[loc].label.clone();
+                st.trace_ev(me, format!("lock({label})"));
+            },
+        );
+        // SAFETY: we hold the model lock (set just above) and only one
+        // model thread runs at a time, so this access is exclusive.
+        let out = f(unsafe { &mut *self.value.get() });
+        rt::execute_inline(|st, me| {
+            st.begin_op(me);
+            match &mut st.locs[loc].kind {
+                LocKind::Mutex { held_by } => {
+                    debug_assert_eq!(*held_by, Some(me));
+                    *held_by = None;
+                }
+                _ => unreachable!(),
+            }
+            st.locs[loc].sync = st.threads[me].clock.clone();
+            st.locs[loc].version += 1;
+            let label = st.locs[loc].label.clone();
+            st.trace_ev(me, format!("unlock({label})"));
+        });
+        out
+    }
+}
+
+/// Race-checked non-atomic storage, the model analogue of the
+/// `UnsafeCell`s inside the runtime's job handoff.
+///
+/// Every access is a scheduling point carrying a happens-before
+/// assertion: a write must be ordered after every prior access, a read
+/// after the latest write. A violation is reported as a data race with
+/// the usual replayable schedule. Keep access closures free of further
+/// shim operations.
+pub struct CheckCell<T> {
+    loc: LocId,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: physical access only ever happens on the single running model
+// thread; logical exclusivity is what the race checker verifies.
+unsafe impl<T: Send> Send for CheckCell<T> {}
+unsafe impl<T: Send> Sync for CheckCell<T> {}
+
+impl<T: Send + 'static> CheckCell<T> {
+    /// Creates a cell; `label` names it in traces and race reports.
+    pub fn new(label: &'static str, value: T) -> Self {
+        let loc = rt::execute_inline(|st, _me| {
+            let label = format!("{label}#{}", st.locs.len());
+            st.alloc_loc(Loc {
+                label,
+                kind: LocKind::Cell {
+                    last_write: None,
+                    reads: Vec::new(),
+                },
+                sync: Default::default(),
+                version: 0,
+            })
+        });
+        Self {
+            loc,
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    fn access(&self, kind: OpKind) {
+        let loc = self.loc;
+        rt::yield_and_execute(
+            PendingOp {
+                kind,
+                loc: Some(loc),
+            },
+            move |st, me| {
+                st.begin_op(me);
+                let me_clock = st.threads[me].clock.clone();
+                let label = st.locs[loc].label.clone();
+                let mut race_with: Option<(Tid, &'static str)> = None;
+                match &mut st.locs[loc].kind {
+                    LocKind::Cell { last_write, reads } => {
+                        if let Some((wt, wc)) = last_write {
+                            if !happens_before(wc, *wt, &me_clock) {
+                                race_with = Some((*wt, "write"));
+                            }
+                        }
+                        if kind == OpKind::CellWrite {
+                            for (rt_, rc) in reads.iter() {
+                                if !happens_before(rc, *rt_, &me_clock) {
+                                    race_with = Some((*rt_, "read"));
+                                }
+                            }
+                            *last_write = Some((me, me_clock.clone()));
+                            reads.clear();
+                        } else {
+                            reads.push((me, me_clock.clone()));
+                        }
+                    }
+                    _ => unreachable!("cell op on non-cell location"),
+                }
+                let verb = if kind == OpKind::CellWrite {
+                    "write"
+                } else {
+                    "read"
+                };
+                st.trace_ev(me, format!("{verb}({label})"));
+                if let Some((other, other_verb)) = race_with {
+                    st.fail(
+                        me,
+                        format!(
+                            "data race on {label}: t{me} {verb} is unordered with t{other} {other_verb}"
+                        ),
+                    );
+                }
+            },
+        );
+    }
+
+    /// Reads the cell under a happens-before assertion.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.access(OpKind::CellRead);
+        // SAFETY: single running model thread; logical ordering was
+        // just asserted by the race checker.
+        f(unsafe { &*self.value.get() })
+    }
+
+    /// Writes the cell under a happens-before assertion.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.access(OpKind::CellWrite);
+        // SAFETY: as in `with`; writes additionally asserted exclusive
+        // against all prior reads.
+        f(unsafe { &mut *self.value.get() })
+    }
+}

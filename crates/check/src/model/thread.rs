@@ -1,0 +1,81 @@
+//! Model threads: the `std::thread::{spawn, JoinHandle}` analogue whose
+//! scheduling the explorer controls.
+
+use std::sync::{Arc, Mutex};
+
+use super::rt::{self, OpKind, PendingOp, Status, ThreadInfo};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread running `f`.
+///
+/// Spawning is an event on the parent (the child inherits the parent's
+/// clock: everything the parent did happens-before the child), but not
+/// a scheduling point — the child's first transition is its own `Start`
+/// op, which the explorer schedules like any other.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::execute_inline(|st, me| {
+        st.begin_op(me);
+        let clock = st.threads[me].clock.clone();
+        let tid = st.threads.len();
+        st.threads.push(ThreadInfo {
+            status: Status::Waiting(PendingOp {
+                kind: OpKind::Start,
+                loc: None,
+            }),
+            clock,
+            last_load: None,
+        });
+        st.trace_ev(me, format!("spawn t{tid}"));
+        tid
+    });
+    rt::with_ctx(|run, _me| {
+        rt::spawn_os_thread(
+            run,
+            tid,
+            Box::new(move || {
+                let value = f();
+                *slot.lock().unwrap_or_else(|poison| poison.into_inner()) = Some(value);
+            }),
+        );
+    });
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// A scheduling point; disabled until the target thread has
+    /// finished, and joins its final clock into the caller's
+    /// (everything the child did happens-before the join).
+    pub fn join(self) -> T {
+        let tid = self.tid;
+        rt::yield_and_execute(
+            PendingOp {
+                kind: OpKind::Join(tid),
+                loc: None,
+            },
+            move |st, me| {
+                st.begin_op(me);
+                let child = st.threads[tid].clock.clone();
+                st.threads[me].clock.join(&child);
+                st.trace_ev(me, format!("join t{tid}"));
+            },
+        );
+        self.result
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .take()
+            .expect("model join: thread finished without storing a result")
+    }
+}

@@ -1,0 +1,194 @@
+//! Planted-bug self-tests: deliberately broken variants of the shipped
+//! protocols that the checker must refute.
+//!
+//! A model checker that silently explores too little is worse than no
+//! checker, so each ported target has a mutated twin here — the claim
+//! `fetch_add` split into a load+store, a drop counter incremented
+//! non-atomically, a latch published with `Relaxed` — and CI requires
+//! the explorer to find each bug *and* hand back a schedule that
+//! reproduces it on replay ([`model::assert_fails`] checks both).
+//!
+//! The buggy twins are local copies on the model shim: the real cores
+//! (explored by the `futurerd-trace check` suite) stay unmutated.
+
+use std::sync::Arc;
+
+use crate::model::{self, thread, CheckCell, Config, Counterexample, ModelAtomic, ModelMutex};
+use crate::sync::{AtomicIntShim, AtomicShim, MutexShim, Ordering};
+
+/// `ChunkIndex::claim` with the fetch-add torn into a load + store:
+/// two threads can observe the same cursor and claim the same unit.
+fn buggy_claim(next: &ModelAtomic<usize>, len: usize) -> Option<usize> {
+    let cur = next.load(Ordering::Acquire);
+    if cur >= len {
+        return None;
+    }
+    next.store(cur + 1, Ordering::Release); // BUG: read-modify-write torn apart
+    Some(cur)
+}
+
+/// Body: two workers drain a 2-unit index; every unit must be claimed
+/// exactly once.
+pub fn double_claim_body() {
+    const LEN: usize = 2;
+    let next = Arc::new(ModelAtomic::<usize>::new(0));
+    let units: Arc<Vec<ModelAtomic<usize>>> =
+        Arc::new((0..LEN).map(|_| ModelAtomic::new(0)).collect());
+    let worker = {
+        let next = Arc::clone(&next);
+        let units = Arc::clone(&units);
+        move || {
+            while let Some(unit) = buggy_claim(&next, LEN) {
+                let prev = units[unit].fetch_add(1, Ordering::AcqRel);
+                assert_eq!(prev, 0, "unit {unit} claimed twice");
+            }
+        }
+    };
+    let other = worker.clone();
+    let t = thread::spawn(other);
+    worker();
+    t.join();
+}
+
+/// The timeline ring's lossy push with the drop counter incremented via
+/// load + store instead of under the lock: concurrent drops are lost.
+pub fn ring_drop_miscount_body() {
+    const CAPACITY: usize = 1;
+    let intervals = Arc::new(ModelMutex::<Vec<u64>>::new(Vec::new()));
+    let dropped = Arc::new(ModelAtomic::<u64>::new(0));
+    let push = {
+        let intervals = Arc::clone(&intervals);
+        let dropped = Arc::clone(&dropped);
+        move |v: u64| {
+            let full = intervals.with(|ring| {
+                if ring.len() >= CAPACITY {
+                    true
+                } else {
+                    ring.push(v);
+                    false
+                }
+            });
+            if full {
+                // BUG: the real ring counts drops inside the lock.
+                let seen = dropped.load(Ordering::Acquire);
+                dropped.store(seen + 1, Ordering::Release);
+            }
+        }
+    };
+    push(0); // fill the ring before any concurrency
+    let pusher = push.clone();
+    let t = thread::spawn(move || pusher(1));
+    push(2);
+    t.join();
+    let kept = intervals.with(|ring| ring.len()) as u64;
+    let lost = dropped.load(Ordering::Acquire);
+    assert_eq!(
+        kept + lost,
+        3,
+        "ring accounting lost a push: kept {kept}, dropped {lost}"
+    );
+}
+
+/// A metrics counter bumped with load + store: one of two concurrent
+/// `counter_add(1)`s vanishes and the merged snapshot under-reports.
+pub fn registry_lost_update_body() {
+    let counter = Arc::new(ModelAtomic::<u64>::new(0));
+    let add = {
+        let counter = Arc::clone(&counter);
+        move || {
+            // BUG: the real registry mutates under its lock.
+            let seen = counter.load(Ordering::Acquire);
+            counter.store(seen + 1, Ordering::Release);
+        }
+    };
+    let adder = add.clone();
+    let t = thread::spawn(adder);
+    add();
+    t.join();
+    assert_eq!(
+        counter.load(Ordering::Acquire),
+        2,
+        "snapshot lost an update"
+    );
+}
+
+/// A spin latch whose `set` uses `Relaxed`: the waiter observes the
+/// flag without inheriting the publisher's writes — a data race on the
+/// result cell, caught by the happens-before checker.
+pub fn relaxed_latch_race_body() {
+    let set = Arc::new(ModelAtomic::<bool>::new(false));
+    let result = Arc::new(CheckCell::new("result", 0u64));
+    let t = {
+        let set = Arc::clone(&set);
+        let result = Arc::clone(&result);
+        thread::spawn(move || {
+            result.with_mut(|r| *r = 42);
+            set.store(true, Ordering::Relaxed); // BUG: must be Release
+        })
+    };
+    while !set.load(Ordering::Acquire) {}
+    let got = result.with(|r| *r);
+    assert_eq!(got, 42);
+    t.join();
+}
+
+fn planted_config() -> Config {
+    Config::exhaustive()
+}
+
+/// Explores the torn-claim twin; must catch the double claim.
+pub fn planted_double_claim() -> Counterexample {
+    model::assert_fails(&planted_config(), "planted:double-claim", double_claim_body)
+}
+
+/// Explores the torn-drop-counter twin; must catch the lost drop.
+pub fn planted_ring_drop_miscount() -> Counterexample {
+    model::assert_fails(
+        &planted_config(),
+        "planted:ring-drop-miscount",
+        ring_drop_miscount_body,
+    )
+}
+
+/// Explores the torn-counter twin; must catch the lost update.
+pub fn planted_registry_lost_update() -> Counterexample {
+    model::assert_fails(
+        &planted_config(),
+        "planted:registry-lost-update",
+        registry_lost_update_body,
+    )
+}
+
+/// Explores the relaxed-latch twin; must catch the data race.
+pub fn planted_relaxed_latch_race() -> Counterexample {
+    model::assert_fails(
+        &planted_config(),
+        "planted:relaxed-latch-race",
+        relaxed_latch_race_body,
+    )
+}
+
+/// One planted-bug self-test: explores a broken twin and returns the
+/// counterexample the explorer must find.
+pub type PlantedCheck = fn() -> Counterexample;
+
+/// Every planted bug, for the CLI's `check` subcommand.
+pub fn all() -> Vec<(&'static str, PlantedCheck)> {
+    vec![
+        ("double-claim", planted_double_claim as PlantedCheck),
+        ("ring-drop-miscount", planted_ring_drop_miscount),
+        ("registry-lost-update", planted_registry_lost_update),
+        ("relaxed-latch-race", planted_relaxed_latch_race),
+    ]
+}
+
+/// The planted bodies by name, for fixture replay tests.
+pub fn body(name: &str) -> Option<fn()> {
+    match name {
+        "double-claim" => Some(double_claim_body as fn()),
+        "ring-drop-miscount" => Some(ring_drop_miscount_body),
+        "registry-lost-update" => Some(registry_lost_update_body),
+        "relaxed-latch-race" => Some(relaxed_latch_race_body),
+        _ => None,
+    }
+}

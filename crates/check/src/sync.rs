@@ -1,0 +1,188 @@
+//! The sync shim: one trait family over the primitives the lock-free
+//! core uses, with a zero-cost production instantiation.
+//!
+//! Protocol cores in `futurerd-core`/`futurerd-runtime`/`futurerd-obs`
+//! are generic over [`SyncShim`]. In normal builds they are aliased at
+//! [`RealShim`], whose associated types are `#[repr(transparent)]`
+//! newtypes over `std::sync` with every method `#[inline(always)]` — the
+//! optimizer sees exactly the code that was there before the shim was
+//! introduced. The model checker instantiates the same cores at
+//! `futurerd_check::model::ModelShim`, where each operation yields to
+//! the schedule explorer instead.
+//!
+//! Design notes:
+//!
+//! * The mutex shim exposes a closure API ([`MutexShim::with`]) rather
+//!   than a guard, so implementations don't need generic associated
+//!   lifetimes and the model can bracket the critical section exactly.
+//! * Orderings are passed through verbatim ([`Ordering`] is re-exported
+//!   from std). The model executes sequentially-consistently but tracks
+//!   acquire/release edges for its happens-before clocks, so weakening
+//!   an ordering in production code weakens what the checker assumes.
+
+use std::sync::atomic;
+
+pub use std::sync::atomic::Ordering;
+
+/// Family of synchronization primitive types a protocol core is written
+/// against.
+///
+/// Implementations are uninhabited marker enums ([`RealShim`],
+/// `model::ModelShim`) — the trait is only ever used at the type level.
+pub trait SyncShim: 'static {
+    /// Shimmed `AtomicUsize`.
+    type AtomicUsize: AtomicIntShim<usize>;
+    /// Shimmed `AtomicU64`.
+    type AtomicU64: AtomicIntShim<u64>;
+    /// Shimmed `AtomicU8`.
+    type AtomicU8: AtomicIntShim<u8>;
+    /// Shimmed `AtomicBool`.
+    type AtomicBool: AtomicShim<bool>;
+    /// Shimmed mutex holding a `T`.
+    type Mutex<T: Send + 'static>: MutexShim<T>;
+}
+
+/// Operations common to all shimmed atomics.
+pub trait AtomicShim<T: Copy>: Send + Sync + 'static {
+    /// Creates the atomic with an initial value.
+    fn new(value: T) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> T;
+    /// Atomic store.
+    fn store(&self, value: T, order: Ordering);
+    /// Atomic swap; returns the previous value.
+    fn swap(&self, value: T, order: Ordering) -> T;
+    /// Atomic compare-exchange; `Ok(previous)` on success, `Err(actual)`
+    /// on failure.
+    fn compare_exchange(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T>;
+}
+
+/// Integer read-modify-write operations on shimmed atomics.
+pub trait AtomicIntShim<T: Copy>: AtomicShim<T> {
+    /// Atomic wrapping add; returns the previous value.
+    fn fetch_add(&self, value: T, order: Ordering) -> T;
+    /// Atomic wrapping subtract; returns the previous value.
+    fn fetch_sub(&self, value: T, order: Ordering) -> T;
+    /// Atomic bitwise OR; returns the previous value.
+    fn fetch_or(&self, value: T, order: Ordering) -> T;
+    /// Atomic bitwise AND; returns the previous value.
+    fn fetch_and(&self, value: T, order: Ordering) -> T;
+}
+
+/// Closure-scoped mutex shim.
+///
+/// The model implementation treats poisoning as impossible (a panicking
+/// model thread aborts the whole execution), so the real implementation
+/// also ignores poison — matching how the runtime already treats its
+/// parking-lot locks.
+pub trait MutexShim<T: Send>: Send + Sync + 'static {
+    /// Creates the mutex holding `value`.
+    fn new(value: T) -> Self;
+    /// Runs `f` with the lock held.
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R;
+}
+
+/// Production instantiation: transparent newtypes over `std::sync`.
+#[derive(Debug, Clone, Copy)]
+pub enum RealShim {}
+
+impl SyncShim for RealShim {
+    type AtomicUsize = RealAtomicUsize;
+    type AtomicU64 = RealAtomicU64;
+    type AtomicU8 = RealAtomicU8;
+    type AtomicBool = RealAtomicBool;
+    type Mutex<T: Send + 'static> = RealMutex<T>;
+}
+
+macro_rules! real_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Transparent newtype over the std atomic of the same width.
+        #[derive(Debug, Default)]
+        #[repr(transparent)]
+        pub struct $name($std);
+
+        impl AtomicShim<$prim> for $name {
+            #[inline(always)]
+            fn new(value: $prim) -> Self {
+                Self(<$std>::new(value))
+            }
+            #[inline(always)]
+            fn load(&self, order: Ordering) -> $prim {
+                self.0.load(order)
+            }
+            #[inline(always)]
+            fn store(&self, value: $prim, order: Ordering) {
+                self.0.store(value, order)
+            }
+            #[inline(always)]
+            fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                self.0.swap(value, order)
+            }
+            #[inline(always)]
+            fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.0.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+macro_rules! real_atomic_int {
+    ($name:ident, $prim:ty) => {
+        impl AtomicIntShim<$prim> for $name {
+            #[inline(always)]
+            fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                self.0.fetch_add(value, order)
+            }
+            #[inline(always)]
+            fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                self.0.fetch_sub(value, order)
+            }
+            #[inline(always)]
+            fn fetch_or(&self, value: $prim, order: Ordering) -> $prim {
+                self.0.fetch_or(value, order)
+            }
+            #[inline(always)]
+            fn fetch_and(&self, value: $prim, order: Ordering) -> $prim {
+                self.0.fetch_and(value, order)
+            }
+        }
+    };
+}
+
+real_atomic!(RealAtomicUsize, atomic::AtomicUsize, usize);
+real_atomic!(RealAtomicU64, atomic::AtomicU64, u64);
+real_atomic!(RealAtomicU8, atomic::AtomicU8, u8);
+real_atomic!(RealAtomicBool, atomic::AtomicBool, bool);
+real_atomic_int!(RealAtomicUsize, usize);
+real_atomic_int!(RealAtomicU64, u64);
+real_atomic_int!(RealAtomicU8, u8);
+
+/// Transparent newtype over `std::sync::Mutex`, poison-transparent.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct RealMutex<T>(std::sync::Mutex<T>);
+
+impl<T: Send + 'static> MutexShim<T> for RealMutex<T> {
+    #[inline(always)]
+    fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    #[inline(always)]
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.0.lock().unwrap_or_else(|poison| poison.into_inner());
+        f(&mut guard)
+    }
+}

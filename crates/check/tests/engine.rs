@@ -1,0 +1,295 @@
+//! Engine-level tests for the model checker itself: exploration counts,
+//! sound pruning, deadlock/livelock detection, happens-before tracking,
+//! and replay determinism.
+
+use std::sync::Arc;
+
+use futurerd_check::model::{self, CheckCell, Config, ModelAtomic, ModelMutex, Outcome};
+use futurerd_check::sync::{AtomicIntShim, AtomicShim, MutexShim, Ordering};
+
+fn exhaustive() -> Config {
+    Config::exhaustive()
+}
+
+#[test]
+fn single_thread_runs_once() {
+    let stats = model::check(&exhaustive(), "single", || {
+        let a = ModelAtomic::<usize>::new(1);
+        assert_eq!(a.load(Ordering::Acquire), 1);
+        a.store(2, Ordering::Release);
+        assert_eq!(a.load(Ordering::Acquire), 2);
+    });
+    assert_eq!(stats.executions, 1, "no concurrency, no alternatives");
+}
+
+#[test]
+fn two_increments_explore_both_orders() {
+    let stats = model::check(&exhaustive(), "incr2", || {
+        let n = Arc::new(ModelAtomic::<usize>::new(0));
+        let n2 = Arc::clone(&n);
+        let t = model::thread::spawn(move || {
+            n2.fetch_add(1, Ordering::AcqRel);
+        });
+        n.fetch_add(1, Ordering::AcqRel);
+        t.join();
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    });
+    assert!(
+        stats.executions >= 2,
+        "both orders must be visited, got {}",
+        stats.executions
+    );
+}
+
+#[test]
+fn sleep_sets_prune_independent_pairs() {
+    // Two threads touching DIFFERENT locations commute: DPOR should
+    // need only one full execution order (plus pruned stubs).
+    let stats = model::check(&exhaustive(), "indep", || {
+        let a = Arc::new(ModelAtomic::<usize>::new(0));
+        let b = Arc::new(ModelAtomic::<usize>::new(0));
+        let a2 = Arc::clone(&a);
+        let t = model::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::AcqRel);
+        });
+        b.fetch_add(1, Ordering::AcqRel);
+        t.join();
+        assert_eq!(a.load(Ordering::Acquire), 1);
+        assert_eq!(b.load(Ordering::Acquire), 1);
+    });
+    // Unpruned this would be 2+ full executions over the 2-op
+    // interleavings; sleep sets should cut the redundant order short.
+    assert!(
+        stats.pruned >= 1,
+        "expected sleep-set pruning on commuting ops, stats: {stats:?}"
+    );
+}
+
+#[test]
+fn finds_lost_update() {
+    let cex = model::assert_fails(&exhaustive(), "lost-update", || {
+        let n = Arc::new(ModelAtomic::<usize>::new(0));
+        let n2 = Arc::clone(&n);
+        let t = model::thread::spawn(move || {
+            let v = n2.load(Ordering::Acquire);
+            n2.store(v + 1, Ordering::Release);
+        });
+        let v = n.load(Ordering::Acquire);
+        n.store(v + 1, Ordering::Release);
+        t.join();
+        assert_eq!(n.load(Ordering::Acquire), 2, "lost update");
+    });
+    assert!(cex.message.contains("lost update"), "{}", cex.message);
+    assert!(!cex.schedule.is_empty());
+    assert!(!cex.trace.is_empty());
+}
+
+#[test]
+fn spin_loop_terminates_via_stutter_filter() {
+    // Without stutter filtering the waiter's spin loop makes the state
+    // space infinite; with it, this explores and passes quickly.
+    let stats = model::check(&exhaustive(), "spin", || {
+        let flag = Arc::new(ModelAtomic::<bool>::new(false));
+        let data = Arc::new(ModelAtomic::<usize>::new(0));
+        let f2 = Arc::clone(&flag);
+        let d2 = Arc::clone(&data);
+        let t = model::thread::spawn(move || {
+            d2.store(7, Ordering::Release);
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {}
+        assert_eq!(data.load(Ordering::Acquire), 7);
+        t.join();
+    });
+    assert!(stats.executions < 100, "spin exploded: {stats:?}");
+}
+
+#[test]
+fn deadlock_detected() {
+    // A waiter spinning on a flag nobody ever sets: livelock.
+    let cex = model::assert_fails(&exhaustive(), "stuck", || {
+        let flag = Arc::new(ModelAtomic::<bool>::new(false));
+        while !flag.load(Ordering::Acquire) {}
+    });
+    assert!(
+        cex.message.contains("livelock") || cex.message.contains("deadlock"),
+        "unexpected failure: {}",
+        cex.message
+    );
+}
+
+#[test]
+fn mutex_provides_exclusion_and_ordering() {
+    let stats = model::check(&exhaustive(), "mutex", || {
+        let m = Arc::new(ModelMutex::<usize>::new(0));
+        let m2 = Arc::clone(&m);
+        let t = model::thread::spawn(move || {
+            m2.with(|v| *v += 1);
+        });
+        m.with(|v| *v += 1);
+        t.join();
+        let total = m.with(|v| *v);
+        assert_eq!(total, 2, "mutex increments can't be lost");
+    });
+    assert!(stats.executions >= 2);
+}
+
+#[test]
+fn cell_race_detected_without_synchronization() {
+    let cex = model::assert_fails(&exhaustive(), "race", || {
+        let cell = Arc::new(CheckCell::new("shared", 0usize));
+        let c2 = Arc::clone(&cell);
+        let t = model::thread::spawn(move || {
+            c2.with_mut(|v| *v = 1);
+        });
+        cell.with_mut(|v| *v = 2);
+        t.join();
+    });
+    assert!(cex.message.contains("data race"), "{}", cex.message);
+}
+
+#[test]
+fn cell_race_not_reported_with_release_acquire_publish() {
+    model::check(&exhaustive(), "publish", || {
+        let flag = Arc::new(ModelAtomic::<bool>::new(false));
+        let cell = Arc::new(CheckCell::new("published", 0usize));
+        let f2 = Arc::clone(&flag);
+        let c2 = Arc::clone(&cell);
+        let t = model::thread::spawn(move || {
+            c2.with_mut(|v| *v = 9);
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {}
+        let v = cell.with(|v| *v);
+        assert_eq!(v, 9);
+        t.join();
+    });
+}
+
+#[test]
+fn relaxed_publish_is_a_race() {
+    let cex = model::assert_fails(&exhaustive(), "relaxed-publish", || {
+        let flag = Arc::new(ModelAtomic::<bool>::new(false));
+        let cell = Arc::new(CheckCell::new("published", 0usize));
+        let f2 = Arc::clone(&flag);
+        let c2 = Arc::clone(&cell);
+        let t = model::thread::spawn(move || {
+            c2.with_mut(|v| *v = 9);
+            f2.store(true, Ordering::Relaxed);
+        });
+        while !flag.load(Ordering::Acquire) {}
+        let v = cell.with(|v| *v);
+        assert_eq!(v, 9);
+        t.join();
+    });
+    assert!(cex.message.contains("data race"), "{}", cex.message);
+}
+
+#[test]
+fn three_threads_exhaustive_counter() {
+    let stats = model::check(&exhaustive(), "incr3", || {
+        let n = Arc::new(ModelAtomic::<usize>::new(0));
+        let mk = |n: &Arc<ModelAtomic<usize>>| {
+            let n = Arc::clone(n);
+            move || {
+                n.fetch_add(1, Ordering::AcqRel);
+            }
+        };
+        let t1 = model::thread::spawn(mk(&n));
+        let t2 = model::thread::spawn(mk(&n));
+        n.fetch_add(1, Ordering::AcqRel);
+        t1.join();
+        t2.join();
+        assert_eq!(n.load(Ordering::Acquire), 3);
+    });
+    assert!(stats.executions >= 6, "3! orders at least, got {stats:?}");
+}
+
+#[test]
+fn preemption_bound_limits_exploration() {
+    let run = |bound: Option<usize>| {
+        let config = Config {
+            preemption_bound: bound,
+            ..Config::default()
+        };
+        model::check(&config, "bounded", || {
+            let n = Arc::new(ModelAtomic::<usize>::new(0));
+            let n2 = Arc::clone(&n);
+            let t = model::thread::spawn(move || {
+                for _ in 0..3 {
+                    n2.fetch_add(1, Ordering::AcqRel);
+                }
+            });
+            for _ in 0..3 {
+                n.fetch_add(1, Ordering::AcqRel);
+            }
+            t.join();
+            assert_eq!(n.load(Ordering::Acquire), 6);
+        })
+    };
+    let bounded = run(Some(0));
+    let free = run(None);
+    assert!(
+        bounded.executions < free.executions,
+        "bound 0 ({:?}) must explore less than unbounded ({:?})",
+        bounded,
+        free
+    );
+}
+
+#[test]
+fn replay_follows_recorded_schedule() {
+    let body = || {
+        let n = Arc::new(ModelAtomic::<usize>::new(0));
+        let n2 = Arc::clone(&n);
+        let t = model::thread::spawn(move || {
+            let v = n2.load(Ordering::Acquire);
+            n2.store(v + 1, Ordering::Release);
+        });
+        let v = n.load(Ordering::Acquire);
+        n.store(v + 1, Ordering::Release);
+        t.join();
+        assert_eq!(n.load(Ordering::Acquire), 2, "lost update");
+    };
+    let cex = model::assert_fails(&exhaustive(), "replayable", body);
+    // assert_fails already replayed once; do it again explicitly and
+    // compare end to end.
+    let again = model::replay(body, &cex.schedule).expect("must reproduce");
+    assert_eq!(again.message, cex.message);
+    assert_eq!(again.schedule, cex.schedule);
+}
+
+#[test]
+fn fixture_roundtrip() {
+    let cex = model::Counterexample {
+        message: "boom".into(),
+        schedule: vec![0, 1, 1, 0, 2],
+        trace: vec![],
+        executions: 3,
+    };
+    let fixture = cex.to_fixture("demo");
+    let parsed = model::parse_fixture(&fixture).expect("parses");
+    assert_eq!(parsed, cex.schedule);
+    assert!(fixture.contains("# target: demo"));
+}
+
+#[test]
+fn outcome_incomplete_when_budget_too_small() {
+    let config = Config {
+        max_executions: 1,
+        ..Config::default()
+    };
+    let outcome = model::explore(&config, || {
+        let n = Arc::new(ModelAtomic::<usize>::new(0));
+        let n2 = Arc::clone(&n);
+        let t = model::thread::spawn(move || {
+            n2.fetch_add(1, Ordering::AcqRel);
+        });
+        n.fetch_add(1, Ordering::AcqRel);
+        t.join();
+    });
+    assert!(
+        matches!(outcome, Outcome::Incomplete { .. }),
+        "two runnable interleavings cannot finish in 1 execution: {outcome:?}"
+    );
+}

@@ -1,0 +1,85 @@
+//! Planted-bug self-tests: every deliberately broken protocol twin must
+//! be refuted by the explorer with a replayable counterexample, and the
+//! committed schedule fixtures must keep reproducing those failures.
+//!
+//! Regenerate fixtures after an engine change with:
+//! `FUTURERD_CHECK_UPDATE_FIXTURES=1 cargo test -p futurerd-check --test planted`
+
+use std::path::PathBuf;
+
+use futurerd_check::model;
+use futurerd_check::selftest;
+
+#[test]
+fn planted_double_claim_caught() {
+    let cex = selftest::planted_double_claim();
+    assert!(cex.message.contains("claimed twice"), "{}", cex.message);
+    assert!(!cex.schedule.is_empty());
+}
+
+#[test]
+fn planted_ring_drop_miscount_caught() {
+    let cex = selftest::planted_ring_drop_miscount();
+    assert!(
+        cex.message.contains("ring accounting lost a push"),
+        "{}",
+        cex.message
+    );
+}
+
+#[test]
+fn planted_registry_lost_update_caught() {
+    let cex = selftest::planted_registry_lost_update();
+    assert!(cex.message.contains("lost an update"), "{}", cex.message);
+}
+
+#[test]
+fn planted_relaxed_latch_race_caught() {
+    let cex = selftest::planted_relaxed_latch_race();
+    assert!(cex.message.contains("data race"), "{}", cex.message);
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.schedule"))
+}
+
+/// The committed fixtures are byte-for-byte what the explorer produces
+/// today (DFS order is deterministic), and each one replays to the
+/// planted failure. With `FUTURERD_CHECK_UPDATE_FIXTURES=1` the test
+/// rewrites them instead of failing on drift.
+#[test]
+fn committed_fixtures_replay_their_planted_bugs() {
+    let update = std::env::var_os("FUTURERD_CHECK_UPDATE_FIXTURES").is_some();
+    for (name, planted) in selftest::all() {
+        let cex = planted();
+        let fresh = cex.to_fixture(name);
+        let path = fixture_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &fresh).unwrap();
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with FUTURERD_CHECK_UPDATE_FIXTURES=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            committed, fresh,
+            "[{name}] fixture drifted from the explorer's counterexample; \
+             regenerate with FUTURERD_CHECK_UPDATE_FIXTURES=1"
+        );
+
+        // And the committed schedule — parsed, not the in-memory one —
+        // must still reproduce the failure on replay.
+        let schedule = model::parse_fixture(&committed)
+            .unwrap_or_else(|| panic!("[{name}] fixture has no parsable schedule line"));
+        let body = selftest::body(name).unwrap();
+        let replayed = model::replay(body, &schedule)
+            .unwrap_or_else(|| panic!("[{name}] committed schedule no longer fails"));
+        assert_eq!(replayed.message, cex.message, "[{name}] wrong failure");
+    }
+}

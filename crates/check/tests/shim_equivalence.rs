@@ -1,0 +1,126 @@
+//! RealShim must be a zero-cost passthrough: identical layout to the
+//! std primitives it wraps and identical operational semantics, so code
+//! generic over `SyncShim` compiled with `RealShim` behaves exactly
+//! like the hand-written std version it replaced.
+
+use std::mem::{align_of, size_of};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+use std::sync::Arc;
+
+use futurerd_check::sync::{AtomicIntShim, AtomicShim, MutexShim, Ordering, RealShim, SyncShim};
+
+type RAtomicUsize = <RealShim as SyncShim>::AtomicUsize;
+type RAtomicU64 = <RealShim as SyncShim>::AtomicU64;
+type RAtomicU8 = <RealShim as SyncShim>::AtomicU8;
+type RAtomicBool = <RealShim as SyncShim>::AtomicBool;
+type RMutex<T> = <RealShim as SyncShim>::Mutex<T>;
+
+#[test]
+fn layout_matches_std() {
+    assert_eq!(size_of::<RAtomicUsize>(), size_of::<AtomicUsize>());
+    assert_eq!(align_of::<RAtomicUsize>(), align_of::<AtomicUsize>());
+    assert_eq!(size_of::<RAtomicU64>(), size_of::<AtomicU64>());
+    assert_eq!(align_of::<RAtomicU64>(), align_of::<AtomicU64>());
+    assert_eq!(size_of::<RAtomicU8>(), size_of::<AtomicU8>());
+    assert_eq!(align_of::<RAtomicU8>(), align_of::<AtomicU8>());
+    assert_eq!(size_of::<RAtomicBool>(), size_of::<AtomicBool>());
+    assert_eq!(align_of::<RAtomicBool>(), align_of::<AtomicBool>());
+    assert_eq!(size_of::<RMutex<u64>>(), size_of::<std::sync::Mutex<u64>>());
+}
+
+#[test]
+fn atomic_ops_match_std_semantics() {
+    let shim = RAtomicUsize::new(10);
+    let std_a = AtomicUsize::new(10);
+
+    assert_eq!(
+        shim.fetch_add(5, Ordering::AcqRel),
+        std_a.fetch_add(5, Ordering::AcqRel)
+    );
+    assert_eq!(
+        shim.fetch_sub(2, Ordering::AcqRel),
+        std_a.fetch_sub(2, Ordering::AcqRel)
+    );
+    assert_eq!(
+        shim.fetch_or(0b100, Ordering::AcqRel),
+        std_a.fetch_or(0b100, Ordering::AcqRel)
+    );
+    assert_eq!(
+        shim.fetch_and(0b110, Ordering::AcqRel),
+        std_a.fetch_and(0b110, Ordering::AcqRel)
+    );
+    assert_eq!(
+        shim.swap(99, Ordering::AcqRel),
+        std_a.swap(99, Ordering::AcqRel)
+    );
+    assert_eq!(shim.load(Ordering::SeqCst), std_a.load(Ordering::SeqCst));
+
+    // compare_exchange: both the success and failure paths.
+    assert_eq!(
+        shim.compare_exchange(99, 1, Ordering::AcqRel, Ordering::Acquire),
+        std_a.compare_exchange(99, 1, Ordering::AcqRel, Ordering::Acquire)
+    );
+    assert_eq!(
+        shim.compare_exchange(99, 2, Ordering::AcqRel, Ordering::Acquire),
+        std_a.compare_exchange(99, 2, Ordering::AcqRel, Ordering::Acquire)
+    );
+    assert_eq!(shim.load(Ordering::SeqCst), std_a.load(Ordering::SeqCst));
+}
+
+#[test]
+fn bool_and_narrow_widths_work() {
+    let b = RAtomicBool::new(false);
+    assert!(!b.swap(true, Ordering::AcqRel));
+    assert!(b.load(Ordering::Acquire));
+    assert_eq!(
+        b.compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire),
+        Ok(true)
+    );
+
+    let u = RAtomicU8::new(250);
+    let w = AtomicU8::new(250);
+    assert_eq!(
+        u.fetch_add(9, Ordering::AcqRel),
+        w.fetch_add(9, Ordering::AcqRel)
+    );
+    // u8 wrap-around matches std.
+    assert_eq!(u.load(Ordering::Acquire), w.load(Ordering::Acquire));
+    assert_eq!(u.load(Ordering::Acquire), 3);
+}
+
+#[test]
+fn mutex_with_runs_closure_and_returns() {
+    let m = RMutex::<Vec<u32>>::new(vec![1]);
+    let len = m.with(|v| {
+        v.push(2);
+        v.len()
+    });
+    assert_eq!(len, 2);
+    assert_eq!(m.with(|v| v.clone()), vec![1, 2]);
+}
+
+#[test]
+fn real_shim_works_across_real_threads() {
+    // The shim under genuine std::thread concurrency: a generic
+    // protocol over SyncShim must hold up with real primitives.
+    fn drain<S: SyncShim>(next: &S::AtomicUsize, len: usize) -> usize {
+        let mut claimed = 0;
+        loop {
+            let cur = next.fetch_add(1, Ordering::AcqRel);
+            if cur >= len {
+                return claimed;
+            }
+            claimed += 1;
+        }
+    }
+    const LEN: usize = 10_000;
+    let next = Arc::new(RAtomicUsize::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || drain::<RealShim>(&next, LEN))
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, LEN, "every unit claimed exactly once");
+}

@@ -28,8 +28,8 @@
 //!   `fresh` lists the workers report.
 
 use super::freeze::{Pos, NEVER};
+use futurerd_check::sync::{AtomicIntShim, AtomicShim, Ordering, RealShim, SyncShim};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Stamps one closure row for one arc batch: every `ancestors` cell of
 /// `row` still holding the never-connected sentinel (`Pos::MAX`) is set to
@@ -96,31 +96,51 @@ impl AssistExecutor for super::StdExecutor {
 /// `0..len` is claimed **exactly once**: `fetch_add` hands each caller a
 /// private starting offset, so ranges never overlap, and a puller stops
 /// only once its claimed start is past `len`, so nothing is dropped. The
-/// scheduler tests stress exactly this under thread contention.
-#[derive(Debug)]
-pub struct ChunkIndex {
-    next: AtomicUsize,
+/// scheduler tests stress exactly this under thread contention, and the
+/// `futurerd-trace check` suite *proves* it for small configurations by
+/// exhaustively exploring the generic core under the model shim.
+pub struct ChunkIndexCore<S: SyncShim> {
+    next: S::AtomicUsize,
     len: usize,
     chunk: usize,
-    misses: AtomicU64,
+    misses: S::AtomicU64,
 }
 
-impl ChunkIndex {
+/// The production instantiation: [`ChunkIndexCore`] over the zero-cost
+/// real-atomics shim.
+pub type ChunkIndex = ChunkIndexCore<RealShim>;
+
+impl<S: SyncShim> std::fmt::Debug for ChunkIndexCore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkIndex")
+            .field("len", &self.len)
+            .field("chunk", &self.chunk)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SyncShim> ChunkIndexCore<S> {
     /// Creates an index over `len` units, claimed `chunk` at a time.
     pub fn new(len: usize, chunk: usize) -> Self {
         assert!(chunk > 0, "chunk size must be positive");
         Self {
-            next: AtomicUsize::new(0),
+            next: S::AtomicUsize::new(0),
             len,
             chunk,
-            misses: AtomicU64::new(0),
+            misses: S::AtomicU64::new(0),
         }
     }
 
     /// Claims the next unclaimed unit range, or `None` once the index is
     /// drained. Safe to call from any number of threads concurrently.
+    ///
+    /// AcqRel: the claim is the publication point a puller synchronizes
+    /// through before touching its units' cells, so the claim protocol
+    /// stays a valid handoff even if unit payloads ever stop being
+    /// single-owner. (The stat counter below stays `Relaxed`; it guards
+    /// nothing.)
     pub fn claim(&self) -> Option<Range<usize>> {
-        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        let start = self.next.fetch_add(self.chunk, Ordering::AcqRel);
         if start >= self.len {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -291,13 +311,13 @@ impl<'e> FreezeAssist<'e> {
     /// (units are claimed one at a time — each unit is already a batch),
     /// via the pull-based [`ChunkIter`] otherwise.
     pub(crate) fn dispatch(&self, n_units: usize, run_unit: &(impl Fn(usize) + Sync)) {
-        let _dispatch = futurerd_obs::Span::enter("freeze.assist.dispatch");
+        let _dispatch = futurerd_obs::Span::enter(futurerd_obs::names::FREEZE_ASSIST_DISPATCH);
         match self.executor {
             Some(executor) if self.workers > 1 && n_units > 1 => {
                 let index = ChunkIndex::new(n_units, 1);
                 let helpers = self.workers.min(n_units) - 1;
                 executor.assist(helpers, &|| {
-                    let span = futurerd_obs::Span::enter("freeze.assist.stamp");
+                    let span = futurerd_obs::Span::enter(futurerd_obs::names::FREEZE_ASSIST_STAMP);
                     let mut claimed: u64 = 0;
                     while let Some(range) = index.claim() {
                         claimed += range.len() as u64;
@@ -314,12 +334,15 @@ impl<'e> FreezeAssist<'e> {
                     }
                 });
                 if futurerd_obs::enabled() {
-                    futurerd_obs::counter_add("freeze.assist.batches", 1);
-                    futurerd_obs::counter_add("freeze.assist.index_misses", index.misses());
+                    futurerd_obs::counter_add(futurerd_obs::names::FREEZE_ASSIST_BATCHES, 1);
+                    futurerd_obs::counter_add(
+                        futurerd_obs::names::FREEZE_ASSIST_INDEX_MISSES,
+                        index.misses(),
+                    );
                 }
             }
             _ => {
-                let span = futurerd_obs::Span::enter("freeze.assist.stamp");
+                let span = futurerd_obs::Span::enter(futurerd_obs::names::FREEZE_ASSIST_STAMP);
                 for range in ChunkIter::new(n_units, 1) {
                     for unit in range {
                         run_unit(unit);
@@ -327,7 +350,7 @@ impl<'e> FreezeAssist<'e> {
                 }
                 drop(span);
                 if futurerd_obs::enabled() {
-                    futurerd_obs::counter_add("freeze.assist.batches", 1);
+                    futurerd_obs::counter_add(futurerd_obs::names::FREEZE_ASSIST_BATCHES, 1);
                     futurerd_obs::counter_add(
                         &format!("freeze.assist.units.{}", futurerd_obs::thread_label()),
                         n_units as u64,

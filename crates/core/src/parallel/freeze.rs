@@ -1319,7 +1319,7 @@ impl IncrementalFreezer {
     /// gaps.
     pub fn extend(&mut self, events: &[futurerd_dag::trace::TraceEvent]) {
         if self.prepare_extend(events) {
-            let _span = futurerd_obs::Span::enter("freeze");
+            let _span = futurerd_obs::Span::enter(futurerd_obs::names::FREEZE);
             futurerd_dag::trace::replay_events(events, &mut self.freezer);
         }
     }
@@ -1339,7 +1339,7 @@ impl IncrementalFreezer {
         assist: &FreezeAssist<'_>,
     ) {
         if self.prepare_extend(events) {
-            let _span = futurerd_obs::Span::enter("freeze");
+            let _span = futurerd_obs::Span::enter(futurerd_obs::names::FREEZE);
             futurerd_dag::trace::replay_events(
                 events,
                 &mut AssistedFreezer {

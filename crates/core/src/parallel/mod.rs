@@ -35,7 +35,8 @@ mod freeze;
 mod shard;
 
 pub use assist::{
-    stamp_closure_row, AssistExecutor, ChunkIndex, ChunkIter, FreezeAssist, DEFAULT_MIN_BATCH,
+    stamp_closure_row, AssistExecutor, ChunkIndex, ChunkIndexCore, ChunkIter, FreezeAssist,
+    DEFAULT_MIN_BATCH,
 };
 pub use freeze::{
     FrozenBags, FrozenNsp, GranuleAccess, IncrementalFreezer, Pos, RawBagSet, RawBags, RawFreeze,
@@ -138,12 +139,12 @@ pub fn par_replay_detect_with(
     executor: &(impl DetectExecutor + AssistExecutor),
 ) -> Result<RaceReport, TraceError> {
     {
-        let _span = futurerd_obs::Span::enter("validate");
+        let _span = futurerd_obs::Span::enter(futurerd_obs::names::VALIDATE);
         trace.validate()?;
     }
     let assist = (threads > 1).then(|| FreezeAssist::new(threads, executor));
     let frozen = {
-        let _span = futurerd_obs::Span::enter("freeze");
+        let _span = futurerd_obs::Span::enter(futurerd_obs::names::FREEZE);
         freeze::freeze_with_accesses_assisted(trace, algorithm, assist.as_ref())
     };
     let Some((index, accesses)) = frozen else {
@@ -191,7 +192,7 @@ fn detect_partitions(
     threads: usize,
     executor: &impl DetectExecutor,
 ) -> Vec<ShadowPartition> {
-    let _span = futurerd_obs::Span::enter("detect");
+    let _span = futurerd_obs::Span::enter(futurerd_obs::names::DETECT);
     let ranges = shard::partition_ranges(accesses, threads.max(1));
     let mut partitions: Vec<ShadowPartition> = ranges
         .iter()
@@ -200,7 +201,7 @@ fn detect_partitions(
     if let [partition] = partitions.as_mut_slice() {
         // One range covers every access: run it on the stream directly
         // instead of copying the whole stream into a bucket.
-        let _task = futurerd_obs::Span::enter("detect.partition");
+        let _task = futurerd_obs::Span::enter(futurerd_obs::names::DETECT_PARTITION);
         partition.run(index, accesses);
         return partitions;
     }
@@ -210,7 +211,7 @@ fn detect_partitions(
         .zip(buckets)
         .map(|(partition, bucket)| {
             Box::new(move || {
-                let _task = futurerd_obs::Span::enter("detect.partition");
+                let _task = futurerd_obs::Span::enter(futurerd_obs::names::DETECT_PARTITION);
                 partition.run(index, &bucket)
             }) as Box<dyn FnOnce() + Send + '_>
         })

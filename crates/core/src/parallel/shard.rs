@@ -335,7 +335,7 @@ pub fn merge_outcomes(outcomes: impl IntoIterator<Item = PartitionOutcome>) -> R
 pub fn merge_outcomes_stats(
     outcomes: impl IntoIterator<Item = PartitionOutcome>,
 ) -> (RaceReport, DetectorStats) {
-    let _span = futurerd_obs::Span::enter("merge");
+    let _span = futurerd_obs::Span::enter(futurerd_obs::names::MERGE);
     let mut total = 0u64;
     let mut stats = DetectorStats::default();
     let mut all: Vec<(u32, Race)> = Vec::new();
@@ -410,7 +410,7 @@ pub fn incremental_outcomes(
     parts: usize,
     executor: &impl DetectExecutor,
 ) -> IncrementalOutcomes {
-    let _span = futurerd_obs::Span::enter("detect");
+    let _span = futurerd_obs::Span::enter(futurerd_obs::names::DETECT);
     if fresh.is_empty() || stored.is_empty() {
         let reused = stored.len();
         return IncrementalOutcomes {
@@ -508,7 +508,7 @@ pub fn incremental_outcomes(
         .map(|(slot, (_, range))| {
             let range = range.clone();
             Box::new(move || {
-                let _task = futurerd_obs::Span::enter("detect.partition");
+                let _task = futurerd_obs::Span::enter(futurerd_obs::names::DETECT_PARTITION);
                 *slot = Some(run_partition(index, range, accesses))
             }) as Box<dyn FnOnce() + Send + '_>
         })

@@ -265,7 +265,7 @@ impl<'s> Session<'s> {
         let started = futurerd_obs::enabled().then(std::time::Instant::now);
         let before = self.validator.position();
         let result = {
-            let _span = futurerd_obs::Span::enter("validate");
+            let _span = futurerd_obs::Span::enter(futurerd_obs::names::VALIDATE);
             self.validator.extend(events)
         };
         let accepted = &events[..self.validator.position() - before];
@@ -280,12 +280,15 @@ impl<'s> Session<'s> {
         if let Some(started) = started {
             let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.ingest_ns = self.ingest_ns.saturating_add(ns);
-            futurerd_obs::counter_add("session.ingest.events", accepted.len() as u64);
+            futurerd_obs::counter_add(
+                futurerd_obs::names::SESSION_INGEST_EVENTS,
+                accepted.len() as u64,
+            );
             if self.ingest_ns > 0 {
                 let rate = (self.validator.position() as u128).saturating_mul(1_000_000_000)
                     / u128::from(self.ingest_ns);
                 futurerd_obs::gauge_set(
-                    "session.ingest.events_per_sec",
+                    futurerd_obs::names::SESSION_INGEST_EVENTS_PER_SEC,
                     u64::try_from(rate).unwrap_or(u64::MAX),
                 );
             }
@@ -410,10 +413,12 @@ impl<'s> Session<'s> {
             // the fixed `session.report.*` stage set. `record_stage` feeds
             // both the aggregate stats and the interval journal.
             let stage = match path {
-                DetectionPath::Cold => "session.report.cold",
-                DetectionPath::WarmIndex => "session.report.warm_index",
-                DetectionPath::WarmCached => "session.report.warm_cached",
-                DetectionPath::Incremental { .. } => "session.report.incremental",
+                DetectionPath::Cold => futurerd_obs::names::SESSION_REPORT_COLD,
+                DetectionPath::WarmIndex => futurerd_obs::names::SESSION_REPORT_WARM_INDEX,
+                DetectionPath::WarmCached => futurerd_obs::names::SESSION_REPORT_WARM_CACHED,
+                DetectionPath::Incremental { .. } => {
+                    futurerd_obs::names::SESSION_REPORT_INCREMENTAL
+                }
             };
             futurerd_obs::record_stage(stage, started);
             futurerd_obs::counter_add(&format!("session.path.{}", path.kind_key()), 1);
@@ -478,7 +483,7 @@ impl<'s> Session<'s> {
             detector_stats,
         } = observer.into_outcome();
         if let Some(started) = started {
-            futurerd_obs::record_stage("session.report.cold", started);
+            futurerd_obs::record_stage(futurerd_obs::names::SESSION_REPORT_COLD, started);
             futurerd_obs::counter_add("session.path.cold", 1);
             if let Some(stats) = &reach_stats {
                 stats.export_metrics("reach");

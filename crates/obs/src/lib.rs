@@ -69,7 +69,12 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use futurerd_check::sync::RealShim;
+use proto::{MetricsRegistry, TimelineJournal};
+
 pub mod export;
+pub mod names;
+pub mod proto;
 pub mod timeline;
 
 pub use export::{
@@ -231,34 +236,16 @@ impl StageStats {
 // Per-thread span buffers
 // ---------------------------------------------------------------------------
 
-/// One thread's bounded interval journal: recorded `(stage, start_ns,
-/// end_ns)` triples in close order, plus how many intervals arrived after
-/// the ring filled and were discarded.
-#[derive(Default)]
-struct TimelineRing {
-    intervals: Vec<(&'static str, u64, u64)>,
-    dropped: u64,
-}
-
-impl TimelineRing {
-    /// Journals one interval, or counts it as dropped once the ring is at
-    /// the configured bound. Dropping never disturbs retained intervals,
-    /// so survivors keep their recording order.
-    fn push(&mut self, stage: &'static str, start_ns: u64, end_ns: u64) {
-        if self.intervals.len() >= timeline_capacity() {
-            self.dropped += 1;
-        } else {
-            self.intervals.push((stage, start_ns, end_ns));
-        }
-    }
-}
-
 /// One thread's recording state. The mutexes are uncontended in steady
 /// state (only the owning thread writes; [`snapshot`]/[`reset`] briefly
 /// lock them from outside), so a span close is a CAS plus a map update.
+///
+/// The timeline ring is the shim-generic [`TimelineJournal`] — the same
+/// push/drop protocol the model checker explores — instantiated with the
+/// zero-cost [`RealShim`].
 struct ThreadBuffer {
     stages: Mutex<HashMap<&'static str, StageStats>>,
-    timeline: Mutex<TimelineRing>,
+    timeline: TimelineJournal<RealShim>,
     label: Mutex<Option<String>>,
 }
 
@@ -274,7 +261,7 @@ fn with_local_buffer<R>(f: impl FnOnce(&ThreadBuffer) -> R) -> R {
         let buf = slot.get_or_insert_with(|| {
             let buf = Arc::new(ThreadBuffer {
                 stages: Mutex::new(HashMap::new()),
-                timeline: Mutex::new(TimelineRing::default()),
+                timeline: TimelineJournal::new(),
                 label: Mutex::new(None),
             });
             BUFFERS.lock().unwrap().push(Arc::clone(&buf));
@@ -296,7 +283,8 @@ fn record_span(name: &'static str, ns: u64) {
 
 fn record_interval(name: &'static str, start_ns: u64, end_ns: u64) {
     with_local_buffer(|buf| {
-        buf.timeline.lock().unwrap().push(name, start_ns, end_ns);
+        buf.timeline
+            .push(name, start_ns, end_ns, timeline_capacity());
     });
 }
 
@@ -436,7 +424,13 @@ impl MetricKind {
     }
 }
 
-static METRICS: Mutex<BTreeMap<String, (MetricKind, u64)>> = Mutex::new(BTreeMap::new());
+/// The process-wide registry: the shim-generic [`MetricsRegistry`] — the
+/// same lossless-merge protocol the model checker explores — instantiated
+/// with the zero-cost [`RealShim`].
+fn metrics() -> &'static MetricsRegistry<RealShim> {
+    static METRICS: OnceLock<MetricsRegistry<RealShim>> = OnceLock::new();
+    METRICS.get_or_init(MetricsRegistry::new)
+}
 
 /// Adds `delta` to the named counter (creating it at zero first). No-op
 /// while recording is disabled.
@@ -444,13 +438,7 @@ pub fn counter_add(name: &str, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut metrics = METRICS.lock().unwrap();
-    match metrics.get_mut(name) {
-        Some((_, value)) => *value += delta,
-        None => {
-            metrics.insert(name.to_string(), (MetricKind::Counter, delta));
-        }
-    }
+    metrics().counter_add(name, delta);
 }
 
 /// Sets the named gauge to `value`. No-op while recording is disabled.
@@ -458,10 +446,7 @@ pub fn gauge_set(name: &str, value: u64) {
     if !enabled() {
         return;
     }
-    METRICS
-        .lock()
-        .unwrap()
-        .insert(name.to_string(), (MetricKind::Gauge, value));
+    metrics().gauge_set(name, value);
 }
 
 // ---------------------------------------------------------------------------
@@ -550,15 +535,10 @@ pub fn snapshot() -> Snapshot {
         .into_iter()
         .map(|(name, stats)| StageRow { name, stats })
         .collect();
-    let metrics = METRICS
-        .lock()
-        .unwrap()
-        .iter()
-        .map(|(name, (kind, value))| MetricRow {
-            name: name.clone(),
-            kind: *kind,
-            value: *value,
-        })
+    let metrics = metrics()
+        .rows()
+        .into_iter()
+        .map(|(name, kind, value)| MetricRow { name, kind, value })
         .collect();
     Snapshot { stages, metrics }
 }
@@ -579,9 +559,9 @@ pub fn timeline() -> Timeline {
             .unwrap()
             .clone()
             .unwrap_or_else(|| "main".to_string());
-        let ring = buf.timeline.lock().unwrap();
-        dropped += ring.dropped;
-        for &(stage, start_ns, end_ns) in &ring.intervals {
+        let (ring, ring_dropped) = buf.timeline.snapshot();
+        dropped += ring_dropped;
+        for (stage, start_ns, end_ns) in ring {
             intervals.push(Interval {
                 thread: label.clone(),
                 stage,
@@ -593,10 +573,10 @@ pub fn timeline() -> Timeline {
     intervals
         .sort_by(|a, b| (a.start_ns, &a.thread, a.stage).cmp(&(b.start_ns, &b.thread, b.stage)));
     if dropped > 0 {
-        METRICS.lock().unwrap().insert(
-            "obs.timeline.dropped".to_string(),
-            (MetricKind::Gauge, dropped),
-        );
+        // Bypasses the `enabled()` gate deliberately: the drop count must
+        // surface even when aggregate recording was switched off between
+        // journaling and snapshotting.
+        metrics().gauge_set(names::OBS_TIMELINE_DROPPED, dropped);
     }
     Timeline { intervals, dropped }
 }
@@ -608,12 +588,12 @@ pub fn reset() {
     let mut buffers = BUFFERS.lock().unwrap();
     for buf in buffers.iter() {
         buf.stages.lock().unwrap().clear();
-        *buf.timeline.lock().unwrap() = TimelineRing::default();
+        buf.timeline.clear();
     }
     // A strong count of 1 means the owning thread's `LOCAL` slot is gone:
     // the thread exited and the buffer can never fill again.
     buffers.retain(|buf| Arc::strong_count(buf) > 1);
-    METRICS.lock().unwrap().clear();
+    metrics().clear();
 }
 
 /// Formats a nanosecond duration for human output (`17ns`, `4.200us`,

@@ -1,0 +1,174 @@
+//! Shim-generic concurrency cores of the obs layer.
+//!
+//! The two pieces of this crate with a real concurrent protocol — the
+//! lossy per-thread timeline ring and the process-wide metrics registry —
+//! live here, generic over [`SyncShim`]. Production code uses the
+//! [`RealShim`](futurerd_check::sync::RealShim) instantiation (thin
+//! newtypes over `std::sync`, zero-cost), while the `futurerd-trace
+//! check` suite explores the same code under the model shim, asserting
+//! the ring never blocks and counts drops exactly, and that concurrent
+//! registry updates merge losslessly.
+
+use std::collections::BTreeMap;
+
+use futurerd_check::sync::{MutexShim, SyncShim};
+
+use crate::MetricKind;
+
+/// One thread's bounded interval journal: recorded `(stage, start_ns,
+/// end_ns)` triples in close order, plus how many intervals arrived after
+/// the ring filled and were discarded.
+#[derive(Default)]
+struct RingState {
+    intervals: Vec<(&'static str, u64, u64)>,
+    dropped: u64,
+}
+
+/// A bounded, lossy interval journal: pushes past the capacity are
+/// counted and discarded under the same lock that guards the ring, so
+/// `kept + dropped` always equals the number of pushes and survivors
+/// keep their recording order. The hot path never blocks on a full ring.
+pub struct TimelineJournal<S: SyncShim> {
+    ring: S::Mutex<RingState>,
+}
+
+impl<S: SyncShim> Default for TimelineJournal<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SyncShim> TimelineJournal<S> {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self {
+            ring: S::Mutex::new(RingState::default()),
+        }
+    }
+
+    /// Journals one interval, or counts it as dropped once the ring holds
+    /// `capacity` intervals. Dropping never disturbs retained intervals.
+    pub fn push(&self, stage: &'static str, start_ns: u64, end_ns: u64, capacity: usize) {
+        self.ring.with(|ring| {
+            if ring.intervals.len() >= capacity {
+                ring.dropped += 1;
+            } else {
+                ring.intervals.push((stage, start_ns, end_ns));
+            }
+        });
+    }
+
+    /// The retained intervals (in recording order) and the drop count.
+    pub fn snapshot(&self) -> (Vec<(&'static str, u64, u64)>, u64) {
+        self.ring
+            .with(|ring| (ring.intervals.clone(), ring.dropped))
+    }
+
+    /// Number of intervals discarded so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.with(|ring| ring.dropped)
+    }
+
+    /// Empties the journal and zeroes the drop count.
+    pub fn clear(&self) {
+        self.ring.with(|ring| *ring = RingState::default());
+    }
+}
+
+/// The process-wide metrics table: monotonically accumulated counters and
+/// last-write-wins gauges, keyed by dotted name. All mutation happens
+/// under one lock, so concurrent `counter_add`s are lossless — the
+/// model-checked invariant behind the registry's merge guarantees.
+pub struct MetricsRegistry<S: SyncShim> {
+    table: S::Mutex<BTreeMap<String, (MetricKind, u64)>>,
+}
+
+impl<S: SyncShim> Default for MetricsRegistry<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SyncShim> MetricsRegistry<S> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            table: S::Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero first).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.table.with(|table| match table.get_mut(name) {
+            Some((_, value)) => *value += delta,
+            None => {
+                table.insert(name.to_string(), (MetricKind::Counter, delta));
+            }
+        });
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        self.table.with(|table| {
+            table.insert(name.to_string(), (MetricKind::Gauge, value));
+        });
+    }
+
+    /// Current value of a metric, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.table.with(|table| table.get(name).map(|(_, v)| *v))
+    }
+
+    /// Every metric, sorted by name (BTreeMap order).
+    pub fn rows(&self) -> Vec<(String, MetricKind, u64)> {
+        self.table.with(|table| {
+            table
+                .iter()
+                .map(|(name, (kind, value))| (name.clone(), *kind, *value))
+                .collect()
+        })
+    }
+
+    /// Removes every metric.
+    pub fn clear(&self) {
+        self.table.with(|table| table.clear());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futurerd_check::sync::RealShim;
+
+    #[test]
+    fn journal_counts_drops_exactly() {
+        let journal = TimelineJournal::<RealShim>::new();
+        for i in 0..5 {
+            journal.push("stage", i, i + 1, 3);
+        }
+        let (kept, dropped) = journal.snapshot();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(dropped, 2);
+        assert_eq!(kept[0], ("stage", 0, 1));
+        assert_eq!(kept[2], ("stage", 2, 3));
+        journal.clear();
+        assert_eq!(journal.snapshot(), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn registry_counters_accumulate_gauges_overwrite() {
+        let registry = MetricsRegistry::<RealShim>::new();
+        registry.counter_add("c", 2);
+        registry.counter_add("c", 3);
+        registry.gauge_set("g", 10);
+        registry.gauge_set("g", 4);
+        assert_eq!(registry.get("c"), Some(5));
+        assert_eq!(registry.get("g"), Some(4));
+        let rows = registry.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("c".to_string(), MetricKind::Counter, 5));
+        assert_eq!(rows[1], ("g".to_string(), MetricKind::Gauge, 4));
+        registry.clear();
+        assert!(registry.rows().is_empty());
+    }
+}

@@ -25,9 +25,13 @@ pub(super) type PanicPayload = Box<dyn Any + Send>;
 /// the `join`/`install` protocols guarantee the pointee is alive until then.
 pub(super) struct JobRef {
     pointer: *const (),
+    // SAFETY: invoked only through JobRef::execute, which forwards the
+    // live-pointee / called-once contract.
     execute_fn: unsafe fn(*const ()),
 }
 
+// SAFETY: see the struct docs — single execution plus the publisher's
+// keep-alive protocol make the erased pointer safe to move across threads.
 unsafe impl Send for JobRef {}
 
 impl JobRef {
@@ -40,6 +44,8 @@ impl JobRef {
     pub(super) unsafe fn new<T: ErasedJob>(data: *const T) -> JobRef {
         JobRef {
             pointer: data as *const (),
+            // SAFETY: `execute` forwards its own contract (live, run-once
+            // pointee) to the typed implementation.
             execute_fn: |ptr| unsafe { T::execute(ptr as *const T) },
         }
     }
@@ -121,6 +127,10 @@ impl<L: Latch, F, R> ErasedJob for StackJob<'_, L, F, R>
 where
     F: FnOnce() -> R,
 {
+    // SAFETY: the ErasedJob contract guarantees `this` is live and
+    // executed once, so the UnsafeCell accesses below are exclusive:
+    // nobody else touches `func`/`result` between publication and the
+    // latch set.
     unsafe fn execute(this: *const Self) {
         let this = unsafe { &*this };
         let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
@@ -159,7 +169,7 @@ where
 {
     fn into_job_ref(self) -> JobRef {
         let raw = Box::into_raw(self);
-        // Safety: the pointer stays valid until execute reconstructs the box.
+        // SAFETY: the pointer stays valid until execute reconstructs the box.
         unsafe { JobRef::new(raw) }
     }
 }
@@ -169,6 +179,8 @@ where
     F: FnOnce() + Send,
 {
     unsafe fn execute(this: *const Self) {
+        // SAFETY: `this` came from Box::into_raw in into_job_ref and the
+        // run-once contract means nobody else will reconstruct it.
         let job = unsafe { Box::from_raw(this as *mut Self) };
         (job.func)();
     }

@@ -2,15 +2,22 @@
 //!
 //! Three flavours, matching how the waiter wants to wait:
 //!
-//! * [`SpinLatch`] — probed by a worker thread that keeps stealing other work
+//! * `SpinLatch` — probed by a worker thread that keeps stealing other work
 //!   while it waits (used by `join`).
-//! * [`LockLatch`] — blocks a non-worker thread on a condition variable
+//! * `LockLatch` — blocks a non-worker thread on a condition variable
 //!   (used by `install`).
-//! * [`CountLatch`] — counts down from N; used by scopes to wait for all
+//! * `CountLatch` — counts down from N; used by scopes to wait for all
 //!   spawned tasks.
+//!
+//! The atomic protocols live in the shim-generic [`SpinLatchCore`] and
+//! [`CountLatchCore`], instantiated here with the zero-cost
+//! [`RealShim`]; the `futurerd-trace check` suite explores the same cores
+//! under the model shim (set/probe publication, exact countdown). The
+//! blocking layers (condvars, timed waits) stay on `parking_lot` — only
+//! the lock-free state machines are model-checked.
 
+use futurerd_check::sync::{AtomicIntShim, AtomicShim, Ordering, RealShim, SyncShim};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A one-shot completion flag.
 pub(super) trait Latch {
@@ -19,27 +26,41 @@ pub(super) trait Latch {
     fn set(&self);
 }
 
-/// A latch probed by busy workers.
+/// The spin latch's atomic core: a one-shot release/acquire flag. The
+/// Release set / Acquire probe pair is what hands the completed job's
+/// writes to the prober — model-checked (a `Relaxed` set here is the
+/// `relaxed-latch-race` planted bug the checker must catch).
 #[derive(Debug, Default)]
-pub(super) struct SpinLatch {
-    set: AtomicBool,
+pub struct SpinLatchCore<S: SyncShim> {
+    set: S::AtomicBool,
 }
 
-impl SpinLatch {
+impl<S: SyncShim> SpinLatchCore<S> {
     /// Creates an unset latch.
-    pub(super) fn new() -> Self {
-        Self::default()
+    pub fn new() -> Self {
+        Self {
+            set: S::AtomicBool::new(false),
+        }
     }
 
-    /// Returns true once [`Latch::set`] has been called.
-    pub(super) fn probe(&self) -> bool {
+    /// Returns true once [`SpinLatchCore::set`] has been called, acquiring
+    /// the setter's writes.
+    pub fn probe(&self) -> bool {
         self.set.load(Ordering::Acquire)
     }
+
+    /// Signals completion, releasing the caller's writes to probers.
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
 }
+
+/// A latch probed by busy workers.
+pub(super) type SpinLatch = SpinLatchCore<RealShim>;
 
 impl Latch for SpinLatch {
     fn set(&self) {
-        self.set.store(true, Ordering::Release);
+        SpinLatchCore::set(self);
     }
 }
 
@@ -73,11 +94,52 @@ impl Latch for LockLatch {
     }
 }
 
-/// A countdown latch: `increment` before publishing a task, `decrement` when
-/// it completes; `wait` blocks until the count returns to zero.
+/// The countdown latch's atomic core: `increment` before publishing a
+/// task, `decrement` when it completes; [`CountLatchCore::decrement`]
+/// reports whether this call was the one that drained the count (so the
+/// blocking wrapper wakes waiters exactly once per drain). Model-checked:
+/// N concurrent decrements drain the count exactly once with no
+/// double-wake and no missed drain.
+#[derive(Debug)]
+pub struct CountLatchCore<S: SyncShim> {
+    count: S::AtomicUsize,
+}
+
+impl<S: SyncShim> Default for CountLatchCore<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SyncShim> CountLatchCore<S> {
+    /// Creates a core with a count of zero (already "done").
+    pub fn new() -> Self {
+        Self {
+            count: S::AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers one more pending task.
+    pub fn increment(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks one task complete; true when this call drained the count.
+    pub fn decrement(&self) -> bool {
+        self.count.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    /// True when no tasks are pending.
+    pub fn is_done(&self) -> bool {
+        self.count.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// A countdown latch: the atomic [`CountLatchCore`] plus a condvar so
+/// `wait` can block until the count returns to zero.
 #[derive(Debug)]
 pub(super) struct CountLatch {
-    count: AtomicUsize,
+    core: CountLatchCore<RealShim>,
     lock: Mutex<()>,
     condvar: Condvar,
 }
@@ -86,7 +148,7 @@ impl CountLatch {
     /// Creates a latch with a count of zero (already "done").
     pub(super) fn new() -> Self {
         Self {
-            count: AtomicUsize::new(0),
+            core: CountLatchCore::new(),
             lock: Mutex::new(()),
             condvar: Condvar::new(),
         }
@@ -94,12 +156,12 @@ impl CountLatch {
 
     /// Registers one more pending task.
     pub(super) fn increment(&self) {
-        self.count.fetch_add(1, Ordering::SeqCst);
+        self.core.increment();
     }
 
     /// Marks one task complete.
     pub(super) fn decrement(&self) {
-        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.core.decrement() {
             let _guard = self.lock.lock();
             self.condvar.notify_all();
         }
@@ -107,7 +169,7 @@ impl CountLatch {
 
     /// True when no tasks are pending.
     pub(super) fn is_done(&self) -> bool {
-        self.count.load(Ordering::SeqCst) == 0
+        self.core.is_done()
     }
 
     /// Blocks until no tasks are pending.
@@ -129,7 +191,7 @@ mod tests {
     fn spin_latch_probe_transitions() {
         let l = SpinLatch::new();
         assert!(!l.probe());
-        l.set();
+        Latch::set(&l);
         assert!(l.probe());
     }
 
@@ -164,5 +226,15 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn count_latch_core_reports_the_draining_decrement() {
+        let core = CountLatchCore::<futurerd_check::sync::RealShim>::new();
+        core.increment();
+        core.increment();
+        assert!(!core.decrement());
+        assert!(core.decrement(), "second decrement drains");
+        assert!(core.is_done());
     }
 }

@@ -28,7 +28,7 @@
 
 mod deque;
 mod job;
-mod latch;
+pub mod latch;
 
 use deque::{Stealer, WorkerDeque};
 use job::{FutureState, HeapJob, IntoJobRef, JobRef, StackJob};
@@ -214,6 +214,8 @@ impl WorkerThread {
                 self.registry.counters[self.index]
                     .executed
                     .fetch_add(1, Ordering::Relaxed);
+                // SAFETY: a JobRef obtained from a deque is executed exactly
+                // once, and its publisher keeps it alive until then.
                 unsafe { job.execute() };
                 idle_spins = 0;
             } else {
@@ -234,6 +236,8 @@ impl WorkerThread {
                 self.registry.counters[self.index]
                     .executed
                     .fetch_add(1, Ordering::Relaxed);
+                // SAFETY: as in wait_until — each dequeued JobRef is live and
+                // executed exactly once.
                 unsafe { job.execute() };
                 continue;
             }
@@ -386,10 +390,10 @@ impl ThreadPool {
             return;
         }
         for stats in self.worker_stats() {
-            let worker = format!("{prefix}.worker.{}", stats.index);
-            futurerd_obs::gauge_set(&format!("{worker}.executed"), stats.executed);
-            futurerd_obs::gauge_set(&format!("{worker}.steals"), stats.steals);
-            futurerd_obs::gauge_set(&format!("{worker}.injected"), stats.injected);
+            let i = stats.index;
+            futurerd_obs::gauge_set(&format!("{prefix}.worker.{i}.executed"), stats.executed);
+            futurerd_obs::gauge_set(&format!("{prefix}.worker.{i}.steals"), stats.steals);
+            futurerd_obs::gauge_set(&format!("{prefix}.worker.{i}.injected"), stats.injected);
         }
     }
 
@@ -399,7 +403,7 @@ impl ThreadPool {
         if ptr.is_null() {
             return false;
         }
-        // Safety: the pointer is set by a live worker of *some* pool; compare
+        // SAFETY: the pointer is set by a live worker of *some* pool; compare
         // registries to confirm it is ours.
         let worker = unsafe { &*ptr };
         Arc::ptr_eq(&worker.registry, &self.registry)
@@ -414,7 +418,7 @@ impl ThreadPool {
         }
         let latch = LockLatch::new();
         let job = StackJob::new(f, &latch);
-        // Safety: we block on the latch below, so the stack job outlives its
+        // SAFETY: we block on the latch below, so the stack job outlives its
         // execution on the worker thread.
         let job_ref = unsafe { job.as_job_ref() };
         self.registry.inject(job_ref);
@@ -449,10 +453,12 @@ impl ThreadPool {
         RA: Send,
         RB: Send,
     {
+        // SAFETY: join_worker is only entered once is_worker_thread confirmed
+        // the TLS pointer refers to a live worker of this pool.
         let worker = unsafe { &*WorkerThread::current() };
         let latch = SpinLatch::new();
         let job_b = StackJob::new(b, &latch);
-        // Safety: we do not return until the latch is set (either by running
+        // SAFETY: we do not return until the latch is set (either by running
         // the job ourselves below or by the thief), so the stack job cannot
         // dangle.
         let job_b_ref = unsafe { job_b.as_job_ref() };
@@ -468,6 +474,9 @@ impl ThreadPool {
         // running extra work here is always safe.
         let mut b_popped = false;
         while let Some(job) = worker.pop() {
+            // SAFETY: both branches execute a freshly popped JobRef exactly
+            // once; publishers (this frame for `b`, scopes for the rest) keep
+            // the pointees alive until execution.
             if job.tag() == b_tag {
                 unsafe { job.execute() };
                 b_popped = true;
@@ -653,6 +662,9 @@ impl<T> FutureTask<T> {
 /// pointers whose pointees are kept alive and synchronized by the scope
 /// protocol.
 struct SendPtr<T>(*const T);
+// SAFETY: SendPtr is only constructed around Scope-owned state (latch, panic
+// store) that `Scope::wait` keeps alive and synchronized until every task
+// holding a copy has finished.
 unsafe impl<T> Send for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -680,9 +692,10 @@ impl<'scope> Scope<'scope> {
         F: FnOnce() + Send + 'scope,
     {
         self.latch.increment();
-        // Erase the 'scope lifetime: the scope does not end until every
-        // spawned task has executed (CountLatch::wait below), so the closure
-        // cannot outlive its borrows.
+        // SAFETY: the transmute erases the 'scope lifetime only — the scope
+        // does not end until every spawned task has executed
+        // (CountLatch::wait below), so the closure cannot outlive its
+        // borrows.
         let f: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
         let f: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(f) };
         let latch = SendPtr(&self.latch as *const CountLatch);
@@ -690,7 +703,7 @@ impl<'scope> Scope<'scope> {
             SendPtr(&self.panic as *const Mutex<Option<Box<dyn std::any::Any + Send>>>);
         let job = HeapJob::new(move || {
             let result = panic::catch_unwind(AssertUnwindSafe(f));
-            // Safety: the Scope (and thus the latch and panic store) is kept
+            // SAFETY: the Scope (and thus the latch and panic store) is kept
             // alive by `wait()` until this decrement happens.
             unsafe {
                 if let Err(p) = result {
@@ -707,10 +720,13 @@ impl<'scope> Scope<'scope> {
         // nested scopes cannot deadlock the pool.
         let worker_ptr = WorkerThread::current();
         if !worker_ptr.is_null() {
+            // SAFETY: a non-null TLS worker pointer always refers to the live
+            // worker that installed it for the duration of its main loop.
             let worker = unsafe { &*worker_ptr };
             if Arc::ptr_eq(&worker.registry, &self.registry) {
                 while !self.latch.is_done() {
                     if let Some(job) = worker.find_work() {
+                        // SAFETY: dequeued JobRefs are live and executed once.
                         unsafe { job.execute() };
                     } else {
                         thread::yield_now();

@@ -619,11 +619,13 @@ impl Store {
             Some(fz) if frozen_pos == events => {
                 // Warm: the index covers the whole trace.
                 if let Some(outcomes) = cached_outcomes {
-                    let _path_span = futurerd_obs::Span::enter("store.detect.warm_cached");
+                    let _path_span =
+                        futurerd_obs::Span::enter(futurerd_obs::names::STORE_DETECT_WARM_CACHED);
                     let report = merge_outcomes(outcomes.iter().cloned());
                     (None, report, DetectionPath::WarmCached)
                 } else {
-                    let _path_span = futurerd_obs::Span::enter("store.detect.warm_index");
+                    let _path_span =
+                        futurerd_obs::Span::enter(futurerd_obs::names::STORE_DETECT_WARM_INDEX);
                     let index = fz.snapshot_index();
                     let outcomes = full_outcomes(&index, fz.accesses(), threads);
                     let report = merge_outcomes(outcomes.iter().cloned());
@@ -636,7 +638,8 @@ impl Store {
             }
             Some(mut fz) => {
                 // Incremental: refreeze the appended suffix only.
-                let _path_span = futurerd_obs::Span::enter("store.detect.incremental");
+                let _path_span =
+                    futurerd_obs::Span::enter(futurerd_obs::names::STORE_DETECT_INCREMENTAL);
                 let appended_events = events - frozen_pos;
                 let old_access_count = fz.accesses().len();
                 extend_freezer(&mut fz, &trace.events()[frozen_pos..], threads);
@@ -677,7 +680,7 @@ impl Store {
             }
             None => {
                 // Cold: freeze from scratch.
-                let _path_span = futurerd_obs::Span::enter("store.detect.cold");
+                let _path_span = futurerd_obs::Span::enter(futurerd_obs::names::STORE_DETECT_COLD);
                 let mut fz = IncrementalFreezer::new(algorithm).expect("freezable checked above");
                 extend_freezer(&mut fz, trace.events(), threads);
                 let index = fz.snapshot_index();
@@ -694,10 +697,13 @@ impl Store {
         self.record_path(path);
         if let Some(sidecar) = sidecar {
             let bytes = {
-                let _span = futurerd_obs::Span::enter("store.sidecar.encode");
+                let _span = futurerd_obs::Span::enter(futurerd_obs::names::STORE_SIDECAR_ENCODE);
                 codec::encode_sidecar(&sidecar)
             };
-            futurerd_obs::counter_add("store.sidecar.encoded_bytes", bytes.len() as u64);
+            futurerd_obs::counter_add(
+                futurerd_obs::names::STORE_SIDECAR_ENCODED_BYTES,
+                bytes.len() as u64,
+            );
             std::fs::write(self.sidecar_path(name, algorithm), bytes)?;
         }
         Ok(StoreDetection {
@@ -764,9 +770,12 @@ impl Store {
             Ok(bytes) => bytes,
             Err(_) => return None,
         };
-        futurerd_obs::counter_add("store.sidecar.decoded_bytes", bytes.len() as u64);
+        futurerd_obs::counter_add(
+            futurerd_obs::names::STORE_SIDECAR_DECODED_BYTES,
+            bytes.len() as u64,
+        );
         let decoded = {
-            let _span = futurerd_obs::Span::enter("store.sidecar.decode");
+            let _span = futurerd_obs::Span::enter(futurerd_obs::names::STORE_SIDECAR_DECODE);
             codec::decode_sidecar(&bytes)
         };
         let sidecar = match decoded {
@@ -848,10 +857,13 @@ impl Store {
         trace.save(self.trace_path(name))?;
         let sidecar = self.make_sidecar(trace, freezer, outcomes);
         let bytes = {
-            let _span = futurerd_obs::Span::enter("store.sidecar.encode");
+            let _span = futurerd_obs::Span::enter(futurerd_obs::names::STORE_SIDECAR_ENCODE);
             codec::encode_sidecar(&sidecar)
         };
-        futurerd_obs::counter_add("store.sidecar.encoded_bytes", bytes.len() as u64);
+        futurerd_obs::counter_add(
+            futurerd_obs::names::STORE_SIDECAR_ENCODED_BYTES,
+            bytes.len() as u64,
+        );
         std::fs::write(self.sidecar_path(name, freezer.algorithm()), bytes)?;
         Ok(())
     }
